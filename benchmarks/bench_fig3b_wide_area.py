@@ -1,0 +1,117 @@
+"""Figure 3b — wide-area performance of ``partsupp ⋈ part``.
+
+Paper workload: the two-relation join ``partsupp ⋈ part`` where the data is
+routed across a trans-Atlantic link (~82.1 KB/s, ~145 ms RTT), under four
+conditions: both inputs slow, only the inner slow, only the outer slow, and
+full speed.
+
+Paper result (shape to reproduce): the double pipelined join begins producing
+tuples much earlier than the hybrid hash join and also completes earlier;
+the hybrid join's curves separate depending on *which* input is slow, whereas
+the DPJ's "both slow" and "inner slow" curves coincide (it is symmetric).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_deployment, run_operator_tree
+from repro.bench.reporting import format_table
+from repro.network.profiles import lan, wide_area
+from repro.plan.physical import JoinImplementation, join, wrapper_scan
+
+from conftest import run_once, scale_mb
+
+TABLES = ["part", "partsupp"]
+
+#: The four link conditions of Figure 3b: (label, outer profile, inner profile).
+CONDITIONS = [
+    ("both_slow", wide_area(), wide_area()),
+    ("inner_slow", lan(), wide_area()),
+    ("outer_slow", wide_area(), lan()),
+    ("full_speed", lan(), lan()),
+]
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return build_deployment(scale_mb(3.0), TABLES, seed=42)
+
+
+def partsupp_part_plan(implementation: JoinImplementation):
+    """partsupp (outer) ⋈ part (inner/build)."""
+    return join(
+        wrapper_scan("partsupp"),
+        wrapper_scan("part"),
+        ["partsupp.ps_partkey"],
+        ["part.p_partkey"],
+        implementation=implementation,
+    )
+
+
+def run_fig3b(deployment):
+    """Run both join methods under all four link conditions."""
+    results = {}
+    for label, outer_profile, inner_profile in CONDITIONS:
+        deployment.set_profile("partsupp", outer_profile)
+        deployment.set_profile("part", inner_profile)
+        for method in (JoinImplementation.DOUBLE_PIPELINED, JoinImplementation.HYBRID_HASH):
+            key = (method.value, label)
+            results[key] = run_operator_tree(
+                partsupp_part_plan(method),
+                deployment.catalog,
+                result_name=f"fig3b_{method.value}_{label}",
+            )
+    deployment.set_all_profiles(lan())
+    return results
+
+
+def print_fig3b(results) -> None:
+    rows = []
+    for (method, condition), result in sorted(results.items()):
+        rows.append(
+            [
+                method,
+                condition,
+                result.cardinality,
+                round(result.time_to_first_tuple_ms or 0.0, 1),
+                round(result.completion_time_ms, 1),
+            ]
+        )
+    print()
+    print("Figure 3b — partsupp x part over a wide-area link (virtual ms)")
+    print(
+        format_table(
+            ["join", "condition", "tuples", "first tuple (ms)", "completion (ms)"], rows
+        )
+    )
+
+
+def test_fig3b_wide_area(benchmark, deployment):
+    results = run_once(benchmark, lambda: run_fig3b(deployment))
+    print_fig3b(results)
+
+    cards = {result.cardinality for result in results.values()}
+    assert len(cards) == 1  # every run computes the same join
+
+    for condition in ("both_slow", "inner_slow", "outer_slow"):
+        dpj = results[("double_pipelined", condition)]
+        hybrid = results[("hybrid_hash", condition)]
+        # Shape 1: DPJ produces tuples no later than hybrid hash, and much
+        # earlier whenever the inner (build) input is the slow one.
+        assert dpj.time_to_first_tuple_ms <= hybrid.time_to_first_tuple_ms
+        if condition in ("both_slow", "inner_slow"):
+            assert dpj.time_to_first_tuple_ms < hybrid.time_to_first_tuple_ms / 2
+        # Shape 2: DPJ completes no later than hybrid hash.
+        assert dpj.completion_time_ms <= hybrid.completion_time_ms * 1.05
+
+    # Shape 3: DPJ is symmetric — "both slow" and "inner slow" behave alike
+    # when the outer is the larger input (its transfer dominates).
+    dpj_both = results[("double_pipelined", "both_slow")]
+    dpj_outer = results[("double_pipelined", "outer_slow")]
+    assert dpj_outer.completion_time_ms == pytest.approx(dpj_both.completion_time_ms, rel=0.1)
+
+    # Shape 4: hybrid hash is hurt far more by a slow inner than the DPJ is.
+    hybrid_inner = results[("hybrid_hash", "inner_slow")]
+    dpj_inner = results[("double_pipelined", "inner_slow")]
+    assert hybrid_inner.time_to_first_tuple_ms > dpj_inner.time_to_first_tuple_ms * 5

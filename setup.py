@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools lacks PEP 660
+editable-install support (it falls back to the legacy develop path).
+"""
+
+from setuptools import setup
+
+setup()

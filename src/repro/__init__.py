@@ -1,0 +1,114 @@
+"""Tukwila reproduction: an adaptive query execution system for data integration.
+
+This package reproduces the system described in Ives, Florescu, Friedman,
+Levy and Weld, *An Adaptive Query Execution System for Data Integration*
+(SIGMOD 1999).  The public API is exposed here; see ``README.md`` for a
+quickstart and ``DESIGN.md`` for the system inventory.
+
+Typical usage::
+
+    from repro import Tukwila, DataSource, TPCDGenerator, lan
+
+    db = TPCDGenerator(scale_mb=1.0).generate(["part", "partsupp"])
+    system = Tukwila()
+    system.register_source(DataSource("db.part", db["part"], lan()))
+    system.register_source(DataSource("db.partsupp", db["partsupp"], lan()))
+    result = system.execute(
+        "select * from part, partsupp where part.p_partkey = partsupp.ps_partkey"
+    )
+    print(result.cardinality, result.total_time_ms)
+"""
+
+from repro.catalog import (
+    DataSourceCatalog,
+    OverlapCatalog,
+    SourceDescription,
+    SourceStatistics,
+)
+from repro.core import (
+    InterleavedExecutionDriver,
+    QueryResult,
+    Tukwila,
+    contact_all_policy,
+    primary_with_fallback_policy,
+    race_policy,
+)
+from repro.datagen import TPCDGenerator, TPCDJoinGraph
+from repro.engine import (
+    EngineConfig,
+    ExecutionContext,
+    ExecutionStatus,
+    QueryExecutor,
+    TupleTimeline,
+)
+from repro.errors import TukwilaError
+from repro.network import (
+    DataSource,
+    NetworkProfile,
+    SimClock,
+    Wrapper,
+    bursty,
+    dead,
+    lan,
+    make_mirror,
+    slow_start,
+    wide_area,
+)
+from repro.optimizer import (
+    Optimizer,
+    OptimizerConfig,
+    PlanningStrategy,
+    ReoptimizationMode,
+)
+from repro.plan import JoinImplementation, OverflowMethod, QueryPlan
+from repro.query import ConjunctiveQuery, JoinPredicate, MediatedSchema, parse_query
+from repro.storage import MB, Relation, Row, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConjunctiveQuery",
+    "DataSource",
+    "DataSourceCatalog",
+    "EngineConfig",
+    "ExecutionContext",
+    "ExecutionStatus",
+    "InterleavedExecutionDriver",
+    "JoinImplementation",
+    "JoinPredicate",
+    "MB",
+    "MediatedSchema",
+    "NetworkProfile",
+    "Optimizer",
+    "OptimizerConfig",
+    "OverflowMethod",
+    "OverlapCatalog",
+    "PlanningStrategy",
+    "QueryExecutor",
+    "QueryPlan",
+    "QueryResult",
+    "Relation",
+    "ReoptimizationMode",
+    "Row",
+    "Schema",
+    "SimClock",
+    "SourceDescription",
+    "SourceStatistics",
+    "TPCDGenerator",
+    "TPCDJoinGraph",
+    "Tukwila",
+    "TukwilaError",
+    "TupleTimeline",
+    "Wrapper",
+    "bursty",
+    "contact_all_policy",
+    "dead",
+    "lan",
+    "make_mirror",
+    "parse_query",
+    "primary_with_fallback_policy",
+    "race_policy",
+    "slow_start",
+    "wide_area",
+    "__version__",
+]

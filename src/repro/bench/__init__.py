@@ -1,0 +1,29 @@
+"""Shared harness used by the ``benchmarks/`` directory."""
+
+from repro.bench.harness import (
+    Deployment,
+    RunResult,
+    build_deployment,
+    hide_statistics,
+    run_operator_tree,
+)
+from repro.bench.reporting import (
+    SeriesPoint,
+    ascii_chart,
+    format_table,
+    speedup,
+    timeline_series,
+)
+
+__all__ = [
+    "Deployment",
+    "RunResult",
+    "SeriesPoint",
+    "ascii_chart",
+    "build_deployment",
+    "format_table",
+    "hide_statistics",
+    "run_operator_tree",
+    "speedup",
+    "timeline_series",
+]

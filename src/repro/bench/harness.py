@@ -1,0 +1,126 @@
+"""Shared benchmark harness: experiment setups, series capture, reporting.
+
+Every benchmark in ``benchmarks/`` reproduces one table or figure from the
+paper.  This module centralizes the pieces they share: building a simulated
+"TPC-D in DB2 behind wrappers" deployment at a given scale, running a join
+with a chosen physical plan and network profile, capturing tuples-vs-time
+series, and printing the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.catalog.statistics import SourceStatistics
+from repro.datagen.tpcd import TPCDDatabase, TPCDGenerator
+from repro.engine.builder import build_operator
+from repro.engine.context import EngineConfig, ExecutionContext
+from repro.engine.operators.materialize import Materialize
+from repro.engine.stats import TupleTimeline
+from repro.network.profiles import NetworkProfile, lan
+from repro.network.source import DataSource
+from repro.plan.physical import OperatorSpec
+from repro.storage.relation import Relation
+
+
+@dataclass
+class Deployment:
+    """A simulated deployment: generated data published through data sources."""
+
+    database: TPCDDatabase
+    catalog: DataSourceCatalog
+    sources: dict[str, DataSource] = field(default_factory=dict)
+
+    def source_for(self, table: str) -> DataSource:
+        return self.sources[table]
+
+    def set_profile(self, table: str, profile: NetworkProfile) -> None:
+        """Change the network profile of one table's source."""
+        self.sources[table].set_profile(profile)
+
+    def set_all_profiles(self, profile: NetworkProfile) -> None:
+        for source in self.sources.values():
+            source.set_profile(profile)
+
+
+def build_deployment(
+    scale_mb: float,
+    tables: list[str],
+    profile: NetworkProfile | None = None,
+    seed: int = 42,
+    publish_statistics: bool = True,
+    fk_skew: float = 0.0,
+) -> Deployment:
+    """Generate TPC-D tables at ``scale_mb`` and expose each through a source.
+
+    Source names equal table names, so workload queries (which reference
+    mediated relations named after the TPC-D tables) resolve directly.
+    """
+    database = TPCDGenerator(scale_mb=scale_mb, seed=seed, fk_skew=fk_skew).generate(tables)
+    catalog = DataSourceCatalog()
+    profile = profile or lan()
+    sources: dict[str, DataSource] = {}
+    for table in tables:
+        source = DataSource(table, database[table], profile)
+        catalog.register_source(source, publish_statistics=publish_statistics)
+        sources[table] = source
+    return Deployment(database=database, catalog=catalog, sources=sources)
+
+
+@dataclass
+class RunResult:
+    """Output of executing one operator tree in isolation."""
+
+    cardinality: int
+    completion_time_ms: float
+    time_to_first_tuple_ms: float | None
+    timeline: TupleTimeline
+    relation: Relation
+    context: ExecutionContext
+
+
+def run_operator_tree(
+    spec: OperatorSpec,
+    catalog: DataSourceCatalog,
+    result_name: str = "bench_result",
+    engine_config: EngineConfig | None = None,
+    capture_points: int | None = None,
+) -> RunResult:
+    """Execute one physical operator tree to completion against ``catalog``.
+
+    This bypasses the optimizer so that benchmarks can compare hand-chosen
+    plans (exactly what the paper does for the join experiments, which used
+    hand-coded query plans for greater control).
+    """
+    context = ExecutionContext(catalog, config=engine_config, query_name=result_name)
+    root = build_operator(spec, context)
+    root = Materialize(f"{result_name}-mat", context, root, result_name=result_name)
+    timeline = TupleTimeline()
+    root.open()
+    produced = 0
+    while True:
+        row = root.next()
+        if row is None:
+            break
+        produced += 1
+        timeline.record(context.clock.now, produced)
+    root.close()
+    relation = context.local_store.get(result_name)
+    return RunResult(
+        cardinality=produced,
+        completion_time_ms=context.clock.now,
+        time_to_first_tuple_ms=timeline.time_to_first,
+        timeline=timeline,
+        relation=relation,
+        context=context,
+    )
+
+
+def hide_statistics(catalog: DataSourceCatalog, attribute_pairs_known: bool = False) -> None:
+    """Strip cardinality statistics, modelling autonomous sources with no metadata."""
+    for name in list(catalog.statistics.sources_with_statistics()):
+        catalog.statistics.set_source(name, SourceStatistics())
+    if not attribute_pairs_known:
+        # Selectivities default when unknown; nothing further to clear.
+        return

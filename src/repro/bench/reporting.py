@@ -1,0 +1,106 @@
+"""Reporting helpers: render the rows/series the paper's tables and figures show."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.stats import TupleTimeline
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One point of a tuples-vs-time series."""
+
+    tuples: int
+    time_ms: float
+
+
+def timeline_series(timeline: TupleTimeline, points: int = 12) -> list[SeriesPoint]:
+    """Downsample a timeline to ``points`` evenly spaced tuple counts.
+
+    The paper's Figures 3 and 4 plot time (y) against number of tuples output
+    (x); this produces the same orientation.
+    """
+    total = timeline.total
+    if total == 0:
+        return []
+    series = []
+    step = max(1, total // points)
+    for count in range(step, total + 1, step):
+        time_ms = timeline.time_for_count(count)
+        if time_ms is not None:
+            series.append(SeriesPoint(tuples=count, time_ms=time_ms))
+    if not series or series[-1].tuples != total:
+        completion = timeline.completion_time
+        if completion is not None:
+            series.append(SeriesPoint(tuples=total, time_ms=completion))
+    return series
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Plain-text table used by the benchmark harness output."""
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [_format_cell(cell) for cell in row]
+        rendered_rows.append(rendered)
+        widths = [max(w, len(cell)) for w, cell in zip(widths, rendered)]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Baseline-over-improved speedup factor (>1 means improved wins)."""
+    if improved <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline / improved
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "tuples",
+    y_label: str = "time (ms)",
+) -> str:
+    """Render several (x, y) series as a rough ASCII scatter chart.
+
+    Used by the examples to show tuples-vs-time curves (the paper's Figures 3
+    and 4) without any plotting dependency.  Each series is drawn with its own
+    marker character, assigned in order.
+    """
+    if not series:
+        return "(no data)"
+    markers = "*o+x#@"
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(no data)"
+    max_x = max(x for x, _ in points) or 1.0
+    max_y = max(y for _, y in points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in values:
+            column = min(width - 1, int(x / max_x * (width - 1)))
+            row = min(height - 1, int(y / max_y * (height - 1)))
+            grid[height - 1 - row][column] = marker
+    lines = [f"{y_label} (max {max_y:.1f})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} (max {max_x:.0f})")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} = {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

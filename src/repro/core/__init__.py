@@ -1,0 +1,22 @@
+"""The Tukwila system core: facade, interleaved execution driver, policies."""
+
+from repro.core.interleaving import InterleavedExecutionDriver, QueryResult
+from repro.core.policies import (
+    CollectorPolicy,
+    apply_policy,
+    contact_all_policy,
+    primary_with_fallback_policy,
+    race_policy,
+)
+from repro.core.system import Tukwila
+
+__all__ = [
+    "CollectorPolicy",
+    "InterleavedExecutionDriver",
+    "QueryResult",
+    "Tukwila",
+    "apply_policy",
+    "contact_all_policy",
+    "primary_with_fallback_policy",
+    "race_policy",
+]

@@ -1,0 +1,133 @@
+"""Collector policies: rule sets governing access to overlapping sources.
+
+A collector policy decides which sources to contact, in what order, and when
+to give up on a slow or failed mirror.  Policies are expressed as ordinary
+event-condition-action rules (Section 4.1), generated here from the catalog's
+overlap information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.overlap import OverlapCatalog
+from repro.plan.physical import OperatorSpec, OperatorType
+from repro.plan.rules import (
+    Compare,
+    EventType,
+    Rule,
+    activate,
+    constant,
+    deactivate,
+    event_value,
+)
+
+
+@dataclass(frozen=True)
+class CollectorPolicy:
+    """A named policy: initial activations plus the rules that adapt them."""
+
+    name: str
+    initially_active: list[str]
+    rules: list[Rule]
+
+
+def _child_ids(collector_spec: OperatorSpec) -> list[str]:
+    if collector_spec.operator_type != OperatorType.COLLECTOR:
+        raise ValueError(f"{collector_spec.operator_id!r} is not a collector")
+    return [child.operator_id for child in collector_spec.children]
+
+
+def contact_all_policy(collector_spec: OperatorSpec) -> CollectorPolicy:
+    """Contact every source at once (maximises robustness, not efficiency)."""
+    children = _child_ids(collector_spec)
+    return CollectorPolicy(name="contact-all", initially_active=children, rules=[])
+
+
+def primary_with_fallback_policy(
+    collector_spec: OperatorSpec,
+    source_of_child: dict[str, str],
+    overlap: OverlapCatalog,
+) -> CollectorPolicy:
+    """Contact the primary source only; activate mirrors when it fails or times out.
+
+    Fallbacks are ordered by how much of the primary they cover according to
+    the overlap catalog.
+    """
+    children = _child_ids(collector_spec)
+    if not children:
+        raise ValueError("collector has no children")
+    primary = children[0]
+    primary_source = source_of_child[primary]
+    ranked = overlap.rank_by_coverage(
+        primary_source, [source_of_child[c] for c in children[1:]]
+    )
+    fallback_children = sorted(
+        children[1:],
+        key=lambda c: ranked.index(source_of_child[c]) if source_of_child[c] in ranked else len(ranked),
+    )
+    rules: list[Rule] = []
+    previous = primary
+    for index, fallback in enumerate(fallback_children, start=1):
+        for event_type in (EventType.TIMEOUT, EventType.ERROR):
+            rules.append(
+                Rule(
+                    name=f"{collector_spec.operator_id}-fallback{index}-{event_type.value}",
+                    owner=collector_spec.operator_id,
+                    event_type=event_type,
+                    subject=previous,
+                    actions=[activate(collector_spec.operator_id, fallback)],
+                )
+            )
+        previous = fallback
+    return CollectorPolicy(name="primary-with-fallback", initially_active=[primary], rules=rules)
+
+
+def race_policy(
+    collector_spec: OperatorSpec,
+    threshold: int = 10,
+    racers: int = 2,
+) -> CollectorPolicy:
+    """Race the first ``racers`` children; the first to deliver ``threshold`` tuples wins.
+
+    This reproduces the paper's example policy: start A and B; whichever sends
+    10 tuples first deactivates the other; if a racer times out, the next
+    child is activated and the racers are deactivated.
+    """
+    children = _child_ids(collector_spec)
+    racing = children[:racers]
+    rules: list[Rule] = []
+    for winner in racing:
+        losers = [c for c in racing if c != winner]
+        rules.append(
+            Rule(
+                name=f"{collector_spec.operator_id}-win-{winner}",
+                owner=collector_spec.operator_id,
+                event_type=EventType.THRESHOLD,
+                subject=winner,
+                condition=Compare(event_value(), ">=", constant(threshold)),
+                actions=[deactivate(loser) for loser in losers],
+            )
+        )
+    remaining = children[racers:]
+    if remaining:
+        backup = remaining[0]
+        for racer in racing:
+            rules.append(
+                Rule(
+                    name=f"{collector_spec.operator_id}-timeout-{racer}",
+                    owner=collector_spec.operator_id,
+                    event_type=EventType.TIMEOUT,
+                    subject=racer,
+                    actions=[activate(collector_spec.operator_id, backup)]
+                    + [deactivate(other) for other in racing],
+                )
+            )
+    return CollectorPolicy(name="race", initially_active=racing, rules=rules)
+
+
+def apply_policy(collector_spec: OperatorSpec, policy: CollectorPolicy) -> list[Rule]:
+    """Write the policy's activation list into the spec and return its rules."""
+    collector_spec.params["initially_active"] = list(policy.initially_active)
+    collector_spec.params["policy"] = policy.name
+    return list(policy.rules)

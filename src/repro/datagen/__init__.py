@@ -1,0 +1,37 @@
+"""TPC-D-style data generation and experiment workloads."""
+
+from repro.datagen.distributions import ValueGenerator
+from repro.datagen.tpcd import (
+    SF1_CARDINALITIES,
+    TABLE_SCHEMAS,
+    TPCDDatabase,
+    TPCDGenerator,
+    cardinality,
+    scale_factor_for_megabytes,
+)
+from repro.datagen.workload import (
+    FK_EDGES,
+    JoinEdge,
+    TPCDJoinGraph,
+    figure3a_query,
+    figure3b_query,
+    figure5_queries,
+    two_and_three_way_joins,
+)
+
+__all__ = [
+    "FK_EDGES",
+    "JoinEdge",
+    "SF1_CARDINALITIES",
+    "TABLE_SCHEMAS",
+    "TPCDDatabase",
+    "TPCDGenerator",
+    "TPCDJoinGraph",
+    "ValueGenerator",
+    "cardinality",
+    "figure3a_query",
+    "figure3b_query",
+    "figure5_queries",
+    "scale_factor_for_megabytes",
+    "two_and_three_way_joins",
+]

@@ -1,0 +1,30 @@
+"""The Tukwila query execution engine: iterators, operators, events, executor."""
+
+from repro.engine.builder import build_operator
+from repro.engine.context import EngineConfig, ExecutionContext
+from repro.engine.event_handler import EventHandler
+from repro.engine.events import EventQueue
+from repro.engine.executor import ExecutionOutcome, ExecutionStatus, QueryExecutor
+from repro.engine.iterators import Operator
+from repro.engine.stats import (
+    FragmentStats,
+    OperatorRuntimeStats,
+    QueryRuntimeStats,
+    TupleTimeline,
+)
+
+__all__ = [
+    "EngineConfig",
+    "EventHandler",
+    "EventQueue",
+    "ExecutionContext",
+    "ExecutionOutcome",
+    "ExecutionStatus",
+    "FragmentStats",
+    "Operator",
+    "OperatorRuntimeStats",
+    "QueryExecutor",
+    "QueryRuntimeStats",
+    "TupleTimeline",
+    "build_operator",
+]

@@ -1,0 +1,166 @@
+"""Builds runtime operators from physical plan specs."""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.engine.operators import (
+    ChooseNode,
+    DependentJoin,
+    DoublePipelinedJoin,
+    DynamicCollector,
+    HybridHashJoin,
+    Materialize,
+    NestedLoopsJoin,
+    Project,
+    Select,
+    TableScan,
+    Union,
+    WrapperScan,
+)
+from repro.errors import PlanError
+from repro.plan.physical import JoinImplementation, OperatorSpec, OperatorType
+
+
+def build_operator(spec: OperatorSpec, context: ExecutionContext) -> Operator:
+    """Instantiate the runtime operator tree described by ``spec``.
+
+    Raises
+    ------
+    PlanError
+        If the spec uses an unknown operator type, implementation, or is
+        missing required parameters.
+    """
+    children = [build_operator(child, context) for child in spec.children]
+    params = spec.params
+    operator_type = spec.operator_type
+
+    if operator_type == OperatorType.WRAPPER_SCAN:
+        return WrapperScan(
+            spec.operator_id,
+            context,
+            source_name=_required(spec, "source"),
+            timeout_ms=_optional_float(params.get("timeout_ms")),
+            estimated_cardinality=spec.estimated_cardinality,
+        )
+    if operator_type == OperatorType.TABLE_SCAN:
+        return TableScan(
+            spec.operator_id,
+            context,
+            relation_name=_required(spec, "relation"),
+            estimated_cardinality=spec.estimated_cardinality,
+        )
+    if operator_type == OperatorType.SELECT:
+        return Select(
+            spec.operator_id,
+            context,
+            children[0],
+            predicates=list(params.get("predicates", [])),
+            estimated_cardinality=spec.estimated_cardinality,
+        )
+    if operator_type == OperatorType.PROJECT:
+        return Project(
+            spec.operator_id,
+            context,
+            children[0],
+            attributes=list(_required(spec, "attributes")),
+            estimated_cardinality=spec.estimated_cardinality,
+        )
+    if operator_type == OperatorType.UNION:
+        return Union(
+            spec.operator_id, context, children, estimated_cardinality=spec.estimated_cardinality
+        )
+    if operator_type == OperatorType.JOIN:
+        return _build_join(spec, context, children)
+    if operator_type == OperatorType.DEPENDENT_JOIN:
+        return DependentJoin(
+            spec.operator_id,
+            context,
+            children[0],
+            source_name=_required(spec, "source"),
+            left_keys=list(_required(spec, "left_keys")),
+            right_keys=list(_required(spec, "right_keys")),
+            estimated_cardinality=spec.estimated_cardinality,
+        )
+    if operator_type == OperatorType.COLLECTOR:
+        initially_active = params.get("initially_active")
+        dedup_keys = params.get("dedup_keys")
+        return DynamicCollector(
+            spec.operator_id,
+            context,
+            children,
+            initially_active=list(initially_active) if initially_active else None,
+            fallback_on_failure=_as_bool(params.get("fallback_on_failure", True)),
+            dedup_keys=list(dedup_keys) if dedup_keys else None,
+            estimated_cardinality=spec.estimated_cardinality,
+        )
+    if operator_type == OperatorType.CHOOSE:
+        return ChooseNode(
+            spec.operator_id, context, children, estimated_cardinality=spec.estimated_cardinality
+        )
+    if operator_type == OperatorType.MATERIALIZE:
+        return Materialize(
+            spec.operator_id,
+            context,
+            children[0],
+            result_name=_required(spec, "result_name"),
+            estimated_cardinality=spec.estimated_cardinality,
+        )
+    raise PlanError(f"unsupported operator type {operator_type!r}")
+
+
+def _build_join(spec: OperatorSpec, context: ExecutionContext, children: list[Operator]) -> Operator:
+    left_keys = list(_required(spec, "left_keys"))
+    right_keys = list(_required(spec, "right_keys"))
+    implementation = spec.implementation or JoinImplementation.DOUBLE_PIPELINED.value
+    common = dict(
+        left_keys=left_keys,
+        right_keys=right_keys,
+        estimated_cardinality=spec.estimated_cardinality,
+    )
+    if implementation == JoinImplementation.DOUBLE_PIPELINED.value:
+        return DoublePipelinedJoin(
+            spec.operator_id,
+            context,
+            children[0],
+            children[1],
+            memory_limit_bytes=spec.memory_limit_bytes,
+            overflow_method=spec.params.get("overflow_method", "left_flush"),
+            **common,
+        )
+    if implementation == JoinImplementation.HYBRID_HASH.value:
+        return HybridHashJoin(
+            spec.operator_id,
+            context,
+            children[0],
+            children[1],
+            memory_limit_bytes=spec.memory_limit_bytes,
+            **common,
+        )
+    if implementation == JoinImplementation.NESTED_LOOPS.value:
+        return NestedLoopsJoin(
+            spec.operator_id, context, children[0], children[1], **common
+        )
+    raise PlanError(f"unknown join implementation {implementation!r}")
+
+
+def _required(spec: OperatorSpec, key: str):
+    try:
+        return spec.params[key]
+    except KeyError:
+        raise PlanError(
+            f"operator {spec.operator_id!r} ({spec.operator_type.value}) is missing "
+            f"required parameter {key!r}"
+        ) from None
+
+
+def _optional_float(value) -> float | None:
+    if value in (None, ""):
+        return None
+    return float(value)
+
+
+def _as_bool(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    return str(value).lower() in ("true", "1", "yes")

@@ -1,0 +1,187 @@
+"""The execution context shared by all runtime operators of one query.
+
+The context bundles the virtual clock, simulated disk, memory pool, local
+store, wrappers, the event queue, and runtime statistics.  It also implements
+the :class:`~repro.plan.rules.RuntimeContext` protocol so that rule conditions
+can observe dynamic quantities (operator state, cardinalities, memory use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.engine.events import EventQueue
+from repro.engine.stats import QueryRuntimeStats
+from repro.errors import ExecutionError
+from repro.network.cache import SourceCache
+from repro.network.simclock import SimClock
+from repro.network.wrapper import Wrapper
+from repro.plan.rules import EventType
+from repro.storage.disk import SimulatedDisk
+from repro.storage.memory import MemoryPool
+from repro.storage.table_store import LocalStore
+
+#: Default CPU cost charged per tuple processed by an operator, in virtual ms.
+DEFAULT_CPU_COST_MS = 0.002
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for the execution engine.
+
+    Parameters
+    ----------
+    per_tuple_cpu_ms:
+        CPU cost charged by each operator per tuple it processes.
+    default_timeout_ms:
+        Source timeout used by wrappers when the plan does not set one.
+    materialization_cost_ms_per_tuple:
+        Cost of writing one tuple at a materialization point.
+    collector_dedup:
+        Whether collectors deduplicate tuples arriving from overlapping
+        sources (on the collector's key attributes).
+    disk_page_read_ms / disk_page_write_ms:
+        Virtual cost of one page of spill I/O.  Benchmarks that study memory
+        overflow raise these to model a spinning disk.
+    enable_source_caching:
+        When true, fully-read source extents are cached (the paper's
+        "caching of source data" extension) and later scans of the same
+        source are served locally.
+    source_cache_max_age_ms:
+        Expiry for cached source data (``None`` = never expires).
+    """
+
+    per_tuple_cpu_ms: float = DEFAULT_CPU_COST_MS
+    default_timeout_ms: float | None = 60_000.0
+    materialization_cost_ms_per_tuple: float = 0.004
+    collector_dedup: bool = True
+    disk_page_read_ms: float = 0.12
+    disk_page_write_ms: float = 0.15
+    enable_source_caching: bool = False
+    source_cache_max_age_ms: float | None = None
+
+
+class ExecutionContext:
+    """Per-query runtime state shared by operators, executor, and rules."""
+
+    def __init__(
+        self,
+        catalog: DataSourceCatalog,
+        clock: SimClock | None = None,
+        memory_pool: MemoryPool | None = None,
+        disk: SimulatedDisk | None = None,
+        local_store: LocalStore | None = None,
+        config: EngineConfig | None = None,
+        query_name: str = "query",
+        source_cache: SourceCache | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or EngineConfig()
+        self.clock = clock or SimClock()
+        self.memory_pool = memory_pool or MemoryPool()
+        self.disk = disk or SimulatedDisk(
+            page_read_ms=self.config.disk_page_read_ms,
+            page_write_ms=self.config.disk_page_write_ms,
+        )
+        self.local_store = local_store or LocalStore()
+        if source_cache is not None:
+            self.source_cache: SourceCache | None = source_cache
+        elif self.config.enable_source_caching:
+            self.source_cache = SourceCache(max_age_ms=self.config.source_cache_max_age_ms)
+        else:
+            self.source_cache = None
+        self.events = EventQueue()
+        self.stats = QueryRuntimeStats(query_name=query_name)
+        self._wrappers: dict[str, list[Wrapper]] = {}
+        self._operators: dict[str, object] = {}
+        self._deactivated: set[str] = set()
+
+    # -- wrappers ------------------------------------------------------------------
+
+    def create_wrapper(self, source_name: str, timeout_ms: float | None = None) -> Wrapper:
+        """Create a wrapper (a fresh streaming connection) for ``source_name``.
+
+        Every scan operator gets its own wrapper so that a plan may read the
+        same source more than once (self-joins, retries after rescheduling).
+        All wrappers created for a query are tracked for statistics reporting.
+        """
+        source = self.catalog.source(source_name)
+        wrapper = Wrapper(
+            source,
+            self.clock,
+            timeout_ms=timeout_ms if timeout_ms is not None else self.config.default_timeout_ms,
+        )
+        self._wrappers.setdefault(source_name, []).append(wrapper)
+        return wrapper
+
+    @property
+    def wrappers(self) -> dict[str, list[Wrapper]]:
+        """All wrappers created so far, keyed by source name."""
+        return {name: list(items) for name, items in self._wrappers.items()}
+
+    # -- operator registry ------------------------------------------------------------
+
+    def register_operator(self, operator) -> None:
+        """Track a runtime operator so rules and actions can address it by id."""
+        self._operators[operator.operator_id] = operator
+
+    def operator(self, operator_id: str):
+        try:
+            return self._operators[operator_id]
+        except KeyError:
+            raise ExecutionError(f"no runtime operator {operator_id!r}") from None
+
+    def has_operator(self, operator_id: str) -> bool:
+        return operator_id in self._operators
+
+    @property
+    def operators(self) -> dict[str, object]:
+        return dict(self._operators)
+
+    # -- activation --------------------------------------------------------------------
+
+    def deactivate(self, target: str) -> None:
+        """Mark an operator/fragment as deactivated."""
+        self._deactivated.add(target)
+
+    def reactivate(self, target: str) -> None:
+        self._deactivated.discard(target)
+
+    def is_deactivated(self, target: str) -> bool:
+        return target in self._deactivated
+
+    # -- events ------------------------------------------------------------------------
+
+    def emit_event(self, event_type: EventType, subject: str, value=None) -> None:
+        """Raise a runtime event at the current virtual time."""
+        self.events.emit(event_type, subject, value, at_time=self.clock.now)
+
+    # -- RuntimeContext protocol (observed by rule conditions) ----------------------------
+
+    def operator_state(self, operator_id: str) -> str:
+        if operator_id in self._deactivated:
+            return "deactivated"
+        return self.stats.operator(operator_id).state
+
+    def operator_card(self, operator_id: str) -> int:
+        return self.stats.operator(operator_id).tuples_produced
+
+    def operator_est_card(self, operator_id: str) -> int | None:
+        operator = self._operators.get(operator_id)
+        if operator is None:
+            return None
+        return getattr(operator, "estimated_cardinality", None)
+
+    def operator_memory(self, operator_id: str) -> int:
+        operator = self._operators.get(operator_id)
+        if operator is None:
+            return 0
+        budget = getattr(operator, "budget", None)
+        return budget.used_bytes if budget is not None else 0
+
+    def operator_time_since_last_tuple(self, operator_id: str) -> float:
+        stats = self.stats.operator(operator_id)
+        if stats.time_of_last_output is None:
+            return self.clock.now
+        return self.clock.now - stats.time_of_last_output

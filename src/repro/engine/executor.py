@@ -1,0 +1,308 @@
+"""The query executor: runs plan fragments, gathers statistics, fires events.
+
+The executor processes each fragment as a single pipelined unit, materializes
+its result in the local store, and raises the ``closed(fragment)`` event so
+that rules can decide whether to re-optimize, reschedule, or pick the next
+fragment (contingent planning).  When a rule requests re-optimization or
+rescheduling, the executor stops and reports back to its caller — the
+interleaved planning-and-execution driver in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.engine.builder import build_operator
+from repro.engine.context import ExecutionContext
+from repro.engine.event_handler import EventHandler
+from repro.engine.operators.materialize import Materialize
+from repro.engine.stats import FragmentStats, QueryRuntimeStats, TupleTimeline
+from repro.errors import ExecutionError, SourceTimeoutError, SourceUnavailableError
+from repro.plan.fragments import Fragment, FragmentStatus, QueryPlan
+from repro.plan.physical import OperatorType
+from repro.plan.rules import Action, ActionType, Event, EventType
+from repro.storage.relation import Relation
+
+
+class ExecutionStatus(str, Enum):
+    """How a call to :meth:`QueryExecutor.execute` ended."""
+
+    COMPLETED = "completed"
+    NEEDS_REOPTIMIZATION = "needs_reoptimization"
+    RESCHEDULE_REQUESTED = "reschedule_requested"
+    FAILED = "failed"
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of executing (part of) a plan."""
+
+    status: ExecutionStatus
+    stats: QueryRuntimeStats
+    answer: Relation | None = None
+    completed_fragments: list[str] = field(default_factory=list)
+    remaining_fragments: list[str] = field(default_factory=list)
+    observed_cardinalities: dict[str, int] = field(default_factory=dict)
+    failed_sources: list[str] = field(default_factory=list)
+    replan_reason: str = ""
+    error: str = ""
+
+    @property
+    def completed(self) -> bool:
+        return self.status == ExecutionStatus.COMPLETED
+
+
+class QueryExecutor:
+    """Executes a :class:`~repro.plan.fragments.QueryPlan` over an execution context."""
+
+    def __init__(self, context: ExecutionContext) -> None:
+        self.context = context
+        self.event_handler = EventHandler(context, self._apply_action)
+        self._reoptimize_requested = False
+        self._reschedule_requested = False
+        self._error_message: str | None = None
+        self._replan_reason = ""
+        self._selected_fragments: set[str] = set()
+        self._skipped_fragments: set[str] = set()
+        self._plan: QueryPlan | None = None
+
+    # -- rule action dispatch ---------------------------------------------------------------
+
+    def _apply_action(self, action: Action, event: Event) -> None:
+        """Execute one rule action (all actions run before the next event)."""
+        kind = action.action_type
+        if kind == ActionType.SET_OVERFLOW_METHOD:
+            operator = self.context.operator(action.target)
+            operator.set_overflow_method(action.argument)
+        elif kind == ActionType.ALTER_MEMORY:
+            operator = self.context.operator(action.target)
+            budget = getattr(operator, "budget", None)
+            if budget is None:
+                raise ExecutionError(
+                    f"operator {action.target!r} has no memory budget to alter"
+                )
+            budget.resize(int(action.argument))
+        elif kind == ActionType.DEACTIVATE:
+            self._deactivate_target(action.target)
+        elif kind == ActionType.ACTIVATE:
+            collector = self.context.operator(action.target)
+            collector.activate_child(str(action.argument))
+        elif kind == ActionType.RESCHEDULE:
+            self._reschedule_requested = True
+        elif kind == ActionType.REOPTIMIZE:
+            self._reoptimize_requested = True
+            self._replan_reason = f"rule fired on {event}"
+        elif kind == ActionType.RETURN_ERROR:
+            self._error_message = str(action.argument)
+        elif kind == ActionType.SELECT_FRAGMENT:
+            self._select_fragment(action.target)
+        else:  # pragma: no cover - exhaustive over ActionType
+            raise ExecutionError(f"unsupported rule action {kind!r}")
+
+    def _deactivate_target(self, target: str) -> None:
+        self.event_handler.deactivate_owner(target)
+        self.context.deactivate(target)
+        if self.context.has_operator(target):
+            operator = self.context.operator(target)
+            parent_collector = self._collector_owning(target)
+            if parent_collector is not None:
+                parent_collector.deactivate_child(target)
+            else:
+                operator.deactivate()
+        elif self._plan is not None:
+            for fragment in self._plan.fragments:
+                if fragment.fragment_id == target:
+                    self._skipped_fragments.add(target)
+
+    def _collector_owning(self, child_id: str):
+        for operator in self.context.operators.values():
+            if hasattr(operator, "activate_child") and hasattr(operator, "deactivate_child"):
+                child_ids = getattr(operator, "tuples_per_child", {})
+                if child_id in child_ids:
+                    return operator
+        return None
+
+    def _select_fragment(self, fragment_id: str) -> None:
+        """Contingent planning: keep ``fragment_id``; skip its group siblings."""
+        self._selected_fragments.add(fragment_id)
+        if self._plan is None:
+            return
+        for members in self._plan.choice_groups.values():
+            if fragment_id in members:
+                for other in members:
+                    if other != fragment_id:
+                        self._skipped_fragments.add(other)
+
+    # -- fragment execution --------------------------------------------------------------------
+
+    def _should_skip(self, fragment: Fragment) -> bool:
+        if fragment.fragment_id in self._skipped_fragments:
+            return True
+        if self._plan is None:
+            return False
+        for members in self._plan.choice_groups.values():
+            if fragment.fragment_id in members:
+                selected = self._selected_fragments & set(members)
+                if selected and fragment.fragment_id not in selected:
+                    return True
+        return False
+
+    def _run_fragment(self, fragment: Fragment, is_final: bool) -> FragmentStats:
+        started = self.context.clock.now
+        root_spec = fragment.root
+        needs_materialize = root_spec.operator_type != OperatorType.MATERIALIZE
+        root = build_operator(root_spec, self.context)
+        if needs_materialize:
+            root = Materialize(
+                f"{fragment.fragment_id}-mat",
+                self.context,
+                root,
+                result_name=fragment.result_name,
+                estimated_cardinality=fragment.estimated_cardinality,
+            )
+        timeline = TupleTimeline()
+        fragment.status = FragmentStatus.RUNNING
+        self.context.emit_event(EventType.OPENED, fragment.fragment_id)
+        root.open()
+        self._drain_events()
+        produced = 0
+        try:
+            while True:
+                if self._error_message:
+                    raise ExecutionError(self._error_message)
+                row = root.next()
+                if row is None:
+                    break
+                produced += 1
+                timeline.record(self.context.clock.now, produced)
+                if is_final:
+                    self.context.stats.output_timeline.record(self.context.clock.now, produced)
+                self._drain_events()
+        finally:
+            root.close()
+            self._drain_events()
+        fragment.status = FragmentStatus.COMPLETED
+        self.context.emit_event(EventType.CLOSED, fragment.fragment_id, value=produced)
+        self._drain_events()
+        stats = FragmentStats(
+            fragment_id=fragment.fragment_id,
+            result_name=fragment.result_name,
+            result_cardinality=produced,
+            estimated_cardinality=fragment.estimated_cardinality,
+            started_at_ms=started,
+            completed_at_ms=self.context.clock.now,
+            timeline=timeline,
+        )
+        self.context.stats.fragment_stats.append(stats)
+        self.context.catalog.record_observed_cardinality(fragment.result_name, produced)
+        return stats
+
+    def _drain_events(self) -> None:
+        self.event_handler.process(self.context.events)
+        self.context.stats.events_processed = self.event_handler.events_processed
+        self.context.stats.rules_fired = self.event_handler.rules_fired
+
+    # -- top-level execution -----------------------------------------------------------------------
+
+    def execute(self, plan: QueryPlan) -> ExecutionOutcome:
+        """Run ``plan`` until completion, a replan/reschedule request, or failure."""
+        self._plan = plan
+        self.event_handler.register_all(
+            rule for rule in plan.all_rules() if not rule.fired
+        )
+        completed: list[str] = []
+        failed_sources: list[str] = []
+        stats = self.context.stats
+        ordered = plan.execution_order()
+        for index, fragment in enumerate(ordered):
+            if self._should_skip(fragment):
+                fragment.status = FragmentStatus.SKIPPED
+                continue
+            is_final = fragment.is_final
+            try:
+                self._run_fragment(fragment, is_final)
+            except (SourceTimeoutError, SourceUnavailableError) as exc:
+                fragment.status = FragmentStatus.FAILED
+                failed_sources.extend(
+                    source for source in fragment.sources() if source not in failed_sources
+                )
+                self._drain_events()
+                remaining = [f.fragment_id for f in ordered[index:] if not self._should_skip(f)]
+                if self._reschedule_requested:
+                    stats.reschedules += 1
+                    return ExecutionOutcome(
+                        status=ExecutionStatus.RESCHEDULE_REQUESTED,
+                        stats=stats,
+                        completed_fragments=completed,
+                        remaining_fragments=remaining,
+                        observed_cardinalities=stats.observed_cardinalities(),
+                        failed_sources=failed_sources,
+                    )
+                if self._reoptimize_requested:
+                    stats.reoptimizations += 1
+                    return ExecutionOutcome(
+                        status=ExecutionStatus.NEEDS_REOPTIMIZATION,
+                        stats=stats,
+                        completed_fragments=completed,
+                        remaining_fragments=remaining,
+                        observed_cardinalities=stats.observed_cardinalities(),
+                        failed_sources=failed_sources,
+                        replan_reason=str(exc),
+                    )
+                return ExecutionOutcome(
+                    status=ExecutionStatus.FAILED,
+                    stats=stats,
+                    completed_fragments=completed,
+                    remaining_fragments=remaining,
+                    observed_cardinalities=stats.observed_cardinalities(),
+                    failed_sources=failed_sources,
+                    error=str(exc),
+                )
+            except ExecutionError as exc:
+                fragment.status = FragmentStatus.FAILED
+                return ExecutionOutcome(
+                    status=ExecutionStatus.FAILED,
+                    stats=stats,
+                    completed_fragments=completed,
+                    remaining_fragments=[f.fragment_id for f in ordered[index:]],
+                    observed_cardinalities=stats.observed_cardinalities(),
+                    error=str(exc),
+                )
+            completed.append(fragment.fragment_id)
+            if self._error_message:
+                return ExecutionOutcome(
+                    status=ExecutionStatus.FAILED,
+                    stats=stats,
+                    completed_fragments=completed,
+                    remaining_fragments=[f.fragment_id for f in ordered[index + 1 :]],
+                    observed_cardinalities=stats.observed_cardinalities(),
+                    error=self._error_message,
+                )
+            if self._reoptimize_requested and index + 1 < len(ordered):
+                stats.reoptimizations += 1
+                return ExecutionOutcome(
+                    status=ExecutionStatus.NEEDS_REOPTIMIZATION,
+                    stats=stats,
+                    completed_fragments=completed,
+                    remaining_fragments=[f.fragment_id for f in ordered[index + 1 :]],
+                    observed_cardinalities=stats.observed_cardinalities(),
+                    replan_reason=self._replan_reason,
+                )
+            self._reoptimize_requested = False
+            self._replan_reason = ""
+
+        stats.completion_time_ms = self.context.clock.now
+        answer = None
+        if plan.answer_name and plan.answer_name in self.context.local_store:
+            answer = self.context.local_store.get(plan.answer_name)
+        status = ExecutionStatus.COMPLETED
+        return ExecutionOutcome(
+            status=status,
+            stats=stats,
+            answer=answer,
+            completed_fragments=completed,
+            remaining_fragments=[],
+            observed_cardinalities=stats.observed_cardinalities(),
+            failed_sources=failed_sources,
+        )

@@ -1,0 +1,139 @@
+"""The iterator model: the runtime operator base class.
+
+Tukwila executes operator trees top-down with the standard iterator (open /
+next / close) protocol.  Operators additionally expose :meth:`peek_arrival` —
+an estimate of the earliest virtual time at which their next tuple could be
+delivered — which is what lets data-driven operators (the double pipelined
+join, the dynamic collector) decide which input to service first, standing in
+for the original engine's per-child threads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.context import ExecutionContext
+from repro.errors import ExecutionError
+from repro.plan.rules import EventType
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+class Operator:
+    """Base class for all runtime operators.
+
+    Subclasses implement :meth:`_do_open`, :meth:`_next` and optionally
+    :meth:`_do_close` and :meth:`peek_arrival`.  The base class maintains
+    state, statistics, and event emission.
+    """
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        children: list["Operator"] | None = None,
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        self.operator_id = operator_id
+        self.context = context
+        self.children = children or []
+        self.estimated_cardinality = estimated_cardinality
+        self.state = "pending"
+        context.register_operator(self)
+
+    # -- schema --------------------------------------------------------------------
+
+    @property
+    def output_schema(self) -> Schema:
+        """Schema of the rows this operator produces."""
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def open(self) -> None:
+        """Open children then this operator; emits the ``opened`` event."""
+        if self.state == "open":
+            return
+        for child in self.children:
+            child.open()
+        self._do_open()
+        self.state = "open"
+        self._stats.state = "open"
+        self.context.emit_event(EventType.OPENED, self.operator_id)
+
+    def next(self) -> Row | None:
+        """Produce the next output row, or ``None`` at end of stream."""
+        if self.state == "pending":
+            raise ExecutionError(f"operator {self.operator_id!r} used before open()")
+        if self.state in ("closed", "deactivated"):
+            return None
+        row = self._next()
+        if row is not None:
+            self.context.clock.consume_cpu(self.context.config.per_tuple_cpu_ms)
+            self._stats.record_output(self.context.clock.now)
+        return row
+
+    def close(self) -> None:
+        """Close this operator and its children; emits the ``closed`` event."""
+        if self.state == "closed":
+            return
+        self._do_close()
+        for child in self.children:
+            child.close()
+        self.state = "closed"
+        self._stats.state = "closed"
+        self.context.emit_event(
+            EventType.CLOSED, self.operator_id, value=self._stats.tuples_produced
+        )
+
+    def deactivate(self) -> None:
+        """Stop execution of this operator (the ``deactivate`` rule action)."""
+        self.state = "deactivated"
+        self._stats.state = "deactivated"
+        self.context.deactivate(self.operator_id)
+        for child in self.children:
+            child.deactivate()
+
+    # -- data-driven support -------------------------------------------------------------
+
+    def peek_arrival(self) -> float | None:
+        """Earliest virtual time the next tuple could be available.
+
+        ``None`` means end of stream.  The default assumes data is ready now,
+        which is correct for operators over already-materialized inputs.
+        """
+        if self.state in ("closed", "deactivated"):
+            return None
+        return self.context.clock.now
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    @property
+    def _stats(self):
+        return self.context.stats.operator(self.operator_id)
+
+    @property
+    def tuples_produced(self) -> int:
+        return self._stats.tuples_produced
+
+    def iterate(self) -> Iterator[Row]:
+        """Convenience generator over the operator's full output."""
+        while True:
+            row = self.next()
+            if row is None:
+                return
+            yield row
+
+    # -- subclass hooks ----------------------------------------------------------------------
+
+    def _do_open(self) -> None:
+        """Subclass hook: acquire resources."""
+
+    def _next(self) -> Row | None:
+        raise NotImplementedError
+
+    def _do_close(self) -> None:
+        """Subclass hook: release resources."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.operator_id!r}, state={self.state!r})"

@@ -1,0 +1,32 @@
+"""Runtime operators of the Tukwila execution engine."""
+
+from repro.engine.operators.choose import ChooseNode
+from repro.engine.operators.collector import DynamicCollector
+from repro.engine.operators.joins import (
+    DependentJoin,
+    DoublePipelinedJoin,
+    HybridHashJoin,
+    JoinOperator,
+    NestedLoopsJoin,
+)
+from repro.engine.operators.materialize import Materialize
+from repro.engine.operators.project import Project
+from repro.engine.operators.scan import TableScan, WrapperScan
+from repro.engine.operators.select import Select
+from repro.engine.operators.union import Union
+
+__all__ = [
+    "ChooseNode",
+    "DependentJoin",
+    "DoublePipelinedJoin",
+    "DynamicCollector",
+    "HybridHashJoin",
+    "JoinOperator",
+    "Materialize",
+    "NestedLoopsJoin",
+    "Project",
+    "Select",
+    "TableScan",
+    "Union",
+    "WrapperScan",
+]

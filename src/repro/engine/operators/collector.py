@@ -1,0 +1,199 @@
+"""The dynamic collector (Section 4.1).
+
+A collector computes a union over a set of overlapping or mirrored sources
+under a *policy*: it contacts some of its children, monitors their progress,
+activates fallback sources when a child fails or times out, and can drop
+slow mirrors once enough data has been obtained.  Child activation and
+deactivation can also be driven externally by ECA rules (the ``activate`` /
+``deactivate`` rule actions), which is how optimizer-generated policies are
+expressed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.errors import ExecutionError, SourceTimeoutError, SourceUnavailableError
+from repro.plan.rules import EventType
+from repro.storage.schema import Schema, merge_union_schema
+from repro.storage.tuples import Row
+
+
+class DynamicCollector(Operator):
+    """Policy-driven union over overlapping sources.
+
+    Parameters
+    ----------
+    children:
+        Child operators, typically wrapper scans over mirrors of one mediated
+        relation.  Children are addressed by their operator id.
+    initially_active:
+        Operator ids to contact when the collector opens.  ``None`` activates
+        every child (the plain-union-like default).
+    fallback_on_failure:
+        When true, a failed or timed-out child causes the next inactive child
+        to be activated automatically (in declaration order).
+    dedup_keys:
+        Attribute names used to suppress duplicates coming from overlapping
+        sources; ``None`` disables deduplication.
+    """
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        children: list[Operator],
+        initially_active: list[str] | None = None,
+        fallback_on_failure: bool = True,
+        dedup_keys: list[str] | None = None,
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        if not children:
+            raise ExecutionError("collector requires at least one child")
+        super().__init__(
+            operator_id, context, children=children, estimated_cardinality=estimated_cardinality
+        )
+        self._child_by_id = {child.operator_id: child for child in children}
+        if len(self._child_by_id) != len(children):
+            raise ExecutionError("collector children must have unique operator ids")
+        self.fallback_on_failure = fallback_on_failure
+        self.dedup_keys = list(dedup_keys) if dedup_keys else None
+        if initially_active is None:
+            self._initially_active = [child.operator_id for child in children]
+        else:
+            unknown = set(initially_active) - set(self._child_by_id)
+            if unknown:
+                raise ExecutionError(f"unknown collector children: {sorted(unknown)}")
+            self._initially_active = list(initially_active)
+        self._active: list[str] = []
+        self._finished: set[str] = set()
+        self._failed: set[str] = set()
+        self._never_started: list[str] = []
+        self._seen_keys: set[tuple[Any, ...]] = set()
+        self._schema: Schema | None = None
+        self.tuples_per_child: dict[str, int] = {c.operator_id: 0 for c in children}
+
+    # -- schema -------------------------------------------------------------------------
+
+    @property
+    def output_schema(self) -> Schema:
+        if self._schema is None:
+            schema = self.children[0].output_schema
+            for child in self.children[1:]:
+                schema = merge_union_schema(schema, child.output_schema)
+            self._schema = schema
+        return self._schema
+
+    # -- activation control (used by rule actions and policies) -----------------------------
+
+    def open(self) -> None:  # noqa: D102 - overrides to defer child opening to activation
+        if self.state == "open":
+            return
+        self._never_started = [
+            child.operator_id
+            for child in self.children
+            if child.operator_id not in self._initially_active
+        ]
+        self.state = "open"
+        self._stats.state = "open"
+        self.context.emit_event(EventType.OPENED, self.operator_id)
+        for child_id in self._initially_active:
+            self.activate_child(child_id)
+
+    def activate_child(self, child_id: str) -> None:
+        """Contact one child source (idempotent)."""
+        if child_id in self._active or child_id in self._finished or child_id in self._failed:
+            return
+        child = self._require_child(child_id)
+        child.open()
+        self.context.reactivate(child_id)
+        self._active.append(child_id)
+        if child_id in self._never_started:
+            self._never_started.remove(child_id)
+
+    def deactivate_child(self, child_id: str) -> None:
+        """Stop reading from one child (its rules become inactive too)."""
+        child = self._require_child(child_id)
+        if child_id in self._active:
+            self._active.remove(child_id)
+        self._finished.add(child_id)
+        child.deactivate()
+
+    def _require_child(self, child_id: str) -> Operator:
+        try:
+            return self._child_by_id[child_id]
+        except KeyError:
+            raise ExecutionError(
+                f"collector {self.operator_id!r} has no child {child_id!r}"
+            ) from None
+
+    @property
+    def active_children(self) -> list[str]:
+        return list(self._active)
+
+    @property
+    def contacted_children(self) -> list[str]:
+        """Children that were ever activated."""
+        return [
+            child.operator_id
+            for child in self.children
+            if child.operator_id not in self._never_started
+        ]
+
+    # -- failure handling -----------------------------------------------------------------------
+
+    def _handle_child_failure(self, child_id: str) -> None:
+        if child_id in self._active:
+            self._active.remove(child_id)
+        self._failed.add(child_id)
+        if self.fallback_on_failure:
+            for child in self.children:
+                cid = child.operator_id
+                if cid not in self._active and cid not in self._finished and cid not in self._failed:
+                    self.activate_child(cid)
+                    break
+
+    # -- iteration ----------------------------------------------------------------------------------
+
+    def _pick_child(self) -> str | None:
+        """Active child with the earliest next arrival; ``None`` when all are done."""
+        best_id, best_arrival = None, None
+        for child_id in list(self._active):
+            child = self._child_by_id[child_id]
+            arrival = child.peek_arrival()
+            if arrival is None:
+                self._active.remove(child_id)
+                self._finished.add(child_id)
+                continue
+            if best_arrival is None or arrival < best_arrival:
+                best_id, best_arrival = child_id, arrival
+        return best_id
+
+    def _next(self) -> Row | None:
+        schema = self.output_schema
+        while True:
+            child_id = self._pick_child()
+            if child_id is None:
+                return None
+            child = self._child_by_id[child_id]
+            try:
+                row = child.next()
+            except (SourceTimeoutError, SourceUnavailableError):
+                self._handle_child_failure(child_id)
+                continue
+            if row is None:
+                self._active.remove(child_id)
+                self._finished.add(child_id)
+                continue
+            self.tuples_per_child[child_id] += 1
+            self.context.emit_event(
+                EventType.THRESHOLD, child_id, value=self.tuples_per_child[child_id]
+            )
+            if self.dedup_keys is not None:
+                key = row.key(self.dedup_keys)
+                if key in self._seen_keys:
+                    continue
+                self._seen_keys.add(key)
+            return Row(schema, row.values, row.arrival)

@@ -1,0 +1,15 @@
+"""Join operators: nested loops, hybrid hash, double pipelined, dependent."""
+
+from repro.engine.operators.joins.base import JoinOperator
+from repro.engine.operators.joins.dependent import DependentJoin
+from repro.engine.operators.joins.double_pipelined import DoublePipelinedJoin
+from repro.engine.operators.joins.hybrid_hash import HybridHashJoin
+from repro.engine.operators.joins.nested_loops import NestedLoopsJoin
+
+__all__ = [
+    "DependentJoin",
+    "DoublePipelinedJoin",
+    "HybridHashJoin",
+    "JoinOperator",
+    "NestedLoopsJoin",
+]

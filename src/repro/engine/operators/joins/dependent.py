@@ -1,0 +1,90 @@
+"""Dependent join: bind-and-fetch over a source with limited query capability.
+
+Some sources can only be queried with bindings (for example a web form that
+requires an ISBN).  The dependent join streams its left input and, for each
+left tuple, issues a parameterized fetch to the right-hand source for the
+matching tuples.  Each probe pays the source's access latency, which is what
+makes dependent joins expensive over high-latency links and why the optimizer
+only uses them when the source demands bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.errors import ExecutionError
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+class DependentJoin(Operator):
+    """Bind-join between a streaming left input and a lookup source."""
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        left: Operator,
+        source_name: str,
+        left_keys: list[str],
+        right_keys: list[str],
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        if len(left_keys) != len(right_keys):
+            raise ExecutionError("dependent join key lists must have the same length")
+        super().__init__(
+            operator_id, context, children=[left], estimated_cardinality=estimated_cardinality
+        )
+        self.source_name = source_name
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self._source = context.catalog.source(source_name)
+        self._right_schema = self._source.exported_schema
+        self._schema: Schema | None = None
+        self._index: dict[tuple[Any, ...], list[Row]] | None = None
+        self._pending: list[Row] = []
+        self.probes = 0
+
+    @property
+    def left(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def output_schema(self) -> Schema:
+        if self._schema is None:
+            self._schema = self.left.output_schema.join(self._right_schema)
+        return self._schema
+
+    def _build_index(self) -> None:
+        """Index the source contents by the bound key (kept at the source side)."""
+        index: dict[tuple[Any, ...], list[Row]] = {}
+        for row in self._source.relation.qualified():
+            index.setdefault(row.key(self.right_keys), []).append(row)
+        self._index = index
+
+    def _probe_source(self, key: tuple[Any, ...]) -> list[Row]:
+        """One parameterized fetch: pays the source round-trip latency."""
+        if self._index is None:
+            self._build_index()
+        self.probes += 1
+        profile = self._source.profile
+        matches = self._index.get(key, []) if self._index else []
+        transfer = sum(profile.transfer_ms(row.size_bytes) for row in matches)
+        self.context.clock.consume_cpu(0.0)  # explicit: probe CPU is negligible
+        self.context.clock.advance_to(
+            self.context.clock.now + profile.initial_latency_ms + transfer
+        )
+        return matches
+
+    def _next(self) -> Row | None:
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            left_row = self.left.next()
+            if left_row is None:
+                return None
+            key = left_row.key(self.left_keys)
+            for match in self._probe_source(key):
+                self._pending.append(left_row.concat(match, self.output_schema))

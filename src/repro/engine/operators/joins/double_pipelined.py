@@ -1,0 +1,299 @@
+"""The double pipelined hash join (Section 4.2.2) with overflow resolution.
+
+The double pipelined join (DPJ) is symmetric and incremental: each arriving
+tuple probes the opposite input's hash table and is then inserted into its
+own side's table, so results are produced as soon as matching tuples have
+arrived from both inputs.  The original implementation is data-driven via
+threads; here the join pulls from whichever child can deliver a tuple at the
+earlier virtual time, which yields the same interleaving deterministically.
+
+Two memory-overflow strategies from Section 4.2.3 are implemented:
+
+* **Incremental Left Flush** — on overflow, flush buckets from the left
+  input's hash table and switch to draining the right input; resume the left
+  input once the right is exhausted.  Output stalls while the right side is
+  drained, then resumes (the "abrupt" curve of Figure 4).
+* **Incremental Symmetric Flush** — on overflow, pick one bucket and flush it
+  from *both* hash tables; both inputs keep streaming, so output continues
+  smoothly but the in-memory fraction (and hence the match rate) shrinks.
+
+Correctness with spilling relies on a marking discipline: tuples flushed
+while resident are written *unmarked*; tuples that arrive after their bucket
+was flushed are written *marked* and are not probed live.  During the final
+overflow resolution, every pair is emitted except unmarked-with-unmarked —
+those pairs were already produced while both tuples were resident.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.engine.operators.joins.base import JoinOperator
+from repro.errors import MemoryOverflowError
+from repro.plan.physical import OverflowMethod
+from repro.plan.rules import EventType
+from repro.storage.hash_table import BucketedHashTable, DEFAULT_BUCKET_COUNT, bucket_of
+from repro.storage.memory import MemoryBudget
+from repro.storage.tuples import Row
+
+#: Side identifiers (also used as indices into per-side lists).
+LEFT, RIGHT = 0, 1
+
+
+class DoublePipelinedJoin(JoinOperator):
+    """Symmetric, incremental hash join with pluggable overflow resolution."""
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        left: Operator,
+        right: Operator,
+        left_keys: list[str],
+        right_keys: list[str],
+        memory_limit_bytes: int | None = None,
+        bucket_count: int = DEFAULT_BUCKET_COUNT,
+        overflow_method: OverflowMethod | str = OverflowMethod.LEFT_FLUSH,
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        super().__init__(
+            operator_id, context, left, right, left_keys, right_keys, estimated_cardinality
+        )
+        self.budget: MemoryBudget = context.memory_pool.grant(operator_id, memory_limit_bytes)
+        self.bucket_count = bucket_count
+        self.overflow_method = OverflowMethod(overflow_method)
+        self._tables: list[BucketedHashTable] = []
+        self._exhausted = [False, False]
+        self._drain_right_first = False
+        self._pending: list[Row] = []
+        self._cleanup: Iterator[Row] | None = None
+        self.overflow_count = 0
+
+    # -- configuration hooks (rule actions) -------------------------------------------------
+
+    def set_overflow_method(self, method: OverflowMethod | str) -> None:
+        """Change the overflow strategy (the ``set overflow method`` rule action)."""
+        self.overflow_method = OverflowMethod(method)
+
+    # -- lifecycle -----------------------------------------------------------------------------
+
+    def _do_open(self) -> None:
+        self._tables = [
+            BucketedHashTable(
+                self.left_keys,
+                self.budget,
+                self.context.disk,
+                bucket_count=self.bucket_count,
+                name=f"{self.operator_id}-left",
+            ),
+            BucketedHashTable(
+                self.right_keys,
+                self.budget,
+                self.context.disk,
+                bucket_count=self.bucket_count,
+                name=f"{self.operator_id}-right",
+            ),
+        ]
+
+    def _do_close(self) -> None:
+        for table in self._tables:
+            table.release_all()
+        self.context.memory_pool.revoke(self.operator_id)
+
+    # -- child selection (the data-driven behaviour) ---------------------------------------------
+
+    def _child(self, side: int) -> Operator:
+        return self.children[side]
+
+    def _choose_side(self) -> int | None:
+        """Pick which input to consume next, or ``None`` when both are done."""
+        if self._exhausted[LEFT] and self._exhausted[RIGHT]:
+            return None
+        if self._drain_right_first and not self._exhausted[RIGHT]:
+            return RIGHT
+        if self._exhausted[LEFT]:
+            return RIGHT
+        if self._exhausted[RIGHT]:
+            return LEFT
+        left_arrival = self._child(LEFT).peek_arrival()
+        right_arrival = self._child(RIGHT).peek_arrival()
+        if left_arrival is None:
+            self._exhausted[LEFT] = True
+            return RIGHT
+        if right_arrival is None:
+            self._exhausted[RIGHT] = True
+            return LEFT
+        # Prefer the input whose next tuple arrives earlier; alternate on ties
+        # by favouring the side with fewer tuples consumed so far.
+        if left_arrival < right_arrival:
+            return LEFT
+        if right_arrival < left_arrival:
+            return RIGHT
+        return LEFT if self._tables[LEFT].total_inserted <= self._tables[RIGHT].total_inserted else RIGHT
+
+    # -- tuple processing ----------------------------------------------------------------------------
+
+    def _key_for(self, side: int, row: Row) -> tuple[Any, ...]:
+        return self.left_key(row) if side == LEFT else self.right_key(row)
+
+    def _bucket_index(self, key: tuple[Any, ...]) -> int:
+        return bucket_of(key, self.bucket_count)
+
+    def _bucket_spilled(self, index: int) -> bool:
+        return self._tables[LEFT].buckets[index].flushed or self._tables[RIGHT].buckets[index].flushed
+
+    def _spill_arriving(self, side: int, index: int, row: Row, marked: bool = True) -> None:
+        """Send an arriving tuple straight to its side's overflow file.
+
+        ``marked=True`` records that the tuple never probed the opposite
+        side's resident rows (it arrived after the bucket spilled); the final
+        overflow resolution joins marked tuples against everything.  A tuple
+        that *did* probe before its bucket spilled is written unmarked so its
+        already-emitted pairs are not produced again.
+        """
+        table = self._tables[side]
+        bucket = table.buckets[index]
+        table._ensure_overflow(bucket).write(row, marked=marked)
+        self._charge_disk_time()
+
+    def _process(self, side: int, row: Row) -> None:
+        """Probe, emit, and insert one arriving tuple."""
+        other = 1 - side
+        key = self._key_for(side, row)
+        index = self._bucket_index(key)
+        if self._bucket_spilled(index):
+            self._spill_arriving(side, index, row)
+            return
+        # Probe the opposite side's resident rows.
+        for match in self._tables[other].probe(key):
+            if side == LEFT:
+                self._pending.append(self.join_rows(row, match))
+            else:
+                self._pending.append(self.join_rows(match, row))
+        # Once the opposite input is exhausted there is no need to retain this
+        # tuple (footnote 3 of the paper) unless its bucket later spills —
+        # which cannot affect it because all of its matches were resident.
+        if self._exhausted[other]:
+            return
+        self._insert_with_overflow(side, row)
+
+    def _insert_with_overflow(self, side: int, row: Row) -> None:
+        table = self._tables[side]
+        key = self._key_for(side, row)
+        index = self._bucket_index(key)
+        while True:
+            if table.buckets[index].flushed:
+                # The overflow strategy spilled this row's bucket while we were
+                # trying to insert it.  The row has already probed the opposite
+                # side's resident rows, so it spills unmarked — exactly like
+                # the resident rows that were just flushed alongside it.
+                self._spill_arriving(side, index, row, marked=False)
+                return
+            if table.insert(row):
+                return
+            self._resolve_overflow()
+
+    # -- overflow resolution -------------------------------------------------------------------------------
+
+    def _resolve_overflow(self) -> None:
+        """Free memory according to the configured strategy."""
+        self.overflow_count += 1
+        self._stats.overflow_events += 1
+        self.context.emit_event(EventType.OUT_OF_MEMORY, self.operator_id)
+        if self.overflow_method == OverflowMethod.FAIL:
+            raise MemoryOverflowError(
+                f"{self.operator_id}: memory exhausted and overflow resolution disabled"
+            )
+        if self.overflow_method == OverflowMethod.SYMMETRIC_FLUSH:
+            self._symmetric_flush()
+        else:
+            self._left_flush()
+        self._charge_disk_time()
+
+    def _symmetric_flush(self) -> None:
+        """Flush the bucket with the most combined resident bytes from both tables."""
+        best_index, best_bytes = None, -1
+        for index in range(self.bucket_count):
+            combined = (
+                self._tables[LEFT].buckets[index].resident_bytes
+                + self._tables[RIGHT].buckets[index].resident_bytes
+            )
+            if combined > best_bytes and not self._bucket_spilled(index):
+                best_index, best_bytes = index, combined
+        if best_index is None or best_bytes <= 0:
+            raise MemoryOverflowError(
+                f"{self.operator_id}: no resident bucket left to flush symmetrically"
+            )
+        self._tables[LEFT].flush_bucket(best_index)
+        self._tables[RIGHT].flush_bucket(best_index)
+
+    def _left_flush(self) -> None:
+        """Flush a left-side bucket (falling back to the right side), pause the left input."""
+        self._drain_right_first = True
+        flushed = self._tables[LEFT].flush_largest_bucket()
+        if flushed is not None:
+            return
+        flushed = self._tables[RIGHT].flush_largest_bucket()
+        if flushed is None:
+            raise MemoryOverflowError(
+                f"{self.operator_id}: both hash tables are empty yet memory is exhausted"
+            )
+
+    # -- overflow resolution output (the final phase) ---------------------------------------------------------
+
+    def _cleanup_pairs(self) -> Iterator[Row]:
+        """Join the spilled buckets, skipping pairs already produced live."""
+        for index in range(self.bucket_count):
+            left_bucket = self._tables[LEFT].buckets[index]
+            right_bucket = self._tables[RIGHT].buckets[index]
+            has_disk = (left_bucket.overflow is not None and len(left_bucket.overflow) > 0) or (
+                right_bucket.overflow is not None and len(right_bucket.overflow) > 0
+            )
+            if not has_disk:
+                continue
+            left_entries: list[tuple[Row, bool]] = []
+            right_entries: list[tuple[Row, bool]] = []
+            if left_bucket.overflow is not None:
+                left_entries.extend(left_bucket.overflow.read())
+            if right_bucket.overflow is not None:
+                right_entries.extend(right_bucket.overflow.read())
+            self._charge_disk_time()
+            # Resident remnants participate as unmarked entries (no read cost).
+            for rows in left_bucket.rows.values():
+                left_entries.extend((row, False) for row in rows)
+            for rows in right_bucket.rows.values():
+                right_entries.extend((row, False) for row in rows)
+            right_by_key: dict[tuple[Any, ...], list[tuple[Row, bool]]] = {}
+            for row, marked in right_entries:
+                right_by_key.setdefault(self.right_key(row), []).append((row, marked))
+            for left_row, left_marked in left_entries:
+                for right_row, right_marked in right_by_key.get(self.left_key(left_row), ()):
+                    if not left_marked and not right_marked:
+                        continue  # both were resident when they met: already emitted
+                    yield self.join_rows(left_row, right_row)
+
+    # -- iterator -------------------------------------------------------------------------------------------------
+
+    def _next(self) -> Row | None:
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            if self._cleanup is not None:
+                row = next(self._cleanup, None)
+                if row is None:
+                    return None
+                return row
+            side = self._choose_side()
+            if side is None:
+                self._cleanup = self._cleanup_pairs()
+                continue
+            row = self._child(side).next()
+            if row is None:
+                self._exhausted[side] = True
+                if side == RIGHT and self._drain_right_first:
+                    # Right side drained: resume reading the paused left input.
+                    self._drain_right_first = False
+                continue
+            self._process(side, row)

@@ -1,0 +1,145 @@
+"""Hybrid hash join: the conventional baseline join (Section 4.2.1).
+
+The inner (right) relation is built into a hash table; the outer (left)
+relation then probes it.  When the build exceeds the operator's memory
+allotment, buckets are lazily flushed to disk (hybrid hashing); probe tuples
+that hash to a flushed bucket are spilled to matching outer overflow files,
+and the overflow pairs are joined in a final pass.
+
+Because the build phase must consume the *entire* inner input before the
+first output tuple, this operator exhibits exactly the delayed
+time-to-first-tuple the paper contrasts with the double pipelined join.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.engine.operators.joins.base import JoinOperator
+from repro.plan.rules import EventType
+from repro.storage.disk import OverflowFile
+from repro.storage.hash_table import BucketedHashTable, DEFAULT_BUCKET_COUNT, bucket_of
+from repro.storage.memory import MemoryBudget
+from repro.storage.tuples import Row
+
+
+class HybridHashJoin(JoinOperator):
+    """Classic hybrid hash join with lazy bucket overflow."""
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        left: Operator,
+        right: Operator,
+        left_keys: list[str],
+        right_keys: list[str],
+        memory_limit_bytes: int | None = None,
+        bucket_count: int = DEFAULT_BUCKET_COUNT,
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        super().__init__(
+            operator_id, context, left, right, left_keys, right_keys, estimated_cardinality
+        )
+        self.budget: MemoryBudget = context.memory_pool.grant(operator_id, memory_limit_bytes)
+        self.bucket_count = bucket_count
+        self._inner_table: BucketedHashTable | None = None
+        self._outer_overflow: dict[int, OverflowFile] = {}
+        self._built = False
+        self._probe_matches: list[Row] = []
+        self._overflow_output: Iterator[Row] | None = None
+
+    # -- build phase --------------------------------------------------------------------
+
+    def _do_open(self) -> None:
+        self._inner_table = BucketedHashTable(
+            self.right_keys,
+            self.budget,
+            self.context.disk,
+            bucket_count=self.bucket_count,
+            name=f"{self.operator_id}-inner",
+        )
+
+    def _build_inner(self) -> None:
+        assert self._inner_table is not None
+        while True:
+            row = self.right.next()
+            if row is None:
+                break
+            inserted = self._inner_table.insert(row)
+            if not inserted and not self._inner_table.is_bucket_flushed_for(
+                self._inner_table.key_for(row)
+            ):
+                # Memory pressure: lazily flush the largest bucket and retry;
+                # if the row's own bucket got flushed the retry spills it.
+                self._raise_out_of_memory()
+                self._inner_table.flush_largest_bucket()
+                self._inner_table.insert(row)
+        self._charge_disk_time()
+        self._built = True
+
+    def _raise_out_of_memory(self) -> None:
+        self._stats.overflow_events += 1
+        self.context.emit_event(EventType.OUT_OF_MEMORY, self.operator_id)
+
+    # -- probe phase --------------------------------------------------------------------------
+
+    def _outer_overflow_file(self, bucket_index: int) -> OverflowFile:
+        if bucket_index not in self._outer_overflow:
+            self._outer_overflow[bucket_index] = self.context.disk.create_file(
+                f"{self.operator_id}-outer-b{bucket_index}"
+            )
+        return self._outer_overflow[bucket_index]
+
+    def _probe_one(self, outer_row: Row) -> list[Row]:
+        assert self._inner_table is not None
+        key = self.left_key(outer_row)
+        if self._inner_table.is_bucket_flushed_for(key):
+            bucket_index = bucket_of(key, self._inner_table.bucket_count)
+            self._outer_overflow_file(bucket_index).write(outer_row)
+            self._charge_disk_time()
+            return []
+        return [
+            self.join_rows(outer_row, inner_row)
+            for inner_row in self._inner_table.probe(key)
+        ]
+
+    def _overflow_pairs(self) -> Iterator[Row]:
+        """Join the spilled inner buckets against the matching outer spill files."""
+        assert self._inner_table is not None
+        for bucket_index in self._inner_table.flushed_buckets:
+            outer_file = self._outer_overflow.get(bucket_index)
+            if outer_file is None:
+                continue
+            # Reload the inner bucket (charging read I/O) into a transient map.
+            inner_by_key: dict[tuple, list[Row]] = {}
+            for inner_row, _ in self._inner_table.overflow_rows(bucket_index):
+                inner_by_key.setdefault(self.right_key(inner_row), []).append(inner_row)
+            self._charge_disk_time()
+            for outer_row, _ in outer_file.read():
+                for inner_row in inner_by_key.get(self.left_key(outer_row), ()):
+                    yield self.join_rows(outer_row, inner_row)
+            self._charge_disk_time()
+
+    # -- iterator ----------------------------------------------------------------------------------
+
+    def _next(self) -> Row | None:
+        if not self._built:
+            self._build_inner()
+        while True:
+            if self._probe_matches:
+                return self._probe_matches.pop()
+            if self._overflow_output is not None:
+                return next(self._overflow_output, None)
+            outer_row = self.left.next()
+            if outer_row is None:
+                self._overflow_output = self._overflow_pairs()
+                continue
+            self._probe_matches = self._probe_one(outer_row)
+
+    def _do_close(self) -> None:
+        if self._inner_table is not None:
+            self._inner_table.release_all()
+        self.context.memory_pool.revoke(self.operator_id)

@@ -1,0 +1,63 @@
+"""Nested loops join (and its index-free pipelined variant).
+
+Included as a baseline and for the dependent join's bind-and-fetch pattern.
+The inner (right) input is fully buffered before the outer is streamed, so it
+shares the asymmetric, non-pipelined start-up behaviour the paper attributes
+to conventional join algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.engine.operators.joins.base import JoinOperator
+from repro.storage.tuples import Row
+
+
+class NestedLoopsJoin(JoinOperator):
+    """Buffers the inner (right) input, then streams the outer against it."""
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        left: Operator,
+        right: Operator,
+        left_keys: list[str],
+        right_keys: list[str],
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        super().__init__(
+            operator_id, context, left, right, left_keys, right_keys, estimated_cardinality
+        )
+        self._inner_rows: list[Row] = []
+        self._inner_loaded = False
+        self._current_outer: Row | None = None
+        self._inner_cursor = 0
+
+    def _load_inner(self) -> None:
+        while True:
+            row = self.right.next()
+            if row is None:
+                break
+            self._inner_rows.append(row)
+        self._inner_loaded = True
+
+    def _next(self) -> Row | None:
+        if not self._inner_loaded:
+            self._load_inner()
+        while True:
+            if self._current_outer is None:
+                self._current_outer = self.left.next()
+                self._inner_cursor = 0
+                if self._current_outer is None:
+                    return None
+            outer_key = self.left_key(self._current_outer)
+            while self._inner_cursor < len(self._inner_rows):
+                inner_row = self._inner_rows[self._inner_cursor]
+                self._inner_cursor += 1
+                # Comparing every inner tuple costs CPU even on mismatch.
+                self.context.clock.consume_cpu(self.context.config.per_tuple_cpu_ms * 0.1)
+                if self.right_key(inner_row) == outer_key:
+                    return self.join_rows(self._current_outer, inner_row)
+            self._current_outer = None

@@ -1,0 +1,65 @@
+"""Materialize operator: stores its input in the local store while passing it through."""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+class Materialize(Operator):
+    """Writes every input row into a named local relation and passes it on.
+
+    Fragments use this at their roots: the fragment result is both returned
+    to the caller and retained for later fragments / re-optimization.
+    """
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        child: Operator,
+        result_name: str,
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        super().__init__(
+            operator_id, context, children=[child], estimated_cardinality=estimated_cardinality
+        )
+        self.result_name = result_name
+        self._relation: Relation | None = None
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.child.output_schema
+
+    @property
+    def relation(self) -> Relation | None:
+        """The relation being built (available during and after execution)."""
+        return self._relation
+
+    def peek_arrival(self) -> float | None:
+        if self.state in ("closed", "deactivated"):
+            return None
+        return self.child.peek_arrival()
+
+    def _do_open(self) -> None:
+        self._relation = Relation(self.result_name, self.output_schema)
+
+    def _next(self) -> Row | None:
+        row = self.child.next()
+        if row is None:
+            return None
+        assert self._relation is not None
+        self._relation.append(row)
+        self.context.clock.consume_io(self.context.config.materialization_cost_ms_per_tuple)
+        return row
+
+    def _do_close(self) -> None:
+        if self._relation is not None:
+            self.context.local_store.materialize(self._relation, at_time=self.context.clock.now)

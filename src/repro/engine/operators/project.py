@@ -1,0 +1,47 @@
+"""Projection operator: restricts rows to a list of attributes."""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+class Project(Operator):
+    """Projects each input row onto the configured attribute list."""
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        child: Operator,
+        attributes: list[str],
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        super().__init__(
+            operator_id, context, children=[child], estimated_cardinality=estimated_cardinality
+        )
+        self.attributes = list(attributes)
+        self._schema: Schema | None = None
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def output_schema(self) -> Schema:
+        if self._schema is None:
+            self._schema = self.child.output_schema.project(self.attributes)
+        return self._schema
+
+    def peek_arrival(self) -> float | None:
+        if self.state in ("closed", "deactivated"):
+            return None
+        return self.child.peek_arrival()
+
+    def _next(self) -> Row | None:
+        row = self.child.next()
+        if row is None:
+            return None
+        return row.project(self.attributes, self.output_schema)

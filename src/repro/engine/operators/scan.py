@@ -1,0 +1,145 @@
+"""Leaf operators: wrapper scans (remote sources) and table scans (local store)."""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.errors import SourceTimeoutError, SourceUnavailableError
+from repro.plan.rules import EventType
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+class WrapperScan(Operator):
+    """Streams tuples from a remote data source through its wrapper.
+
+    Timeouts and source failures are surfaced both as engine events (so rules
+    can reschedule or re-optimize) and as exceptions (so the executor can stop
+    the fragment when no rule handles the situation).
+
+    When the execution context carries a :class:`~repro.network.cache.SourceCache`,
+    a source that was already read to completion is served from the cache at
+    local speed, and a source read to completion here is deposited into the
+    cache for later scans (the paper's source-data caching extension).
+    """
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        source_name: str,
+        timeout_ms: float | None = None,
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        super().__init__(operator_id, context, estimated_cardinality=estimated_cardinality)
+        self.source_name = source_name
+        self.wrapper = context.create_wrapper(source_name, timeout_ms=timeout_ms)
+        self._threshold_counter = 0
+        self._cache_feed = None
+        self._rows_seen: list[Row] = []
+        self.served_from_cache = False
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.wrapper.schema
+
+    def _do_open(self) -> None:
+        cache = self.context.source_cache
+        if cache is not None:
+            entry = cache.lookup(self.source_name, self.context.clock.now)
+            if entry is not None:
+                from repro.network.cache import CachingScanFeed
+
+                self._cache_feed = CachingScanFeed(entry, self.context.clock)
+                self.served_from_cache = True
+                return
+        if not self.wrapper.is_open:
+            self.wrapper.open()
+
+    def peek_arrival(self) -> float | None:
+        if self.state in ("closed", "deactivated"):
+            return None
+        if self._cache_feed is not None:
+            return self._cache_feed.next_arrival()
+        if not self.wrapper.is_open:
+            return self.context.clock.now
+        if self.wrapper.exhausted:
+            return None
+        return self.wrapper.next_arrival()
+
+    def _fill_cache_if_complete(self) -> None:
+        cache = self.context.source_cache
+        if cache is None or self.served_from_cache:
+            return
+        if self.wrapper.exhausted and self.source_name not in cache:
+            cache.fill(
+                self.source_name,
+                self.output_schema,
+                self._rows_seen,
+                now_ms=self.context.clock.now,
+            )
+
+    def _next(self) -> Row | None:
+        if self.context.is_deactivated(self.operator_id):
+            return None
+        if self._cache_feed is not None:
+            row = self._cache_feed.fetch()
+        else:
+            try:
+                row = self.wrapper.fetch()
+            except SourceTimeoutError:
+                self.context.emit_event(EventType.TIMEOUT, self.source_name)
+                self.context.emit_event(EventType.TIMEOUT, self.operator_id)
+                raise
+            except SourceUnavailableError as exc:
+                self.context.emit_event(EventType.ERROR, self.source_name, value=str(exc))
+                self.context.emit_event(EventType.ERROR, self.operator_id, value=str(exc))
+                raise
+        if row is None:
+            self._fill_cache_if_complete()
+            return None
+        if self._cache_feed is None and self.context.source_cache is not None:
+            self._rows_seen.append(row)
+        self._threshold_counter += 1
+        self.context.emit_event(
+            EventType.THRESHOLD, self.operator_id, value=self._threshold_counter
+        )
+        return row
+
+    def _do_close(self) -> None:
+        self._fill_cache_if_complete()
+        self.wrapper.close()
+
+
+class TableScan(Operator):
+    """Scans a relation previously materialized in the local store."""
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        relation_name: str,
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        super().__init__(operator_id, context, estimated_cardinality=estimated_cardinality)
+        self.relation_name = relation_name
+        self._rows: list[Row] = []
+        self._cursor = 0
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.context.local_store.get(self.relation_name).schema
+
+    def _do_open(self) -> None:
+        relation = self.context.local_store.get(self.relation_name)
+        self._rows = relation.rows
+        self._cursor = 0
+
+    def _next(self) -> Row | None:
+        if self._cursor >= len(self._rows):
+            return None
+        row = self._rows[self._cursor]
+        self._cursor += 1
+        # Local reads are CPU + buffer-pool work; charge a small per-tuple cost
+        # (the base class adds the generic per-tuple CPU charge on return).
+        return row.with_arrival(self.context.clock.now)

@@ -1,0 +1,54 @@
+"""Selection operator: filters rows by a conjunction of predicates."""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.query.conjunctive import SelectionPredicate
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+class Select(Operator):
+    """Passes through rows satisfying every predicate."""
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        child: Operator,
+        predicates: list[SelectionPredicate],
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        super().__init__(
+            operator_id, context, children=[child], estimated_cardinality=estimated_cardinality
+        )
+        self.predicates = list(predicates)
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.child.output_schema
+
+    def peek_arrival(self) -> float | None:
+        if self.state in ("closed", "deactivated"):
+            return None
+        return self.child.peek_arrival()
+
+    def _matches(self, row: Row) -> bool:
+        for predicate in self.predicates:
+            value = row.get(f"{predicate.table}.{predicate.attr}", row.get(predicate.attr))
+            if value is None or not predicate.evaluate(value):
+                return False
+        return True
+
+    def _next(self) -> Row | None:
+        while True:
+            row = self.child.next()
+            if row is None:
+                return None
+            if self._matches(row):
+                return row

@@ -1,0 +1,61 @@
+"""Plain union operator (the non-adaptive baseline for the dynamic collector)."""
+
+from __future__ import annotations
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import Operator
+from repro.errors import ExecutionError
+from repro.storage.schema import Schema, merge_union_schema
+from repro.storage.tuples import Row
+
+
+class Union(Operator):
+    """Concatenates its children's outputs, child by child, with no policy.
+
+    Unlike the dynamic collector, a plain union has no mechanism for skipping
+    slow mirrors, handling failures, or deduplicating overlap — it simply
+    drains each child in order.  It exists both as a baseline and for plans
+    where the inputs are known to be disjoint.
+    """
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        children: list[Operator],
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        if not children:
+            raise ExecutionError("union requires at least one child")
+        super().__init__(
+            operator_id, context, children=children, estimated_cardinality=estimated_cardinality
+        )
+        self._current = 0
+        self._schema: Schema | None = None
+
+    @property
+    def output_schema(self) -> Schema:
+        if self._schema is None:
+            schema = self.children[0].output_schema
+            for child in self.children[1:]:
+                schema = merge_union_schema(schema, child.output_schema)
+            self._schema = schema
+        return self._schema
+
+    def peek_arrival(self) -> float | None:
+        if self.state in ("closed", "deactivated"):
+            return None
+        if self._current >= len(self.children):
+            return None
+        return self.children[self._current].peek_arrival()
+
+    def _next(self) -> Row | None:
+        schema = self.output_schema
+        while self._current < len(self.children):
+            row = self.children[self._current].next()
+            if row is not None:
+                # Re-stamp onto the union's schema so downstream operators see
+                # consistent attribute names regardless of which child produced it.
+                return Row(schema, row.values, row.arrival)
+            self._current += 1
+        return None

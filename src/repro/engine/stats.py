@@ -1,0 +1,136 @@
+"""Runtime statistics gathered by the execution engine.
+
+The engine gathers per-operator cardinalities (fed back to the optimizer for
+re-optimization), tuples-vs-time series (the figures' axes), and per-query
+summaries (time to first tuple, completion time, disk I/O).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TupleTimeline:
+    """A monotone series of ``(virtual_time_ms, cumulative_tuples)`` points."""
+
+    times_ms: list[float] = field(default_factory=list)
+    counts: list[int] = field(default_factory=list)
+
+    def record(self, time_ms: float, count: int) -> None:
+        """Append an observation (times must be non-decreasing)."""
+        self.times_ms.append(time_ms)
+        self.counts.append(count)
+
+    @property
+    def total(self) -> int:
+        return self.counts[-1] if self.counts else 0
+
+    @property
+    def time_to_first(self) -> float | None:
+        """Virtual time of the first output tuple."""
+        for time_ms, count in zip(self.times_ms, self.counts):
+            if count > 0:
+                return time_ms
+        return None
+
+    @property
+    def completion_time(self) -> float | None:
+        return self.times_ms[-1] if self.times_ms else None
+
+    def count_at(self, time_ms: float) -> int:
+        """Cumulative tuples produced by ``time_ms``."""
+        idx = bisect_right(self.times_ms, time_ms)
+        return self.counts[idx - 1] if idx > 0 else 0
+
+    def time_for_count(self, count: int) -> float | None:
+        """Earliest virtual time at which ``count`` tuples had been produced."""
+        for time_ms, produced in zip(self.times_ms, self.counts):
+            if produced >= count:
+                return time_ms
+        return None
+
+    def sample(self, points: int = 50) -> list[tuple[float, int]]:
+        """Evenly spaced (time, count) samples for plotting/reporting."""
+        if not self.times_ms:
+            return []
+        end = self.times_ms[-1]
+        if points <= 1 or end == 0:
+            return [(end, self.total)]
+        step = end / (points - 1)
+        return [(i * step, self.count_at(i * step)) for i in range(points)]
+
+
+@dataclass
+class OperatorRuntimeStats:
+    """Counters kept for every runtime operator."""
+
+    operator_id: str
+    tuples_produced: int = 0
+    tuples_consumed: int = 0
+    time_of_first_output: float | None = None
+    time_of_last_output: float | None = None
+    memory_peak_bytes: int = 0
+    overflow_events: int = 0
+    state: str = "pending"
+
+    def record_output(self, at_time: float) -> None:
+        self.tuples_produced += 1
+        if self.time_of_first_output is None:
+            self.time_of_first_output = at_time
+        self.time_of_last_output = at_time
+
+
+@dataclass
+class FragmentStats:
+    """Result statistics for one completed fragment."""
+
+    fragment_id: str
+    result_name: str
+    result_cardinality: int
+    estimated_cardinality: int | None
+    started_at_ms: float
+    completed_at_ms: float
+    timeline: TupleTimeline = field(default_factory=TupleTimeline)
+
+    @property
+    def estimate_error_factor(self) -> float | None:
+        """How far off the estimate was (max of ratio and inverse ratio)."""
+        if not self.estimated_cardinality:
+            return None
+        actual = max(1, self.result_cardinality)
+        estimate = max(1, self.estimated_cardinality)
+        ratio = actual / estimate
+        return max(ratio, 1.0 / ratio)
+
+
+@dataclass
+class QueryRuntimeStats:
+    """Everything the engine reports back after running (part of) a plan."""
+
+    query_name: str
+    operator_stats: dict[str, OperatorRuntimeStats] = field(default_factory=dict)
+    fragment_stats: list[FragmentStats] = field(default_factory=list)
+    output_timeline: TupleTimeline = field(default_factory=TupleTimeline)
+    events_processed: int = 0
+    rules_fired: int = 0
+    reoptimizations: int = 0
+    reschedules: int = 0
+    completion_time_ms: float = 0.0
+
+    def operator(self, operator_id: str) -> OperatorRuntimeStats:
+        """Stats record for ``operator_id`` (created on first access)."""
+        if operator_id not in self.operator_stats:
+            self.operator_stats[operator_id] = OperatorRuntimeStats(operator_id)
+        return self.operator_stats[operator_id]
+
+    @property
+    def time_to_first_tuple(self) -> float | None:
+        return self.output_timeline.time_to_first
+
+    def observed_cardinalities(self) -> dict[str, int]:
+        """Result name -> actual cardinality, for optimizer feedback."""
+        return {
+            frag.result_name: frag.result_cardinality for frag in self.fragment_stats
+        }

@@ -1,0 +1,41 @@
+"""Simulated network layer: virtual clock, data sources, wrappers, profiles.
+
+This substrate replaces the paper's physical testbed (JDBC wrappers over a
+10 Mbps LAN and a trans-Atlantic echo-server link) with a deterministic
+virtual-time model.  See ``DESIGN.md`` section 2 for the substitution
+rationale and section 6 for the timing model.
+"""
+
+from repro.network.cache import CacheEntry, CacheStats, CachingScanFeed, SourceCache
+from repro.network.profiles import (
+    NetworkProfile,
+    bursty,
+    dead,
+    lan,
+    slow_start,
+    wide_area,
+)
+from repro.network.simclock import ClockStats, SimClock
+from repro.network.source import DataSource, SourceConnection, SourceStats, make_mirror
+from repro.network.wrapper import Wrapper, WrapperStats
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "CachingScanFeed",
+    "ClockStats",
+    "DataSource",
+    "SourceCache",
+    "NetworkProfile",
+    "SimClock",
+    "SourceConnection",
+    "SourceStats",
+    "Wrapper",
+    "WrapperStats",
+    "bursty",
+    "dead",
+    "lan",
+    "make_mirror",
+    "slow_start",
+    "wide_area",
+]

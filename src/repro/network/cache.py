@@ -1,0 +1,160 @@
+"""Source-result caching (the paper's "caching of source data" extension).
+
+Section 8 of the paper lists optimistic prefetching and caching of source
+data as planned extensions.  This module provides the caching half: a
+:class:`SourceCache` remembers the full contents of sources that have been
+read to completion, so later scans of the same source — in the same query
+(self-joins, retries after rescheduling) or in later queries sharing the
+cache — are served locally instead of crossing the network again.
+
+The cache is consistency-agnostic by design (autonomous sources give no
+invalidation signal); entries carry the virtual time at which they were
+filled and can be expired by age or dropped explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+@dataclass
+class CacheEntry:
+    """A fully materialized copy of one source's exported stream."""
+
+    source_name: str
+    schema: Schema
+    rows: list[Row]
+    filled_at_ms: float
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def as_relation(self) -> Relation:
+        """The cached contents as a relation named after the source."""
+        return Relation(self.source_name, self.schema, self.rows)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SourceCache:
+    """Caches complete source extents keyed by source name.
+
+    Parameters
+    ----------
+    max_age_ms:
+        Entries older than this (in virtual time) are treated as stale and
+        refetched; ``None`` disables expiry.
+    max_entries:
+        Upper bound on cached sources; the oldest entry is evicted first.
+    """
+
+    def __init__(self, max_age_ms: float | None = None, max_entries: int = 64) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_age_ms = max_age_ms
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: dict[str, CacheEntry] = {}
+
+    # -- lookup -------------------------------------------------------------------
+
+    def lookup(self, source_name: str, now_ms: float) -> CacheEntry | None:
+        """Return a fresh entry for ``source_name`` or record a miss."""
+        entry = self._entries.get(source_name)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if self.max_age_ms is not None and now_ms - entry.filled_at_ms > self.max_age_ms:
+            self.stats.misses += 1
+            self.invalidate(source_name)
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def __contains__(self, source_name: str) -> bool:
+        return source_name in self._entries
+
+    @property
+    def cached_sources(self) -> list[str]:
+        return sorted(self._entries)
+
+    # -- filling -------------------------------------------------------------------
+
+    def fill(self, source_name: str, schema: Schema, rows: list[Row], now_ms: float) -> CacheEntry:
+        """Store a complete source extent (replacing any prior entry)."""
+        entry = CacheEntry(source_name, schema, list(rows), filled_at_ms=now_ms)
+        self._entries[source_name] = entry
+        self.stats.fills += 1
+        self._evict_if_needed()
+        return entry
+
+    def _evict_if_needed(self) -> None:
+        while len(self._entries) > self.max_entries:
+            oldest = min(self._entries.values(), key=lambda e: e.filled_at_ms)
+            self.invalidate(oldest.source_name)
+
+    # -- invalidation -----------------------------------------------------------------
+
+    def invalidate(self, source_name: str) -> None:
+        """Drop one cached source (no error if absent)."""
+        if self._entries.pop(source_name, None) is not None:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop everything."""
+        for name in list(self._entries):
+            self.invalidate(name)
+
+
+class CachingScanFeed:
+    """Streaming view over a cache entry with the wrapper interface shape.
+
+    Scans served from the cache still charge a small per-tuple CPU cost but
+    no network latency, which is what makes cached re-reads cheap.
+    """
+
+    def __init__(self, entry: CacheEntry, clock, per_tuple_cpu_ms: float = 0.001) -> None:
+        self._entry = entry
+        self._clock = clock
+        self._per_tuple_cpu_ms = per_tuple_cpu_ms
+        self._cursor = 0
+
+    @property
+    def schema(self) -> Schema:
+        return self._entry.schema
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._entry.rows)
+
+    def next_arrival(self) -> float | None:
+        """Cached data is always ready 'now'."""
+        if self.exhausted:
+            return None
+        return self._clock.now
+
+    def fetch(self) -> Row | None:
+        if self.exhausted:
+            return None
+        row = self._entry.rows[self._cursor]
+        self._cursor += 1
+        self._clock.consume_cpu(self._per_tuple_cpu_ms)
+        return row.with_arrival(self._clock.now)

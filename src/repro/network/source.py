@@ -1,0 +1,197 @@
+"""Simulated autonomous data sources.
+
+A :class:`DataSource` holds a base relation and a
+:class:`~repro.network.profiles.NetworkProfile`.  When a connection is opened
+it lays out the arrival timetable for every tuple; the wrapper then streams
+tuples in arrival order.  Sources can be unavailable (never respond), fail
+mid-transfer, or mirror another source's contents — everything the paper's
+collector and rescheduling experiments need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from repro.errors import SourceUnavailableError
+from repro.network.profiles import NetworkProfile
+from repro.storage.relation import Relation
+from repro.storage.tuples import Row
+
+
+@dataclass
+class SourceStats:
+    """Per-source counters maintained across a query."""
+
+    connections_opened: int = 0
+    tuples_sent: int = 0
+    failures: int = 0
+
+
+class DataSource:
+    """An autonomous source exporting one relation over a simulated link.
+
+    Parameters
+    ----------
+    name:
+        Unique source identifier (e.g. ``"db2.orders"`` or ``"mirror-eu"``).
+    relation:
+        The data the source exports.  The exported schema is the relation's
+        schema qualified with the relation name.
+    profile:
+        Timing/reliability model for the connection.
+    """
+
+    def __init__(self, name: str, relation: Relation, profile: NetworkProfile | None = None) -> None:
+        self.name = name
+        self.relation = relation
+        self.profile = profile or NetworkProfile()
+        self.stats = SourceStats()
+
+    @property
+    def exported_schema(self):
+        """Schema visible to the integration system (qualified names)."""
+        return self.relation.schema.qualified(self.relation.name)
+
+    @property
+    def cardinality(self) -> int:
+        return self.relation.cardinality
+
+    @property
+    def size_bytes(self) -> int:
+        return self.relation.size_bytes
+
+    def set_profile(self, profile: NetworkProfile) -> None:
+        """Swap the network profile (benchmarks vary link conditions this way)."""
+        self.profile = profile
+
+    def open(self, at_ms: float = 0.0) -> "SourceConnection":
+        """Open a connection at virtual time ``at_ms``."""
+        self.stats.connections_opened += 1
+        return SourceConnection(self, at_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataSource({self.name!r}, {self.relation.cardinality} tuples, "
+            f"profile={self.profile.name!r})"
+        )
+
+
+class SourceConnection:
+    """A single streaming connection to a :class:`DataSource`.
+
+    The connection pre-computes arrival timestamps for all tuples when it is
+    opened; :meth:`next_arrival` exposes the timestamp of the next undelivered
+    tuple so that data-driven operators (the double pipelined join, the
+    collector) can choose which input to service first.
+    """
+
+    def __init__(self, source: DataSource, opened_at_ms: float) -> None:
+        self.source = source
+        self.opened_at_ms = opened_at_ms
+        self._cursor = 0
+        self._closed = False
+        relation = source.relation
+        if source.profile.unavailable:
+            self._arrivals: list[float] = []
+            self._rows: list[Row] = []
+        else:
+            qualified = relation.qualified()
+            self._rows = qualified.rows
+            sizes = [row.size_bytes for row in self._rows]
+            self._arrivals = source.profile.arrival_schedule(sizes, start_ms=opened_at_ms)
+        limit = source.profile.drop_after_tuples
+        self._fail_at_index = limit if limit is not None else None
+
+    # -- streaming interface -----------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every available tuple has been delivered."""
+        if self.source.profile.unavailable:
+            return False  # a dead source never finishes, it times out
+        return self._cursor >= len(self._rows)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def delivered(self) -> int:
+        return self._cursor
+
+    def next_arrival(self) -> float | None:
+        """Virtual arrival time of the next tuple, or ``None`` when exhausted.
+
+        For an unavailable source this returns ``float('inf')`` — the tuple
+        never arrives, which is what drives timeout events.
+        """
+        if self._closed:
+            return None
+        if self.source.profile.unavailable:
+            return float("inf")
+        if self.exhausted:
+            return None
+        return self._arrivals[self._cursor]
+
+    def fetch(self) -> tuple[Row, float]:
+        """Deliver the next tuple as ``(row, arrival_ms)``.
+
+        Raises
+        ------
+        SourceUnavailableError
+            If the source is dead, has failed mid-transfer, or is exhausted.
+        """
+        if self._closed:
+            raise SourceUnavailableError(f"connection to {self.source.name!r} is closed")
+        if self.source.profile.unavailable:
+            self.source.stats.failures += 1
+            raise SourceUnavailableError(f"source {self.source.name!r} is not responding")
+        if self._fail_at_index is not None and self._cursor >= self._fail_at_index:
+            self.source.stats.failures += 1
+            raise SourceUnavailableError(
+                f"source {self.source.name!r} failed after {self._cursor} tuples"
+            )
+        if self.exhausted:
+            raise SourceUnavailableError(f"source {self.source.name!r} is exhausted")
+        row = self._rows[self._cursor]
+        arrival = self._arrivals[self._cursor]
+        self._cursor += 1
+        self.source.stats.tuples_sent += 1
+        return row.with_arrival(arrival), arrival
+
+    def close(self) -> None:
+        """Tear down the connection (collector `deactivate` uses this)."""
+        self._closed = True
+
+    def remaining(self) -> int:
+        """Tuples not yet delivered (0 for unavailable sources)."""
+        if self.source.profile.unavailable:
+            return 0
+        limit = len(self._rows)
+        if self._fail_at_index is not None:
+            limit = min(limit, self._fail_at_index)
+        return max(0, limit - self._cursor)
+
+
+def make_mirror(
+    source: DataSource,
+    name: str,
+    profile: NetworkProfile,
+    coverage: float = 1.0,
+    seed: int = 0,
+) -> DataSource:
+    """Create a mirror of ``source`` carrying a random ``coverage`` fraction of rows.
+
+    Mirrors with coverage < 1.0 model partially overlapping sources; coverage
+    1.0 models a true mirror.  Row selection is deterministic given ``seed``.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    base = source.relation
+    if coverage >= 1.0:
+        rows = list(base.rows)
+    else:
+        rng = random.Random(seed)
+        rows = [row for row in base.rows if rng.random() < coverage]
+    mirrored = Relation(base.name, base.schema, rows)
+    return DataSource(name, mirrored, profile)

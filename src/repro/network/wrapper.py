@@ -1,0 +1,167 @@
+"""Wrappers: the engine's interface to data sources.
+
+In Tukwila, wrappers hide source-specific protocols and feed tuples to the
+execution engine, optionally buffering.  Here a :class:`Wrapper` adapts a
+:class:`~repro.network.source.DataSource` connection into the streaming
+interface used by scan operators: ``open`` / ``next_arrival`` / ``fetch`` /
+``close``, plus timeout detection relative to the query's virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SourceTimeoutError, SourceUnavailableError
+from repro.network.simclock import SimClock
+from repro.network.source import DataSource, SourceConnection
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+@dataclass
+class WrapperStats:
+    """Counters kept by each wrapper during a query."""
+
+    tuples_fetched: int = 0
+    time_of_first_tuple: float | None = None
+    time_of_last_tuple: float | None = None
+    timeouts: int = 0
+    errors: int = 0
+
+
+class Wrapper:
+    """Streams tuples from one data source into the execution engine.
+
+    Parameters
+    ----------
+    source:
+        The data source being wrapped.
+    clock:
+        The query's virtual clock; fetching a tuple advances it to the
+        tuple's arrival time plus a small per-tuple translation cost.
+    timeout_ms:
+        If the next tuple's arrival lies more than this far beyond the
+        current virtual time, :meth:`fetch` raises :class:`SourceTimeoutError`
+        instead of stalling, which is what raises the engine's timeout event.
+    per_tuple_cpu_ms:
+        CPU cost to translate one tuple from the source format (XML parsing
+        and Unicode conversion in the original system).
+    """
+
+    def __init__(
+        self,
+        source: DataSource,
+        clock: SimClock,
+        timeout_ms: float | None = None,
+        per_tuple_cpu_ms: float = 0.002,
+    ) -> None:
+        self.source = source
+        self.clock = clock
+        self.timeout_ms = timeout_ms
+        self.per_tuple_cpu_ms = per_tuple_cpu_ms
+        self.stats = WrapperStats()
+        self._connection: SourceConnection | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.source.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.source.exported_schema
+
+    @property
+    def is_open(self) -> bool:
+        return self._connection is not None and not self._connection.closed
+
+    def open(self) -> None:
+        """Open the source connection at the current virtual time."""
+        self._connection = self.source.open(at_ms=self.clock.now)
+
+    def close(self) -> None:
+        """Close the connection; further fetches raise."""
+        if self._connection is not None:
+            self._connection.close()
+
+    def reset(self) -> None:
+        """Drop the connection so the wrapper can be reopened (rescheduling)."""
+        self.close()
+        self._connection = None
+
+    # -- streaming ---------------------------------------------------------------
+
+    def _require_connection(self) -> SourceConnection:
+        if self._connection is None or self._connection.closed:
+            raise SourceUnavailableError(f"wrapper {self.name!r} is not open")
+        return self._connection
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the source has delivered every tuple."""
+        if self._connection is None:
+            return False
+        return self._connection.exhausted
+
+    def next_arrival(self) -> float | None:
+        """Arrival time of the next tuple (``inf`` for dead sources, ``None`` at EOF)."""
+        return self._require_connection().next_arrival()
+
+    def would_timeout(self) -> bool:
+        """True when waiting for the next tuple would exceed the timeout."""
+        if self.timeout_ms is None:
+            return False
+        arrival = self.next_arrival()
+        if arrival is None:
+            return False
+        return arrival - self.clock.now > self.timeout_ms
+
+    def fetch(self) -> Row | None:
+        """Fetch the next tuple, advancing the virtual clock to its arrival.
+
+        Returns ``None`` at end of stream.
+
+        Raises
+        ------
+        SourceTimeoutError
+            If the wait for the next tuple exceeds ``timeout_ms``.
+        SourceUnavailableError
+            If the source fails mid-transfer or the wrapper is not open.
+        """
+        connection = self._require_connection()
+        arrival = connection.next_arrival()
+        if arrival is None:
+            return None
+        if self.timeout_ms is not None and arrival - self.clock.now > self.timeout_ms:
+            self.stats.timeouts += 1
+            # The engine observed a timeout: virtual time has passed while
+            # waiting for the source before giving up.
+            self.clock.advance_to(self.clock.now + self.timeout_ms)
+            raise SourceTimeoutError(
+                f"source {self.name!r} did not respond within {self.timeout_ms} ms"
+            )
+        try:
+            row, arrival = connection.fetch()
+        except SourceUnavailableError:
+            self.stats.errors += 1
+            raise
+        self.clock.advance_to(arrival)
+        self.clock.consume_cpu(self.per_tuple_cpu_ms)
+        self.stats.tuples_fetched += 1
+        if self.stats.time_of_first_tuple is None:
+            self.stats.time_of_first_tuple = self.clock.now
+        self.stats.time_of_last_tuple = self.clock.now
+        return row.with_arrival(self.clock.now)
+
+    def fetch_available(self) -> Row | None:
+        """Fetch the next tuple only if it has already arrived; else ``None``.
+
+        Used by data-driven operators that poll multiple wrappers and only
+        want to consume from whichever has data ready.
+        """
+        connection = self._require_connection()
+        arrival = connection.next_arrival()
+        if arrival is None or arrival > self.clock.now:
+            return None
+        return self.fetch()

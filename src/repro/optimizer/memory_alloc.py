@@ -1,0 +1,81 @@
+"""Memory allocation across a plan's join operators.
+
+The optimizer divides the query's memory pool among its join operators in
+proportion to their estimated build sizes (with a floor so that no join
+starves), following the memory-allocation-as-optimization-decision view the
+paper takes from Bouganim et al. and Nag & DeWitt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+
+#: Smallest allotment ever granted to a join operator.
+MIN_JOIN_ALLOTMENT_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class JoinMemoryRequest:
+    """One join operator's demand for memory."""
+
+    operator_id: str
+    estimated_build_bytes: int
+
+
+def allocate_memory(
+    requests: list[JoinMemoryRequest], pool_bytes: int | None
+) -> dict[str, int | None]:
+    """Split ``pool_bytes`` across the requesting joins.
+
+    With an unbounded pool every join gets an unbounded allotment.  With a
+    bounded pool, allotments are proportional to estimated build sizes but
+    never exceed the operator's own estimated need (with 25% headroom) —
+    granting more than an operator is believed to require would waste memory
+    other queries could use.  Every join receives at least
+    :data:`MIN_JOIN_ALLOTMENT_BYTES`, and the total never exceeds the pool.
+
+    Because allotments are driven by *estimates*, a join whose input size was
+    badly under-estimated is starved and will overflow at runtime; this is the
+    behaviour the interleaved-planning experiment exploits.
+
+    Raises
+    ------
+    OptimizationError
+        If the pool cannot even provide the floor allotment to every join.
+    """
+    if not requests:
+        return {}
+    if pool_bytes is None:
+        return {request.operator_id: None for request in requests}
+    floor_total = MIN_JOIN_ALLOTMENT_BYTES * len(requests)
+    if pool_bytes < floor_total:
+        raise OptimizationError(
+            f"memory pool of {pool_bytes} bytes cannot give {len(requests)} joins "
+            f"the minimum of {MIN_JOIN_ALLOTMENT_BYTES} bytes each"
+        )
+    demand_total = sum(max(1, request.estimated_build_bytes) for request in requests)
+    allocations: dict[str, int] = {}
+    # Grant proportionally, cap at the estimated need plus headroom, then clamp
+    # to the floor and scale down if the floors pushed the total over the pool.
+    for request in requests:
+        demand = max(1, request.estimated_build_bytes)
+        share = int(pool_bytes * demand / demand_total)
+        capped = min(share, int(demand * 1.25))
+        allocations[request.operator_id] = max(MIN_JOIN_ALLOTMENT_BYTES, capped)
+    granted = sum(allocations.values())
+    if granted > pool_bytes:
+        # Scale down the above-floor portion so that the total fits.
+        excess = granted - pool_bytes
+        above_floor = {
+            op: amount - MIN_JOIN_ALLOTMENT_BYTES
+            for op, amount in allocations.items()
+            if amount > MIN_JOIN_ALLOTMENT_BYTES
+        }
+        above_total = sum(above_floor.values())
+        if above_total > 0:
+            for op, surplus in above_floor.items():
+                reduction = int(excess * surplus / above_total)
+                allocations[op] = max(MIN_JOIN_ALLOTMENT_BYTES, allocations[op] - reduction)
+    return allocations

@@ -1,0 +1,457 @@
+"""The Tukwila query optimizer.
+
+The optimizer takes a reformulated query and produces an annotated,
+fragmented query execution plan plus the rules that drive runtime adaptivity.
+Its non-traditional aspects (Section 3):
+
+* it may emit a **partial plan** covering only the first join when statistics
+  are missing or uncertain, deferring the rest until real cardinalities exist;
+* it attaches **event-condition-action rules** (re-optimization checks at
+  materialization points, reschedule-on-timeout, overflow policies);
+* it **saves its search space** (:class:`~repro.optimizer.enumeration.OptimizerState`)
+  so re-optimization after a fragment completes is incremental.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.errors import OptimizationError
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.enumeration import DPEntry, JoinEnumerator, OptimizerState
+from repro.optimizer.memory_alloc import JoinMemoryRequest, allocate_memory
+from repro.optimizer.rulegen import rules_for_fragment
+from repro.plan.fragments import Fragment, QueryPlan
+from repro.plan.physical import (
+    JoinImplementation,
+    OperatorSpec,
+    OperatorType,
+    OverflowMethod,
+    collector,
+    join,
+    table_scan,
+    wrapper_scan,
+)
+from repro.query.reformulation import ReformulatedQuery
+
+
+class PlanningStrategy(str, Enum):
+    """How the optimizer fragments the plan (the Figure 5 strategies)."""
+
+    PIPELINE = "pipeline"
+    MATERIALIZE = "materialize"
+    MATERIALIZE_REPLAN = "materialize_replan"
+    PARTIAL = "partial"
+
+
+class ReoptimizationMode(str, Enum):
+    """How re-optimization reuses prior work (the Section 6.5 comparison)."""
+
+    SAVED_STATE = "saved_state"
+    SAVED_STATE_NO_POINTERS = "saved_state_no_pointers"
+    SCRATCH = "scratch"
+
+
+@dataclass
+class OptimizerConfig:
+    """Optimizer tunables.
+
+    Parameters
+    ----------
+    dpj_max_build_bytes:
+        If a join's (reliable) estimated combined input size exceeds this,
+        the optimizer chooses a hybrid hash join instead of the double
+        pipelined join.
+    replan_factor:
+        A fragment triggers re-optimization when its actual cardinality is
+        off by at least this factor (the paper uses 2).
+    reschedule_on_timeout:
+        Whether timeout rules (query scrambling) are attached to fragments.
+    default_overflow_method:
+        Overflow strategy configured on double pipelined joins.
+    memory_pool_bytes:
+        Query memory pool divided among join operators (``None`` = unbounded).
+    assumed_tuple_size_bytes:
+        Tuple size used when the catalog does not know it.
+    """
+
+    dpj_max_build_bytes: int | None = None
+    replan_factor: float = 2.0
+    reschedule_on_timeout: bool = True
+    default_overflow_method: OverflowMethod = OverflowMethod.LEFT_FLUSH
+    memory_pool_bytes: int | None = None
+    assumed_tuple_size_bytes: int = 64
+    cost_parameters: CostParameters = field(default_factory=CostParameters)
+
+
+@dataclass
+class OptimizationResult:
+    """Everything the optimizer hands to the execution layer."""
+
+    plan: QueryPlan
+    state: OptimizerState
+    primary_sources: dict[str, str]
+    strategy: PlanningStrategy
+    statistics_reliable: bool
+
+
+class Optimizer:
+    """System-R style optimizer with partial plans, rules, and saved state."""
+
+    def __init__(self, catalog: DataSourceCatalog, config: OptimizerConfig | None = None) -> None:
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+        self.cost_model = CostModel(catalog, self.config.cost_parameters)
+        self.enumerator = JoinEnumerator(self.cost_model)
+
+    # -- leaf construction --------------------------------------------------------------------
+
+    def _leaf_spec(self, reformulated: ReformulatedQuery, relation: str, suffix: str) -> OperatorSpec:
+        """Build the access spec for one mediated relation leaf."""
+        leaf = reformulated.leaf(relation)
+        if not leaf.is_disjunctive:
+            return wrapper_scan(
+                leaf.primary.source_name, operator_id=f"scan_{relation}_{suffix}"
+            )
+        children = [
+            wrapper_scan(alt.source_name, operator_id=f"scan_{relation}_{alt.source_name}_{suffix}")
+            for alt in leaf.alternatives
+        ]
+        dedup_keys = list(
+            self.catalog.source(leaf.primary.source_name).exported_schema.names
+        )
+        spec = collector(children, operator_id=f"coll_{relation}_{suffix}")
+        spec.params["dedup_keys"] = dedup_keys
+        # Start with the primary source plus one fallback mirror; further
+        # mirrors are contacted only on failure or by policy rules.
+        initially = [children[0].operator_id]
+        if len(children) > 1:
+            initially.append(children[1].operator_id)
+        spec.params["initially_active"] = initially
+        return spec
+
+    def _primary_sources(self, reformulated: ReformulatedQuery) -> dict[str, str]:
+        return {
+            relation: reformulated.leaf(relation).primary.source_name
+            for relation in reformulated.query.relations
+        }
+
+    # -- join tree construction ----------------------------------------------------------------------
+
+    def _choose_join_implementation(
+        self, left: DPEntry, right: DPEntry
+    ) -> JoinImplementation:
+        threshold = self.config.dpj_max_build_bytes
+        if threshold is None:
+            return JoinImplementation.DOUBLE_PIPELINED
+        if not (left.cardinality.reliable and right.cardinality.reliable):
+            return JoinImplementation.DOUBLE_PIPELINED
+        build_bytes = (
+            left.cardinality.value + right.cardinality.value
+        ) * self.config.assumed_tuple_size_bytes
+        if build_bytes > threshold:
+            return JoinImplementation.HYBRID_HASH
+        return JoinImplementation.DOUBLE_PIPELINED
+
+    def _join_spec_for_entry(
+        self,
+        state: OptimizerState,
+        entry: DPEntry,
+        reformulated: ReformulatedQuery,
+        suffix: str,
+        leaf_override: dict[frozenset[str], OperatorSpec] | None = None,
+    ) -> OperatorSpec:
+        """Recursively build the operator tree for a DP entry."""
+        leaf_override = leaf_override or {}
+        if entry.subset in leaf_override:
+            return leaf_override[entry.subset]
+        if entry.materialized_as is not None:
+            return table_scan(entry.materialized_as, operator_id=f"tscan_{entry.materialized_as}_{suffix}")
+        if entry.is_leaf:
+            (relation,) = tuple(entry.subset)
+            spec = self._leaf_spec(reformulated, relation, suffix)
+            spec.estimated_cardinality = entry.cardinality.value
+            spec.estimate_reliable = entry.cardinality.reliable
+            return spec
+        left_entry = state.entry(entry.left)
+        right_entry = state.entry(entry.right)
+        left_spec = self._join_spec_for_entry(state, left_entry, reformulated, suffix, leaf_override)
+        right_spec = self._join_spec_for_entry(state, right_entry, reformulated, suffix, leaf_override)
+        implementation = self._choose_join_implementation(left_entry, right_entry)
+        if implementation == JoinImplementation.HYBRID_HASH:
+            # The smaller input becomes the build (inner/right) side.
+            if left_entry.cardinality.value < right_entry.cardinality.value:
+                left_entry, right_entry = right_entry, left_entry
+                left_spec, right_spec = right_spec, left_spec
+        predicates = [p.oriented(_any_member(p.tables(), left_entry.subset)) for p in entry.predicates]
+        left_keys = [p.left_qualified for p in predicates]
+        right_keys = [p.right_qualified for p in predicates]
+        spec = join(
+            left_spec,
+            right_spec,
+            left_keys,
+            right_keys,
+            implementation=implementation,
+            estimated_cardinality=entry.cardinality.value,
+            overflow_method=self.config.default_overflow_method,
+            operator_id=f"join_{'_'.join(sorted(entry.subset))}_{suffix}",
+        )
+        spec.estimate_reliable = entry.cardinality.reliable
+        return spec
+
+    # -- fragmentation ----------------------------------------------------------------------------------
+
+    def _linear_join_order(self, state: OptimizerState, entry: DPEntry) -> list[DPEntry]:
+        """Join nodes of the best plan in bottom-up execution order."""
+        if entry.is_leaf or entry.materialized_as is not None:
+            return []
+        order: list[DPEntry] = []
+        order.extend(self._linear_join_order(state, state.entry(entry.left)))
+        order.extend(self._linear_join_order(state, state.entry(entry.right)))
+        order.append(entry)
+        return order
+
+    def _fragment_per_join(
+        self,
+        state: OptimizerState,
+        reformulated: ReformulatedQuery,
+        strategy: PlanningStrategy,
+        suffix: str,
+    ) -> tuple[list[Fragment], dict[str, set[str]]]:
+        """Build one fragment per join of the best plan (materializing strategies)."""
+        query = reformulated.query
+        best = state.best_plan()
+        join_entries = self._linear_join_order(state, best)
+        fragments: list[Fragment] = []
+        dependencies: dict[str, set[str]] = {}
+        produced: dict[frozenset[str], tuple[str, str]] = {}  # subset -> (result, fragment)
+        for index, entry in enumerate(join_entries, start=1):
+            result_name = f"{query.name}_{suffix}_r{index}"
+            fragment_id = f"{query.name}_{suffix}_f{index}"
+            leaf_override: dict[frozenset[str], OperatorSpec] = {}
+            deps: set[str] = set()
+            for side in (entry.left, entry.right):
+                if side in produced:
+                    prior_result, prior_fragment = produced[side]
+                    rescan = table_scan(prior_result, operator_id=f"tscan_{prior_result}")
+                    rescan.estimated_cardinality = state.entry(side).cardinality.value
+                    rescan.estimate_reliable = state.entry(side).cardinality.reliable
+                    leaf_override[side] = rescan
+                    deps.add(prior_fragment)
+            root = self._join_spec_for_entry(state, entry, reformulated, f"{suffix}{index}", leaf_override)
+            fragment = Fragment(
+                fragment_id=fragment_id,
+                root=root,
+                result_name=result_name,
+                estimated_cardinality=entry.cardinality.value,
+                estimate_reliable=entry.cardinality.reliable,
+                covers=entry.subset,
+            )
+            fragment.rules = rules_for_fragment(
+                fragment,
+                replan_factor=self.config.replan_factor,
+                reschedule_on_timeout=self.config.reschedule_on_timeout,
+            )
+            if strategy != PlanningStrategy.MATERIALIZE_REPLAN:
+                fragment.rules = [
+                    rule for rule in fragment.rules if not rule.name.startswith("replan-")
+                ]
+            fragments.append(fragment)
+            if deps:
+                dependencies[fragment_id] = deps
+            produced[entry.subset] = (result_name, fragment_id)
+        return fragments, dependencies
+
+    def _single_fragment(
+        self,
+        state: OptimizerState,
+        reformulated: ReformulatedQuery,
+        suffix: str,
+    ) -> Fragment:
+        """One fully pipelined fragment for the whole query."""
+        query = reformulated.query
+        best = state.best_plan()
+        root = self._join_spec_for_entry(state, best, reformulated, suffix)
+        fragment = Fragment(
+            fragment_id=f"{query.name}_{suffix}_f1",
+            root=root,
+            result_name=f"{query.name}_{suffix}_answer",
+            estimated_cardinality=best.cardinality.value,
+            estimate_reliable=best.cardinality.reliable,
+            covers=best.subset,
+        )
+        fragment.rules = rules_for_fragment(
+            fragment,
+            replan_factor=self.config.replan_factor,
+            reschedule_on_timeout=self.config.reschedule_on_timeout,
+        )
+        fragment.rules = [r for r in fragment.rules if not r.name.startswith("replan-")]
+        return fragment
+
+    def _allocate_memory(self, fragments: list[Fragment]) -> None:
+        """Divide the memory pool among all join operators in the plan.
+
+        A join's demand is the estimated size of the inputs it must hold in
+        memory: both inputs for the double pipelined join, the smaller input
+        for a hybrid hash join.  Poor selectivity estimates therefore starve
+        exactly the joins whose inputs were under-estimated — which is what
+        re-optimization later corrects.
+        """
+        requests = []
+        for fragment in fragments:
+            for node in fragment.root.walk():
+                if node.operator_type == OperatorType.JOIN:
+                    child_estimates = [
+                        child.estimated_cardinality
+                        if child.estimated_cardinality is not None
+                        else self.catalog.statistics.default_cardinality
+                        for child in node.children
+                    ]
+                    if node.implementation == JoinImplementation.HYBRID_HASH.value:
+                        build_tuples = min(child_estimates)
+                    else:
+                        build_tuples = sum(child_estimates)
+                    requests.append(
+                        JoinMemoryRequest(
+                            node.operator_id,
+                            estimated_build_bytes=build_tuples
+                            * self.config.assumed_tuple_size_bytes,
+                        )
+                    )
+        allocations = allocate_memory(requests, self.config.memory_pool_bytes)
+        for fragment in fragments:
+            for node in fragment.root.walk():
+                if node.operator_id in allocations:
+                    node.memory_limit_bytes = allocations[node.operator_id]
+
+    # -- public API ---------------------------------------------------------------------------------------
+
+    def should_plan_partially(self, reformulated: ReformulatedQuery) -> bool:
+        """Heuristic from Section 3: plan partially when statistics are unreliable."""
+        return not self.cost_model.has_reliable_statistics(
+            reformulated.query, self._primary_sources(reformulated)
+        )
+
+    def optimize(
+        self,
+        reformulated: ReformulatedQuery,
+        strategy: PlanningStrategy = PlanningStrategy.MATERIALIZE_REPLAN,
+        plan_suffix: str = "p1",
+    ) -> OptimizationResult:
+        """Produce a plan (and saved state) for a reformulated query."""
+        query = reformulated.query
+        primary_sources = self._primary_sources(reformulated)
+        state = self.enumerator.enumerate(
+            query, primary_sources, memory_limit_bytes=self.config.memory_pool_bytes
+        )
+        reliable = self.cost_model.has_reliable_statistics(query, primary_sources)
+
+        if len(query.relations) == 1 or strategy == PlanningStrategy.PIPELINE:
+            fragments = [self._single_fragment(state, reformulated, plan_suffix)]
+            dependencies: dict[str, set[str]] = {}
+        else:
+            fragments, dependencies = self._fragment_per_join(
+                state, reformulated, strategy, plan_suffix
+            )
+            if strategy == PlanningStrategy.PARTIAL and len(fragments) > 1:
+                first = fragments[0]
+                fragments = [first]
+                dependencies = {}
+        self._allocate_memory(fragments)
+        plan = QueryPlan(
+            query_name=query.name,
+            fragments=fragments,
+            dependencies=dependencies,
+            partial=(strategy == PlanningStrategy.PARTIAL and len(query.relations) > 2),
+        )
+        return OptimizationResult(
+            plan=plan,
+            state=state,
+            primary_sources=primary_sources,
+            strategy=strategy,
+            statistics_reliable=reliable,
+        )
+
+    def reoptimize(
+        self,
+        previous: OptimizationResult,
+        reformulated: ReformulatedQuery,
+        materializations: list[tuple[frozenset[str], str, int]],
+        mode: ReoptimizationMode = ReoptimizationMode.SAVED_STATE,
+        plan_suffix: str = "p2",
+    ) -> OptimizationResult:
+        """Re-optimize after one or more fragments materialized.
+
+        ``materializations`` lists ``(covered relations, result name, actual
+        cardinality)`` for each completed fragment whose result should be
+        treated as a base relation.  The returned plan joins those results
+        with the remaining relations; the mode controls how much of the
+        previous dynamic program is reused.
+        """
+        if not materializations:
+            raise OptimizationError("re-optimization requires at least one materialization")
+        state = previous.state
+        for covered, result_name, actual_cardinality in materializations:
+            if not covered:
+                raise OptimizationError("re-optimization requires non-empty covered sets")
+            if mode == ReoptimizationMode.SCRATCH:
+                state = self.enumerator.replan_from_scratch(
+                    state,
+                    covered,
+                    result_name,
+                    actual_cardinality,
+                    previous.primary_sources,
+                    memory_limit_bytes=self.config.memory_pool_bytes,
+                )
+            else:
+                state = self.enumerator.reoptimize_with_saved_state(
+                    state,
+                    covered,
+                    result_name,
+                    actual_cardinality,
+                    memory_limit_bytes=self.config.memory_pool_bytes,
+                    use_usage_pointers=(mode == ReoptimizationMode.SAVED_STATE),
+                )
+        fragments, dependencies = self._fragment_per_join(
+            state, reformulated, previous.strategy, plan_suffix
+        )
+        # Drop fragments that only re-materialize already-covered subsets.
+        covered_union: frozenset[str] = frozenset().union(
+            *(covered for covered, _, _ in materializations)
+        )
+        fragments = [f for f in fragments if not f.covers <= covered_union]
+        if not fragments:
+            raise OptimizationError(
+                "re-optimization produced no remaining fragments; the query was already complete"
+            )
+        kept_ids = {f.fragment_id for f in fragments}
+        dependencies = {
+            fid: {d for d in deps if d in kept_ids}
+            for fid, deps in dependencies.items()
+            if fid in kept_ids
+        }
+        dependencies = {fid: deps for fid, deps in dependencies.items() if deps}
+        self._allocate_memory(fragments)
+        plan = QueryPlan(
+            query_name=reformulated.query.name,
+            fragments=fragments,
+            dependencies=dependencies,
+            partial=False,
+        )
+        return OptimizationResult(
+            plan=plan,
+            state=state,
+            primary_sources=previous.primary_sources,
+            strategy=previous.strategy,
+            statistics_reliable=previous.statistics_reliable,
+        )
+
+
+def _any_member(tables: frozenset[str], subset: frozenset[str]) -> str:
+    """The table of ``tables`` that lies in ``subset`` (for predicate orientation)."""
+    for table in tables:
+        if table in subset:
+            return table
+    raise OptimizationError(f"predicate tables {sorted(tables)} do not intersect {sorted(subset)}")

@@ -1,0 +1,353 @@
+"""Plan serialization: the human-writable plan language.
+
+The original Tukwila engine accepted plans in an XML-based, human-writable
+query plan language.  This module serializes :class:`~repro.plan.fragments.QueryPlan`
+objects to that style of XML and parses them back, including the rule
+language (events, a restricted condition grammar, and actions).
+
+The condition grammar accepted on parse covers what the optimizer generates:
+
+.. code-block:: text
+
+    condition := "true" | "false" | comparison
+                 | condition "and" condition
+                 | condition "or" condition
+                 | "not" condition
+    comparison := term OP [number "*"] term
+    term       := card(ID) | est_card(ID) | memory(ID) | time(ID)
+                  | state(ID) | event.value | number | 'string'
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.errors import PlanError, RuleError
+from repro.plan.fragments import Fragment, QueryPlan
+from repro.plan.physical import OperatorSpec, OperatorType
+from repro.plan.rules import (
+    Action,
+    ActionType,
+    Always,
+    And,
+    Compare,
+    Condition,
+    EventType,
+    Never,
+    Not,
+    Or,
+    Rule,
+    card,
+    constant,
+    est_card,
+    event_value,
+    memory,
+    state,
+    time_waiting,
+)
+from repro.query.conjunctive import SelectionPredicate
+
+# -- condition rendering / parsing ----------------------------------------------------
+
+
+def render_condition(condition: Condition) -> str:
+    """Render a condition with the grammar :func:`parse_condition` accepts."""
+    return str(condition)
+
+
+_TERM_RE = re.compile(r"^(card|est_card|memory|time|state)\((\w+)\)$")
+_TERM_BUILDERS = {
+    "card": card,
+    "est_card": est_card,
+    "memory": memory,
+    "time": time_waiting,
+    "state": state,
+}
+_OPS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+def _parse_term(text: str):
+    text = text.strip()
+    if text == "event.value":
+        return event_value()
+    match = _TERM_RE.match(text)
+    if match:
+        return _TERM_BUILDERS[match.group(1)](match.group(2))
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return constant(text[1:-1])
+    try:
+        return constant(int(text))
+    except ValueError:
+        pass
+    try:
+        return constant(float(text))
+    except ValueError:
+        pass
+    raise RuleError(f"cannot parse condition term {text!r}")
+
+
+def _parse_comparison(text: str) -> Condition:
+    for op in _OPS:
+        # Split on the first occurrence of the operator surrounded by spaces to
+        # avoid matching '=' inside '<=' / '>='.
+        pattern = re.compile(rf"\s{re.escape(op)}\s")
+        match = pattern.search(text)
+        if match:
+            left_text = text[: match.start()].strip()
+            right_text = text[match.end() :].strip()
+            scale = 1.0
+            scale_match = re.match(r"^([\d.]+)\s*\*\s*(.+)$", right_text)
+            if scale_match and not _TERM_RE.match(right_text):
+                scale = float(scale_match.group(1))
+                right_text = scale_match.group(2).strip()
+            return Compare(_parse_term(left_text), op, _parse_term(right_text), scale=scale)
+    raise RuleError(f"cannot parse comparison {text!r}")
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse the restricted condition grammar into a :class:`Condition`."""
+    text = text.strip()
+    if not text or text == "true":
+        return Always()
+    if text == "false":
+        return Never()
+    # Strip one redundant outer parenthesis level if it wraps the whole string.
+    while text.startswith("(") and text.endswith(")"):
+        depth = 0
+        wraps = True
+        for i, char in enumerate(text):
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0 and i != len(text) - 1:
+                    wraps = False
+                    break
+        if not wraps:
+            break
+        text = text[1:-1].strip()
+        if text == "true":
+            return Always()
+        if text == "false":
+            return Never()
+
+    # Find a top-level 'and' / 'or' (not inside parentheses).
+    depth = 0
+    tokens = re.split(r"(\(|\)|\s+and\s+|\s+or\s+)", text)
+    position = 0
+    for token in tokens:
+        stripped = token.strip()
+        if stripped == "(":
+            depth += 1
+        elif stripped == ")":
+            depth -= 1
+        elif depth == 0 and stripped in ("and", "or"):
+            left = text[:position].strip()
+            right = text[position + len(token) :].strip()
+            if stripped == "and":
+                return And(parse_condition(left), parse_condition(right))
+            return Or(parse_condition(left), parse_condition(right))
+        position += len(token)
+
+    if text.startswith("not "):
+        return Not(parse_condition(text[4:]))
+    return _parse_comparison(text)
+
+
+# -- XML serialization ------------------------------------------------------------------
+
+
+def _predicate_to_xml(pred: SelectionPredicate) -> ET.Element:
+    element = ET.Element("predicate")
+    element.set("table", pred.table)
+    element.set("attr", pred.attr)
+    element.set("op", pred.op)
+    element.set("value", repr(pred.value))
+    return element
+
+
+def _predicate_from_xml(element: ET.Element) -> SelectionPredicate:
+    raw = element.get("value", "None")
+    try:
+        value = eval(raw, {"__builtins__": {}})  # noqa: S307 - literals written by us
+    except Exception as exc:  # pragma: no cover - defensive
+        raise PlanError(f"cannot parse predicate value {raw!r}") from exc
+    return SelectionPredicate(
+        element.get("table", ""), element.get("attr", ""), element.get("op", "="), value
+    )
+
+
+def _params_to_xml(parent: ET.Element, params: dict[str, Any]) -> None:
+    for key, value in sorted(params.items()):
+        if key == "predicates":
+            container = ET.SubElement(parent, "param", {"name": key, "kind": "predicates"})
+            for predicate in value:
+                container.append(_predicate_to_xml(predicate))
+        elif isinstance(value, (list, tuple)):
+            container = ET.SubElement(parent, "param", {"name": key, "kind": "list"})
+            for item in value:
+                ET.SubElement(container, "item").text = str(item)
+        else:
+            ET.SubElement(
+                parent, "param", {"name": key, "kind": "scalar"}
+            ).text = "" if value is None else str(value)
+
+
+def _params_from_xml(element: ET.Element) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for param in element.findall("param"):
+        name = param.get("name", "")
+        kind = param.get("kind", "scalar")
+        if kind == "predicates":
+            params[name] = [_predicate_from_xml(p) for p in param.findall("predicate")]
+        elif kind == "list":
+            params[name] = [item.text or "" for item in param.findall("item")]
+        else:
+            params[name] = param.text or ""
+    return params
+
+
+def _operator_to_xml(spec: OperatorSpec) -> ET.Element:
+    element = ET.Element("operator")
+    element.set("id", spec.operator_id)
+    element.set("type", spec.operator_type.value)
+    if spec.implementation:
+        element.set("implementation", spec.implementation)
+    if spec.memory_limit_bytes is not None:
+        element.set("memory", str(spec.memory_limit_bytes))
+    if spec.estimated_cardinality is not None:
+        element.set("estimate", str(spec.estimated_cardinality))
+    element.set("reliable", "true" if spec.estimate_reliable else "false")
+    _params_to_xml(element, spec.params)
+    for child in spec.children:
+        element.append(_operator_to_xml(child))
+    return element
+
+
+def _operator_from_xml(element: ET.Element) -> OperatorSpec:
+    children = [_operator_from_xml(child) for child in element.findall("operator")]
+    memory_attr = element.get("memory")
+    estimate_attr = element.get("estimate")
+    return OperatorSpec(
+        operator_id=element.get("id", ""),
+        operator_type=OperatorType(element.get("type", "")),
+        implementation=element.get("implementation", ""),
+        children=children,
+        params=_params_from_xml(element),
+        memory_limit_bytes=int(memory_attr) if memory_attr else None,
+        estimated_cardinality=int(estimate_attr) if estimate_attr else None,
+        estimate_reliable=element.get("reliable", "true") == "true",
+    )
+
+
+def _rule_to_xml(rule: Rule) -> ET.Element:
+    element = ET.Element("rule")
+    element.set("name", rule.name)
+    element.set("owner", rule.owner)
+    element.set("event", rule.event_type.value)
+    element.set("subject", rule.subject)
+    ET.SubElement(element, "condition").text = render_condition(rule.condition)
+    actions = ET.SubElement(element, "actions")
+    for action in rule.actions:
+        action_el = ET.SubElement(actions, "action")
+        action_el.set("type", action.action_type.value)
+        if action.target:
+            action_el.set("target", action.target)
+        if action.argument is not None:
+            action_el.set("argument", str(action.argument))
+    return element
+
+
+def _rule_from_xml(element: ET.Element) -> Rule:
+    condition_el = element.find("condition")
+    condition = parse_condition(condition_el.text or "true") if condition_el is not None else Always()
+    actions = []
+    actions_el = element.find("actions")
+    if actions_el is not None:
+        for action_el in actions_el.findall("action"):
+            argument: Any = action_el.get("argument")
+            if argument is not None and re.fullmatch(r"-?\d+", argument):
+                argument = int(argument)
+            actions.append(
+                Action(
+                    ActionType(action_el.get("type", "")),
+                    action_el.get("target", ""),
+                    argument,
+                )
+            )
+    return Rule(
+        name=element.get("name", ""),
+        owner=element.get("owner", ""),
+        event_type=EventType(element.get("event", "")),
+        subject=element.get("subject", ""),
+        condition=condition,
+        actions=actions,
+    )
+
+
+def plan_to_xml(plan: QueryPlan) -> str:
+    """Serialize a plan to the XML plan language."""
+    root = ET.Element("plan")
+    root.set("query", plan.query_name)
+    root.set("partial", "true" if plan.partial else "false")
+    root.set("answer", plan.answer_name)
+    for fragment in plan.fragments:
+        frag_el = ET.SubElement(root, "fragment")
+        frag_el.set("id", fragment.fragment_id)
+        frag_el.set("result", fragment.result_name)
+        if fragment.estimated_cardinality is not None:
+            frag_el.set("estimate", str(fragment.estimated_cardinality))
+        frag_el.set("reliable", "true" if fragment.estimate_reliable else "false")
+        if fragment.covers:
+            frag_el.set("covers", ",".join(sorted(fragment.covers)))
+        deps = sorted(plan.dependencies.get(fragment.fragment_id, set()))
+        if deps:
+            frag_el.set("after", ",".join(deps))
+        frag_el.append(_operator_to_xml(fragment.root))
+        for rule in fragment.rules:
+            frag_el.append(_rule_to_xml(rule))
+    for rule in plan.global_rules:
+        root.append(_rule_to_xml(rule))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def plan_from_xml(text: str) -> QueryPlan:
+    """Parse a plan from the XML plan language."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PlanError(f"malformed plan XML: {exc}") from exc
+    if root.tag != "plan":
+        raise PlanError(f"expected <plan> root element, got <{root.tag}>")
+    fragments = []
+    dependencies: dict[str, set[str]] = {}
+    for frag_el in root.findall("fragment"):
+        operator_el = frag_el.find("operator")
+        if operator_el is None:
+            raise PlanError("fragment is missing its operator tree")
+        estimate_attr = frag_el.get("estimate")
+        covers_attr = frag_el.get("covers", "")
+        fragment = Fragment(
+            fragment_id=frag_el.get("id", ""),
+            root=_operator_from_xml(operator_el),
+            result_name=frag_el.get("result", ""),
+            rules=[_rule_from_xml(rule_el) for rule_el in frag_el.findall("rule")],
+            estimated_cardinality=int(estimate_attr) if estimate_attr else None,
+            estimate_reliable=frag_el.get("reliable", "true") == "true",
+            covers=frozenset(covers_attr.split(",")) if covers_attr else frozenset(),
+        )
+        fragments.append(fragment)
+        after = frag_el.get("after", "")
+        if after:
+            dependencies[fragment.fragment_id] = set(after.split(","))
+    return QueryPlan(
+        query_name=root.get("query", "query"),
+        fragments=fragments,
+        dependencies=dependencies,
+        global_rules=[_rule_from_xml(rule_el) for rule_el in root.findall("rule")],
+        partial=root.get("partial", "false") == "true",
+        answer_name=root.get("answer", ""),
+    )

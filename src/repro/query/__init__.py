@@ -1,0 +1,30 @@
+"""Query model: mediated schema, conjunctive queries, parsing, reformulation."""
+
+from repro.query.conjunctive import (
+    COMPARATORS,
+    ConjunctiveQuery,
+    JoinPredicate,
+    SelectionPredicate,
+)
+from repro.query.mediated import MediatedRelation, MediatedSchema
+from repro.query.parser import parse_query
+from repro.query.reformulation import (
+    DisjunctiveLeaf,
+    LeafAlternative,
+    ReformulatedQuery,
+    Reformulator,
+)
+
+__all__ = [
+    "COMPARATORS",
+    "ConjunctiveQuery",
+    "DisjunctiveLeaf",
+    "JoinPredicate",
+    "LeafAlternative",
+    "MediatedRelation",
+    "MediatedSchema",
+    "ReformulatedQuery",
+    "Reformulator",
+    "SelectionPredicate",
+    "parse_query",
+]

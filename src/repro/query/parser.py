@@ -1,0 +1,125 @@
+"""A small SQL-ish parser for conjunctive queries.
+
+The paper's example query is plain SQL::
+
+    Select * from A,B,C,D,E
+    where A.ssn = B.ssn and B.ssn = C.ssn and ...
+
+This parser accepts that subset — ``SELECT <projection> FROM <relations>
+WHERE <conjunction of equality/comparison predicates>`` — and produces a
+:class:`~repro.query.conjunctive.ConjunctiveQuery`.  It exists so examples
+and tests can state queries readably; programmatic construction remains the
+primary API.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import QueryError
+from repro.query.conjunctive import (
+    COMPARATORS,
+    ConjunctiveQuery,
+    JoinPredicate,
+    SelectionPredicate,
+)
+
+_QUERY_RE = re.compile(
+    r"^\s*select\s+(?P<projection>.+?)\s+from\s+(?P<relations>.+?)"
+    r"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+# Longest operators first so '<=' is not tokenized as '<'.
+_OPS = sorted(COMPARATORS, key=len, reverse=True)
+_CONDITION_RE = re.compile(
+    r"^\s*(?P<left>[\w.]+)\s*(?P<op>" + "|".join(re.escape(op) for op in _OPS) + r")\s*(?P<right>.+?)\s*$"
+)
+
+
+def _parse_literal(text: str) -> Any:
+    """Interpret a literal token: quoted string, int, or float."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    raise QueryError(f"cannot interpret literal {text!r} (quote strings)")
+
+
+def _split_qualified(token: str) -> tuple[str, str]:
+    if "." not in token:
+        raise QueryError(
+            f"attribute {token!r} must be qualified as relation.attribute"
+        )
+    table, _, attr = token.partition(".")
+    return table, attr
+
+
+def parse_query(sql: str, name: str = "query") -> ConjunctiveQuery:
+    """Parse an SPJ query string into a :class:`ConjunctiveQuery`.
+
+    Raises
+    ------
+    QueryError
+        On any syntax the restricted grammar does not cover.
+    """
+    match = _QUERY_RE.match(sql)
+    if not match:
+        raise QueryError(f"cannot parse query: {sql!r}")
+
+    projection_text = match.group("projection").strip()
+    projection: tuple[str, ...]
+    if projection_text == "*":
+        projection = ()
+    else:
+        projection = tuple(token.strip() for token in projection_text.split(","))
+        for attr in projection:
+            _split_qualified(attr)
+
+    relations = tuple(token.strip() for token in match.group("relations").split(","))
+    if any(not re.fullmatch(r"\w+", rel) for rel in relations):
+        raise QueryError(f"malformed relation list: {match.group('relations')!r}")
+
+    join_predicates: list[JoinPredicate] = []
+    selections: list[SelectionPredicate] = []
+    where = match.group("where")
+    if where:
+        conditions = re.split(r"\s+and\s+", where, flags=re.IGNORECASE)
+        for condition in conditions:
+            cond_match = _CONDITION_RE.match(condition)
+            if not cond_match:
+                raise QueryError(f"cannot parse condition {condition!r}")
+            left = cond_match.group("left")
+            op = cond_match.group("op")
+            right = cond_match.group("right").strip()
+            left_table, left_attr = _split_qualified(left)
+            is_attribute_ref = re.fullmatch(r"[A-Za-z_]\w*\.[A-Za-z_]\w*", right) is not None
+            if is_attribute_ref:
+                if op != "=":
+                    raise QueryError(
+                        f"only equi-joins are supported between attributes: {condition!r}"
+                    )
+                right_table, right_attr = _split_qualified(right)
+                join_predicates.append(
+                    JoinPredicate(left_table, left_attr, right_table, right_attr)
+                )
+            else:
+                selections.append(
+                    SelectionPredicate(left_table, left_attr, op, _parse_literal(right))
+                )
+
+    return ConjunctiveQuery(
+        name=name,
+        relations=relations,
+        join_predicates=join_predicates,
+        selections=selections,
+        projection=projection,
+    )

@@ -1,0 +1,43 @@
+"""Relational storage substrate: schemas, tuples, relations, hash tables.
+
+This package provides the storage primitives the Tukwila engine is built on:
+
+* :class:`~repro.storage.schema.Schema` / :class:`~repro.storage.schema.Attribute`
+* :class:`~repro.storage.tuples.Row`
+* :class:`~repro.storage.relation.Relation`
+* :class:`~repro.storage.hash_table.BucketedHashTable` with spill-to-disk
+* :class:`~repro.storage.disk.SimulatedDisk` with tuple/page I/O accounting
+* :class:`~repro.storage.memory.MemoryPool` / :class:`~repro.storage.memory.MemoryBudget`
+* :class:`~repro.storage.table_store.LocalStore` for fragment materialization
+"""
+
+from repro.storage.disk import DiskStats, OverflowFile, SimulatedDisk, PAGE_SIZE_BYTES
+from repro.storage.hash_table import BucketedHashTable, Bucket, DEFAULT_BUCKET_COUNT
+from repro.storage.memory import MB, MemoryBudget, MemoryPool, MemoryStats
+from repro.storage.relation import Relation
+from repro.storage.schema import Attribute, Schema, TYPE_SIZES, merge_union_schema
+from repro.storage.table_store import LocalStore, MaterializationInfo
+from repro.storage.tuples import Row, rows_from_dicts
+
+__all__ = [
+    "Attribute",
+    "Bucket",
+    "BucketedHashTable",
+    "DEFAULT_BUCKET_COUNT",
+    "DiskStats",
+    "LocalStore",
+    "MB",
+    "MaterializationInfo",
+    "MemoryBudget",
+    "MemoryPool",
+    "MemoryStats",
+    "OverflowFile",
+    "PAGE_SIZE_BYTES",
+    "Relation",
+    "Row",
+    "Schema",
+    "SimulatedDisk",
+    "TYPE_SIZES",
+    "merge_union_schema",
+    "rows_from_dicts",
+]

@@ -1,0 +1,220 @@
+"""Bucketed, spillable hash tables.
+
+Both the hybrid hash join and the double pipelined join build their inputs
+into a :class:`BucketedHashTable`: a fixed number of buckets, each holding
+rows in memory until its owner decides to flush it to a
+:class:`~repro.storage.disk.OverflowFile`.  The table charges every resident
+row against a :class:`~repro.storage.memory.MemoryBudget`, so the join
+operators discover memory pressure exactly when the paper's engine would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.storage.disk import OverflowFile, SimulatedDisk
+from repro.storage.memory import MemoryBudget
+from repro.storage.tuples import Row
+
+#: Default bucket count; the paper's engine sized this from optimizer hints.
+DEFAULT_BUCKET_COUNT = 64
+
+
+def bucket_of(key: tuple[Any, ...], bucket_count: int) -> int:
+    """Deterministic bucket assignment for a join key."""
+    return hash(key) % bucket_count
+
+
+@dataclass
+class Bucket:
+    """One hash bucket: resident rows plus an optional overflow file."""
+
+    index: int
+    rows: dict[tuple[Any, ...], list[Row]] = field(default_factory=dict)
+    resident_count: int = 0
+    resident_bytes: int = 0
+    overflow: OverflowFile | None = None
+    flushed: bool = False
+
+    def add(self, key: tuple[Any, ...], row: Row) -> None:
+        self.rows.setdefault(key, []).append(row)
+        self.resident_count += 1
+        self.resident_bytes += row.size_bytes
+
+    def matches(self, key: tuple[Any, ...]) -> list[Row]:
+        return self.rows.get(key, [])
+
+    def drain(self) -> Iterator[tuple[tuple[Any, ...], Row]]:
+        """Yield and remove all resident rows."""
+        for key, rows in self.rows.items():
+            for row in rows:
+                yield key, row
+        self.rows = {}
+        self.resident_count = 0
+        self.resident_bytes = 0
+
+
+class BucketedHashTable:
+    """A hash table over join keys with per-bucket spill support.
+
+    Parameters
+    ----------
+    key_names:
+        Attribute names forming the hash key.
+    budget:
+        Memory budget charged for resident rows.
+    disk:
+        Destination for flushed buckets.
+    bucket_count:
+        Number of hash buckets.
+    name:
+        Used in overflow file names and error messages.
+    """
+
+    def __init__(
+        self,
+        key_names: Sequence[str],
+        budget: MemoryBudget,
+        disk: SimulatedDisk,
+        bucket_count: int = DEFAULT_BUCKET_COUNT,
+        name: str = "hash",
+    ) -> None:
+        if bucket_count <= 0:
+            raise StorageError(f"bucket count must be positive, got {bucket_count}")
+        self.key_names = tuple(key_names)
+        self.budget = budget
+        self.disk = disk
+        self.bucket_count = bucket_count
+        self.name = name
+        self.buckets = [Bucket(i) for i in range(bucket_count)]
+        self.total_inserted = 0
+
+    # -- basic operations --------------------------------------------------------
+
+    def key_for(self, row: Row) -> tuple[Any, ...]:
+        return row.key(self.key_names)
+
+    def bucket_for_key(self, key: tuple[Any, ...]) -> Bucket:
+        return self.buckets[bucket_of(key, self.bucket_count)]
+
+    def insert(self, row: Row, marked: bool = False) -> bool:
+        """Insert ``row``.
+
+        Returns ``True`` when the row is resident in memory, ``False`` when it
+        went straight to the bucket's overflow file (because the bucket was
+        already flushed) or when the memory budget refused the reservation.
+        A ``False`` return with an un-flushed bucket signals the caller that
+        its overflow strategy must run before retrying.
+        """
+        key = self.key_for(row)
+        bucket = self.bucket_for_key(key)
+        self.total_inserted += 1
+        if bucket.flushed:
+            self._ensure_overflow(bucket).write(row, marked)
+            return False
+        if not self.budget.try_reserve(row.size_bytes):
+            self.total_inserted -= 1
+            return False
+        bucket.add(key, row)
+        return True
+
+    def insert_resident(self, row: Row) -> None:
+        """Insert assuming memory is available; raises if the budget refuses."""
+        if not self.insert(row):
+            raise StorageError(
+                f"{self.name}: failed to insert resident row (budget exhausted "
+                f"or bucket flushed)"
+            )
+
+    def probe(self, key: tuple[Any, ...]) -> list[Row]:
+        """Resident rows matching ``key`` (flushed rows are not visible here)."""
+        return self.bucket_for_key(key).matches(key)
+
+    def probe_row(self, row: Row, key_names: Sequence[str]) -> list[Row]:
+        """Probe using ``row``'s values of ``key_names`` as the key."""
+        return self.probe(row.key(key_names))
+
+    def is_bucket_flushed_for(self, key: tuple[Any, ...]) -> bool:
+        return self.bucket_for_key(key).flushed
+
+    # -- flushing ----------------------------------------------------------------
+
+    def _ensure_overflow(self, bucket: Bucket) -> OverflowFile:
+        if bucket.overflow is None:
+            bucket.overflow = self.disk.create_file(f"{self.name}-b{bucket.index}")
+        return bucket.overflow
+
+    def flush_bucket(self, index: int, mark_rows: bool = False) -> int:
+        """Write bucket ``index`` to disk, releasing its memory.
+
+        Returns the number of rows flushed.  Subsequent inserts into this
+        bucket go directly to its overflow file.
+        """
+        bucket = self.buckets[index]
+        overflow = self._ensure_overflow(bucket)
+        flushed = 0
+        released = bucket.resident_bytes
+        for _, row in bucket.drain():
+            overflow.write(row, mark_rows)
+            flushed += 1
+        bucket.flushed = True
+        self.budget.release(released)
+        return flushed
+
+    def flush_largest_bucket(self, mark_rows: bool = False) -> int | None:
+        """Flush the resident bucket holding the most bytes; returns its index."""
+        candidates = [b for b in self.buckets if not b.flushed and b.resident_count > 0]
+        if not candidates:
+            return None
+        victim = max(candidates, key=lambda b: b.resident_bytes)
+        self.flush_bucket(victim.index, mark_rows)
+        return victim.index
+
+    def flush_all(self, mark_rows: bool = False) -> int:
+        """Flush every resident bucket; returns total rows flushed."""
+        total = 0
+        for bucket in self.buckets:
+            if bucket.resident_count > 0 or not bucket.flushed:
+                total += self.flush_bucket(bucket.index, mark_rows)
+        return total
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def resident_rows(self) -> int:
+        return sum(b.resident_count for b in self.buckets)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(b.resident_bytes for b in self.buckets)
+
+    @property
+    def flushed_buckets(self) -> list[int]:
+        return [b.index for b in self.buckets if b.flushed]
+
+    @property
+    def has_resident_data(self) -> bool:
+        return any(b.resident_count > 0 for b in self.buckets)
+
+    def resident_items(self) -> Iterator[Row]:
+        """All resident rows, bucket by bucket."""
+        for bucket in self.buckets:
+            for rows in bucket.rows.values():
+                yield from rows
+
+    def overflow_rows(self, index: int) -> Iterator[tuple[Row, bool]]:
+        """Read back bucket ``index``'s overflow file (charging read I/O)."""
+        bucket = self.buckets[index]
+        if bucket.overflow is None:
+            return iter(())
+        return bucket.overflow.read()
+
+    def release_all(self) -> None:
+        """Drop all resident rows and return their memory to the budget."""
+        for bucket in self.buckets:
+            self.budget.release(bucket.resident_bytes)
+            bucket.rows = {}
+            bucket.resident_count = 0
+            bucket.resident_bytes = 0

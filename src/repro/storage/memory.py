@@ -1,0 +1,173 @@
+"""Memory budgets and the memory manager.
+
+Tukwila's optimizer assigns each operator a memory allotment (Section 3.1.1)
+and the execution engine raises an ``out of memory`` event when an operator
+exceeds it.  :class:`MemoryPool` is the per-query pool, and
+:class:`MemoryBudget` is the slice granted to one operator.  Budgets are
+byte-accounted: hash tables reserve the estimated tuple footprint for every
+inserted row and release it when buckets are flushed to disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import MemoryBudgetError
+
+MB = 1024 * 1024
+
+
+@dataclass
+class MemoryStats:
+    """High-water-mark statistics for a budget or pool."""
+
+    reserved: int = 0
+    peak: int = 0
+    overflow_events: int = 0
+
+    def reserve(self, nbytes: int) -> None:
+        self.reserved += nbytes
+        if self.reserved > self.peak:
+            self.peak = self.reserved
+
+    def release(self, nbytes: int) -> None:
+        self.reserved = max(0, self.reserved - nbytes)
+
+
+class MemoryBudget:
+    """A byte-accounted allotment for a single operator.
+
+    ``try_reserve`` returns ``False`` instead of raising when the allotment
+    would be exceeded, which lets adaptive operators trigger their overflow
+    strategy; ``reserve`` raises :class:`MemoryBudgetError` for operators with
+    no overflow path.
+    """
+
+    def __init__(
+        self,
+        limit_bytes: int | None,
+        name: str = "operator",
+        on_overflow: Callable[["MemoryBudget"], None] | None = None,
+    ) -> None:
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise MemoryBudgetError(f"memory limit must be positive, got {limit_bytes}")
+        self.limit_bytes = limit_bytes
+        self.name = name
+        self.stats = MemoryStats()
+        self._on_overflow = on_overflow
+
+    @property
+    def unlimited(self) -> bool:
+        return self.limit_bytes is None
+
+    @property
+    def used_bytes(self) -> int:
+        return self.stats.reserved
+
+    @property
+    def available_bytes(self) -> int | None:
+        if self.limit_bytes is None:
+            return None
+        return max(0, self.limit_bytes - self.stats.reserved)
+
+    def would_overflow(self, nbytes: int) -> bool:
+        """True when reserving ``nbytes`` more would exceed the limit."""
+        if self.limit_bytes is None:
+            return False
+        return self.stats.reserved + nbytes > self.limit_bytes
+
+    def try_reserve(self, nbytes: int) -> bool:
+        """Reserve ``nbytes`` if possible; on failure notify and return False."""
+        if self.would_overflow(nbytes):
+            self.stats.overflow_events += 1
+            if self._on_overflow is not None:
+                self._on_overflow(self)
+            return False
+        self.stats.reserve(nbytes)
+        return True
+
+    def reserve(self, nbytes: int) -> None:
+        """Reserve ``nbytes`` or raise :class:`MemoryBudgetError`."""
+        if not self.try_reserve(nbytes):
+            raise MemoryBudgetError(
+                f"{self.name}: cannot reserve {nbytes} bytes "
+                f"(used {self.stats.reserved} of {self.limit_bytes})"
+            )
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the budget."""
+        self.stats.release(nbytes)
+
+    def resize(self, new_limit_bytes: int | None) -> None:
+        """Change the allotment (the ``alter memory allotment`` rule action)."""
+        if new_limit_bytes is not None and new_limit_bytes <= 0:
+            raise MemoryBudgetError(f"memory limit must be positive, got {new_limit_bytes}")
+        self.limit_bytes = new_limit_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        limit = "unbounded" if self.limit_bytes is None else f"{self.limit_bytes}B"
+        return f"MemoryBudget({self.name!r}, used={self.stats.reserved}B, limit={limit})"
+
+
+class MemoryPool:
+    """Per-query memory pool from which operator budgets are carved.
+
+    The pool enforces that the sum of carved budgets does not exceed the pool
+    size, mirroring the optimizer's memory allocation step.
+    """
+
+    def __init__(self, total_bytes: int | None = None, name: str = "query") -> None:
+        if total_bytes is not None and total_bytes <= 0:
+            raise MemoryBudgetError(f"pool size must be positive, got {total_bytes}")
+        self.total_bytes = total_bytes
+        self.name = name
+        self._granted = 0
+        self._budgets: dict[str, MemoryBudget] = {}
+
+    @property
+    def granted_bytes(self) -> int:
+        return self._granted
+
+    @property
+    def remaining_bytes(self) -> int | None:
+        if self.total_bytes is None:
+            return None
+        return max(0, self.total_bytes - self._granted)
+
+    def grant(
+        self,
+        operator_name: str,
+        nbytes: int | None,
+        on_overflow: Callable[[MemoryBudget], None] | None = None,
+    ) -> MemoryBudget:
+        """Carve a budget of ``nbytes`` (or unbounded) for ``operator_name``."""
+        if nbytes is not None:
+            if self.total_bytes is not None and self._granted + nbytes > self.total_bytes:
+                raise MemoryBudgetError(
+                    f"pool {self.name!r}: cannot grant {nbytes} bytes to "
+                    f"{operator_name!r}; {self.remaining_bytes} bytes remain"
+                )
+            self._granted += nbytes
+        budget = MemoryBudget(nbytes, name=operator_name, on_overflow=on_overflow)
+        self._budgets[operator_name] = budget
+        return budget
+
+    def revoke(self, operator_name: str) -> None:
+        """Return an operator's allotment to the pool."""
+        budget = self._budgets.pop(operator_name, None)
+        if budget is not None and budget.limit_bytes is not None:
+            self._granted = max(0, self._granted - budget.limit_bytes)
+
+    def budget(self, operator_name: str) -> MemoryBudget:
+        """Look up a previously granted budget."""
+        try:
+            return self._budgets[operator_name]
+        except KeyError:
+            raise MemoryBudgetError(
+                f"no budget granted to operator {operator_name!r}"
+            ) from None
+
+    @property
+    def budgets(self) -> dict[str, MemoryBudget]:
+        return dict(self._budgets)

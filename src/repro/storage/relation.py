@@ -1,0 +1,168 @@
+"""In-memory relations (base tables and materialized intermediate results)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row, rows_from_dicts
+
+
+class Relation:
+    """A named bag of rows sharing one schema.
+
+    Relations are the substrate behind simulated data sources, the local
+    store, and materialization points between plan fragments.  They support
+    the small relational algebra needed by tests and by the reference
+    (non-adaptive) evaluator used to cross-check operator results.
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.append(row)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls, name: str, schema: Schema, records: Sequence[dict[str, Any]]
+    ) -> "Relation":
+        """Build a relation from dict records keyed by attribute name."""
+        return cls(name, schema, rows_from_dicts(schema, records))
+
+    @classmethod
+    def from_values(
+        cls, name: str, schema: Schema, values: Sequence[Sequence[Any]]
+    ) -> "Relation":
+        """Build a relation from positional value vectors."""
+        return cls(name, schema, (Row(schema, tuple(v)) for v in values))
+
+    def qualified(self) -> "Relation":
+        """Copy with every attribute qualified by the relation name."""
+        schema = self.schema.qualified(self.name)
+        return Relation(
+            self.name,
+            schema,
+            (Row(schema, r.values, r.arrival) for r in self._rows),
+        )
+
+    # -- mutation ---------------------------------------------------------------
+
+    def append(self, row: Row) -> None:
+        """Append one row; its schema must match this relation's schema arity/types."""
+        if len(row.values) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(row.values)} does not match relation "
+                f"{self.name!r} arity {len(self.schema)}"
+            )
+        self._rows.append(row)
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append(row)
+
+    # -- access -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    @property
+    def rows(self) -> list[Row]:
+        """The row list (not a copy; treat as read-only)."""
+        return self._rows
+
+    @property
+    def cardinality(self) -> int:
+        """Number of rows."""
+        return len(self._rows)
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated total size, used to express scale factors in bytes."""
+        return self.schema.tuple_size * len(self._rows)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of attribute ``name``, in row order."""
+        idx = self.schema.index_of(name)
+        return [row.values[idx] for row in self._rows]
+
+    def distinct_count(self, name: str) -> int:
+        """Number of distinct values of attribute ``name``."""
+        return len(set(self.column(name)))
+
+    # -- reference relational algebra (used by tests and the catalog) -----------
+
+    def select(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Relation":
+        """Rows satisfying ``predicate``."""
+        out = Relation(name or self.name, self.schema)
+        out.extend(row for row in self._rows if predicate(row))
+        return out
+
+    def project(self, names: Sequence[str], name: str | None = None) -> "Relation":
+        """Projection onto ``names`` (a bag projection: duplicates retained)."""
+        schema = self.schema.project(names)
+        out = Relation(name or self.name, schema)
+        out.extend(row.project(names, schema) for row in self._rows)
+        return out
+
+    def join(
+        self,
+        other: "Relation",
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        name: str | None = None,
+    ) -> "Relation":
+        """Reference hash equi-join used to validate the engine's join operators."""
+        if len(left_keys) != len(right_keys):
+            raise StorageError("join key lists must have equal length")
+        schema = self.schema.join(other.schema)
+        out = Relation(name or f"{self.name}_join_{other.name}", schema)
+        index: dict[tuple[Any, ...], list[Row]] = {}
+        for row in other:
+            index.setdefault(row.key(right_keys), []).append(row)
+        for row in self:
+            for match in index.get(row.key(left_keys), ()):
+                out.append(row.concat(match, schema))
+        return out
+
+    def union(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Bag union with ``other`` (schemas must be type-compatible)."""
+        if not self.schema.compatible_with(other.schema):
+            raise SchemaError(
+                f"cannot union {self.name!r} and {other.name!r}: incompatible schemas"
+            )
+        out = Relation(name or f"{self.name}_union_{other.name}", self.schema)
+        out.extend(self._rows)
+        out.extend(Row(self.schema, r.values, r.arrival) for r in other)
+        return out
+
+    def distinct(self, name: str | None = None) -> "Relation":
+        """Set-semantics copy (first occurrence of each value vector kept)."""
+        seen: set[tuple[Any, ...]] = set()
+        out = Relation(name or self.name, self.schema)
+        for row in self._rows:
+            if row.values not in seen:
+                seen.add(row.values)
+                out.append(row)
+        return out
+
+    def multiset(self) -> dict[tuple[Any, ...], int]:
+        """Value-vector multiset, for order-insensitive result comparison."""
+        counts: dict[tuple[Any, ...], int] = {}
+        for row in self._rows:
+            counts[row.values] = counts.get(row.values, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, {len(self._rows)} rows, {self.schema.names})"

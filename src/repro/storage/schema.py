@@ -1,0 +1,214 @@
+"""Relational schemas.
+
+A :class:`Schema` is an ordered list of named, typed attributes.  Schemas are
+immutable value objects: all combinators (:meth:`Schema.project`,
+:meth:`Schema.join`, :meth:`Schema.rename`) return new instances.
+
+Attribute names are qualified as ``relation.attribute`` whenever the schema is
+attached to a named relation, which keeps join outputs unambiguous when both
+inputs expose an attribute with the same base name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import SchemaError
+
+#: Logical attribute types supported by the storage layer.  The values are the
+#: estimated per-value footprint in bytes, used for memory accounting.
+TYPE_SIZES = {
+    "int": 8,
+    "float": 8,
+    "str": 32,
+    "date": 8,
+    "bool": 1,
+}
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, optionally qualified (``"orders.o_orderkey"``).
+    type_name:
+        One of :data:`TYPE_SIZES` keys.
+    avg_size:
+        Estimated per-value size in bytes; defaults to the type's size.
+    """
+
+    name: str
+    type_name: str = "str"
+    avg_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.type_name not in TYPE_SIZES:
+            raise SchemaError(
+                f"unknown attribute type {self.type_name!r} for {self.name!r}; "
+                f"expected one of {sorted(TYPE_SIZES)}"
+            )
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.avg_size <= 0:
+            object.__setattr__(self, "avg_size", TYPE_SIZES[self.type_name])
+
+    @property
+    def base_name(self) -> str:
+        """Attribute name without any relation qualifier."""
+        return self.name.rsplit(".", 1)[-1]
+
+    @property
+    def qualifier(self) -> str | None:
+        """Relation qualifier, or ``None`` for unqualified attributes."""
+        if "." in self.name:
+            return self.name.rsplit(".", 1)[0]
+        return None
+
+    def qualified(self, relation_name: str) -> "Attribute":
+        """Return a copy qualified with ``relation_name`` (replacing any prior one)."""
+        return Attribute(f"{relation_name}.{self.base_name}", self.type_name, self.avg_size)
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy with a different (possibly qualified) name."""
+        return Attribute(new_name, self.type_name, self.avg_size)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, immutable collection of :class:`Attribute`.
+
+    Lookup by name accepts either the fully qualified name or the base name,
+    provided the base name is unambiguous.
+    """
+
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names in schema: {dupes}")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs: str | Attribute | tuple[str, str]) -> "Schema":
+        """Build a schema from a mix of specs.
+
+        Each spec may be an :class:`Attribute`, a bare name (typed ``str``),
+        a ``"name:type"`` string, or a ``(name, type)`` tuple.
+        """
+        attrs: list[Attribute] = []
+        for spec in specs:
+            if isinstance(spec, Attribute):
+                attrs.append(spec)
+            elif isinstance(spec, tuple):
+                name, type_name = spec
+                attrs.append(Attribute(name, type_name))
+            elif ":" in spec:
+                name, _, type_name = spec.partition(":")
+                attrs.append(Attribute(name, type_name))
+            else:
+                attrs.append(Attribute(spec))
+        return cls(tuple(attrs))
+
+    # -- dunder protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.index_of(name)
+        except SchemaError:
+            return False
+        return True
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Fully qualified attribute names, in order."""
+        return tuple(a.name for a in self.attributes)
+
+    def index_of(self, name: str) -> int:
+        """Return the position of ``name`` (qualified or base name).
+
+        Raises
+        ------
+        SchemaError
+            If the name is absent or a base name is ambiguous.
+        """
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        matches = [i for i, attr in enumerate(self.attributes) if attr.base_name == name]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise SchemaError(f"attribute name {name!r} is ambiguous in {self.names}")
+        raise SchemaError(f"attribute {name!r} not found in schema {self.names}")
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute named ``name`` (qualified or base name)."""
+        return self.attributes[self.index_of(name)]
+
+    # -- combinators -----------------------------------------------------------
+
+    def qualified(self, relation_name: str) -> "Schema":
+        """Qualify every attribute with ``relation_name``."""
+        return Schema(tuple(a.qualified(relation_name) for a in self.attributes))
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to ``names`` in the given order."""
+        return Schema(tuple(self.attributes[self.index_of(n)] for n in names))
+
+    def join(self, other: "Schema") -> "Schema":
+        """Concatenation of two schemas (as produced by a join)."""
+        return Schema(self.attributes + other.attributes)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Rename attributes according to ``mapping`` (old name -> new name)."""
+        renamed = []
+        for attr in self.attributes:
+            if attr.name in mapping:
+                renamed.append(attr.renamed(mapping[attr.name]))
+            elif attr.base_name in mapping:
+                renamed.append(attr.renamed(mapping[attr.base_name]))
+            else:
+                renamed.append(attr)
+        return Schema(tuple(renamed))
+
+    # -- sizing ----------------------------------------------------------------
+
+    @property
+    def tuple_size(self) -> int:
+        """Estimated size in bytes of one tuple with this schema."""
+        # A small per-tuple overhead models Python object headers / pointers in
+        # the original engine's slotted pages.
+        overhead = 16
+        return overhead + sum(a.avg_size for a in self.attributes)
+
+    def compatible_with(self, other: "Schema") -> bool:
+        """True when both schemas have the same arity and attribute types."""
+        if len(self) != len(other):
+            return False
+        return all(
+            a.type_name == b.type_name for a, b in zip(self.attributes, other.attributes)
+        )
+
+
+def merge_union_schema(left: Schema, right: Schema) -> Schema:
+    """Schema for a union: keeps the left names, validates compatibility."""
+    if not left.compatible_with(right):
+        raise SchemaError(
+            f"union inputs are not compatible: {left.names} vs {right.names}"
+        )
+    return left

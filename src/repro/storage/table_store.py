@@ -1,0 +1,84 @@
+"""The local store: named relations materialized at fragment boundaries.
+
+When a plan fragment completes, its result is materialized into the local
+store so that (a) later fragments can scan it cheaply and (b) the optimizer
+can be re-invoked with the *actual* cardinality of the intermediate result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.relation import Relation
+
+
+@dataclass(frozen=True)
+class MaterializationInfo:
+    """Metadata recorded when a relation is materialized."""
+
+    name: str
+    cardinality: int
+    size_bytes: int
+    materialized_at: float
+
+
+class LocalStore:
+    """A dictionary of materialized relations with materialization metadata."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._info: dict[str, MaterializationInfo] = {}
+
+    def materialize(self, relation: Relation, at_time: float = 0.0) -> MaterializationInfo:
+        """Store ``relation`` under its name, replacing any previous version."""
+        info = MaterializationInfo(
+            name=relation.name,
+            cardinality=relation.cardinality,
+            size_bytes=relation.size_bytes,
+            materialized_at=at_time,
+        )
+        self._relations[relation.name] = relation
+        self._info[relation.name] = info
+        return info
+
+    def get(self, name: str) -> Relation:
+        """Fetch a materialized relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise StorageError(f"no materialized relation named {name!r}") from None
+
+    def info(self, name: str) -> MaterializationInfo:
+        """Materialization metadata for ``name``."""
+        try:
+            return self._info[name]
+        except KeyError:
+            raise StorageError(f"no materialized relation named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def drop(self, name: str) -> None:
+        """Remove a materialized relation (no error if absent)."""
+        self._relations.pop(name, None)
+        self._info.pop(name, None)
+
+    def clear(self) -> None:
+        self._relations.clear()
+        self._info.clear()
+
+    @property
+    def total_bytes(self) -> int:
+        """Total estimated size of everything materialized."""
+        return sum(rel.size_bytes for rel in self._relations.values())

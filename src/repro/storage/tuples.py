@@ -1,0 +1,113 @@
+"""Tuples: the unit of data flowing through the execution engine.
+
+A :class:`Row` couples a value vector with its :class:`~repro.storage.schema.Schema`
+and carries a virtual-time ``arrival`` stamp assigned by the wrapper or source
+that produced it.  Operators propagate and update the stamp so that the engine
+can report tuples-vs-time series (the x/y axes of the paper's figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True, slots=True)
+class Row:
+    """An immutable tuple of values bound to a schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema describing ``values``.
+    values:
+        Attribute values, in schema order.
+    arrival:
+        Virtual time at which this tuple became available to its consumer.
+    """
+
+    schema: Schema
+    values: tuple[Any, ...]
+    arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.schema):
+            raise SchemaError(
+                f"value arity {len(self.values)} does not match schema arity "
+                f"{len(self.schema)} ({self.schema.names})"
+            )
+
+    # -- access ---------------------------------------------------------------
+
+    def __getitem__(self, key: str | int) -> Any:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.values[self.schema.index_of(key)]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Value of attribute ``name``, or ``default`` when absent."""
+        try:
+            return self[name]
+        except SchemaError:
+            return default
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Mapping of fully qualified attribute name to value."""
+        return dict(zip(self.schema.names, self.values))
+
+    # -- derivation -----------------------------------------------------------
+
+    def with_arrival(self, arrival: float) -> "Row":
+        """Copy of this row with a different arrival stamp."""
+        return Row(self.schema, self.values, arrival)
+
+    def project(self, names: Sequence[str], schema: Schema | None = None) -> "Row":
+        """Project onto ``names``; ``schema`` may be supplied to avoid rebuilds."""
+        out_schema = schema if schema is not None else self.schema.project(names)
+        values = tuple(self[name] for name in names)
+        return Row(out_schema, values, self.arrival)
+
+    def key(self, names: Sequence[str]) -> tuple[Any, ...]:
+        """Join/grouping key: the values of ``names`` as a tuple."""
+        return tuple(self[name] for name in names)
+
+    def concat(self, other: "Row", schema: Schema | None = None) -> "Row":
+        """Concatenate with ``other`` (join output); arrival is the later stamp."""
+        out_schema = schema if schema is not None else self.schema.join(other.schema)
+        return Row(
+            out_schema,
+            self.values + other.values,
+            max(self.arrival, other.arrival),
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated footprint used for memory accounting."""
+        return self.schema.tuple_size
+
+
+def rows_from_dicts(schema: Schema, records: Sequence[dict[str, Any]]) -> list[Row]:
+    """Build rows from dictionaries keyed by (base or qualified) attribute name."""
+    out = []
+    for record in records:
+        values = []
+        for attr in schema:
+            if attr.name in record:
+                values.append(record[attr.name])
+            elif attr.base_name in record:
+                values.append(record[attr.base_name])
+            else:
+                raise SchemaError(
+                    f"record is missing attribute {attr.name!r}: {sorted(record)}"
+                )
+        out.append(Row(schema, tuple(values)))
+    return out

@@ -1,0 +1,116 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build tiny deployments (a few dozen to a few hundred tuples) so the
+whole suite runs in seconds while still exercising every code path the
+benchmarks use at larger scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.datagen.tpcd import TPCDGenerator
+from repro.engine.context import EngineConfig, ExecutionContext
+from repro.network.profiles import lan
+from repro.network.source import DataSource
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+@pytest.fixture(scope="session")
+def tiny_tpcd():
+    """A very small TPC-D database shared (read-only) across tests."""
+    return TPCDGenerator(scale_mb=0.3, seed=7).generate(
+        ["region", "nation", "supplier", "customer", "part", "partsupp", "orders"]
+    )
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    return Schema.of("id:int", "name:str", "score:float")
+
+
+@pytest.fixture
+def people_relation(simple_schema) -> Relation:
+    rows = [
+        Row(simple_schema, (1, "ada", 9.5)),
+        Row(simple_schema, (2, "bob", 7.25)),
+        Row(simple_schema, (3, "cyd", 8.0)),
+        Row(simple_schema, (4, "dee", 5.5)),
+    ]
+    return Relation("people", simple_schema, rows)
+
+
+def make_relation(name: str, columns: list[str], values: list[tuple]) -> Relation:
+    """Helper used throughout the tests to build small relations."""
+    schema = Schema.of(*columns)
+    return Relation.from_values(name, schema, values)
+
+
+@pytest.fixture
+def orders_and_items():
+    """Two tiny joinable relations (orders 1-*-> items)."""
+    orders = make_relation(
+        "ord", ["o_id:int", "o_cust:str"], [(1, "ada"), (2, "bob"), (3, "cyd")]
+    )
+    items = make_relation(
+        "item",
+        ["i_order:int", "i_sku:str", "i_qty:int"],
+        [(1, "apple", 2), (1, "pear", 1), (2, "plum", 5), (4, "kiwi", 9)],
+    )
+    return orders, items
+
+
+@pytest.fixture
+def joinable_catalog(orders_and_items) -> DataSourceCatalog:
+    """Catalog exposing the two tiny relations as LAN sources."""
+    orders, items = orders_and_items
+    catalog = DataSourceCatalog()
+    catalog.register_source(DataSource("ord", orders, lan()))
+    catalog.register_source(DataSource("item", items, lan()))
+    return catalog
+
+
+@pytest.fixture
+def context(joinable_catalog) -> ExecutionContext:
+    """A fresh execution context over the tiny joinable catalog."""
+    return ExecutionContext(joinable_catalog, config=EngineConfig(), query_name="test")
+
+
+@pytest.fixture
+def tpcd_catalog(tiny_tpcd) -> DataSourceCatalog:
+    """Catalog exposing the tiny TPC-D tables as LAN sources."""
+    catalog = DataSourceCatalog()
+    for table in tiny_tpcd.names:
+        catalog.register_source(DataSource(table, tiny_tpcd[table], lan()))
+    return catalog
+
+
+def reference_join(left: Relation, right: Relation, left_key: str, right_key: str) -> Relation:
+    """Order-insensitive reference equi-join used to validate engine operators."""
+    return left.qualified().join(right.qualified(), [left_key], [right_key])
+
+
+def attribute_multiset(relation) -> dict:
+    """Multiset of rows as (attribute -> value) sets, ignoring column order.
+
+    Useful when comparing engine output (whose column order depends on the
+    chosen join order) with a reference result.
+    """
+    counts: dict = {}
+    for row in relation:
+        key = frozenset((name.rsplit(".", 1)[-1], value) for name, value in row.as_dict().items())
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def multiset(relation_or_rows) -> dict:
+    """Value-vector multiset for order-insensitive comparisons."""
+    if isinstance(relation_or_rows, Relation):
+        return relation_or_rows.multiset()
+    counts: dict = {}
+    for row in relation_or_rows:
+        counts[row.values] = counts.get(row.values, 0) + 1
+    return counts

@@ -1,0 +1,114 @@
+"""Tests for the shared benchmark harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import build_deployment, hide_statistics, run_operator_tree
+from repro.bench.reporting import ascii_chart, format_table, speedup, timeline_series
+from repro.engine.stats import TupleTimeline
+from repro.network.profiles import wide_area
+from repro.plan.physical import JoinImplementation, join, wrapper_scan
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return build_deployment(0.3, ["part", "partsupp"], seed=9)
+
+
+class TestDeployment:
+    def test_tables_and_sources_registered(self, deployment):
+        assert set(deployment.database.names) == {"part", "partsupp"}
+        assert "part" in deployment.catalog.source_names
+        assert deployment.source_for("part").cardinality == deployment.database["part"].cardinality
+
+    def test_set_profile(self, deployment):
+        deployment.set_profile("part", wide_area())
+        assert deployment.source_for("part").profile.name == "wide-area"
+        deployment.set_all_profiles(wide_area())
+        assert deployment.source_for("partsupp").profile.name == "wide-area"
+
+    def test_hide_statistics(self):
+        dep = build_deployment(0.2, ["part"], seed=1)
+        assert dep.catalog.has_reliable_cardinality("part")
+        hide_statistics(dep.catalog)
+        assert not dep.catalog.has_reliable_cardinality("part")
+
+
+class TestRunOperatorTree:
+    def test_runs_join_and_reports_timeline(self, deployment):
+        spec = join(
+            wrapper_scan("partsupp"),
+            wrapper_scan("part"),
+            ["partsupp.ps_partkey"],
+            ["part.p_partkey"],
+            implementation=JoinImplementation.DOUBLE_PIPELINED,
+        )
+        result = run_operator_tree(spec, deployment.catalog, result_name="t")
+        assert result.cardinality == deployment.database["partsupp"].cardinality
+        assert result.time_to_first_tuple_ms is not None
+        assert result.completion_time_ms >= result.time_to_first_tuple_ms
+        assert result.timeline.total == result.cardinality
+        assert result.relation.cardinality == result.cardinality
+
+
+class TestReporting:
+    def test_timeline_series_monotone(self):
+        timeline = TupleTimeline()
+        for i in range(1, 101):
+            timeline.record(float(i), i)
+        series = timeline_series(timeline, points=10)
+        assert series[-1].tuples == 100
+        times = [p.time_ms for p in series]
+        assert times == sorted(times)
+
+    def test_timeline_series_empty(self):
+        assert timeline_series(TupleTimeline()) == []
+
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "time"], [["dpj", 1.234], ["hybrid", 10.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "dpj" in lines[2]
+        assert "10.5" in lines[3]
+
+    def test_speedup(self):
+        assert speedup(200.0, 100.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_ascii_chart_renders_all_series(self):
+        chart = ascii_chart(
+            {"a": [(0.0, 0.0), (10.0, 5.0)], "b": [(10.0, 10.0)]},
+            width=20,
+            height=6,
+        )
+        lines = chart.splitlines()
+        assert any("*" in line for line in lines)
+        assert any("o" in line for line in lines)
+        assert "a" in lines[-1] and "b" in lines[-1]
+        assert "max 10" in chart
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart({}) == "(no data)"
+        assert ascii_chart({"a": []}) == "(no data)"
+
+
+class TestTupleTimeline:
+    def test_count_at_and_time_for_count(self):
+        timeline = TupleTimeline()
+        timeline.record(10.0, 1)
+        timeline.record(20.0, 2)
+        timeline.record(30.0, 3)
+        assert timeline.count_at(5.0) == 0
+        assert timeline.count_at(20.0) == 2
+        assert timeline.time_for_count(3) == 30.0
+        assert timeline.time_for_count(4) is None
+        assert timeline.time_to_first == 10.0
+        assert timeline.completion_time == 30.0
+
+    def test_sample_even_spacing(self):
+        timeline = TupleTimeline()
+        for i in range(1, 11):
+            timeline.record(i * 10.0, i)
+        samples = timeline.sample(points=5)
+        assert len(samples) == 5
+        assert samples[-1][1] == 10

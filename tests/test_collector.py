@@ -1,0 +1,190 @@
+"""Unit tests for the dynamic collector operator."""
+
+import pytest
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.collector import DynamicCollector
+from repro.engine.operators.scan import WrapperScan
+from repro.errors import ExecutionError
+from repro.network.profiles import dead, lan, slow_start, wide_area
+from repro.network.source import DataSource, make_mirror
+from repro.plan.rules import EventType
+
+from conftest import make_relation
+
+
+@pytest.fixture
+def bib_catalog():
+    """Three overlapping bibliography sources: primary, full mirror, partial mirror."""
+    books = make_relation(
+        "bib", ["isbn:int", "title:str"], [(i, f"book{i}") for i in range(20)]
+    )
+    catalog = DataSourceCatalog()
+    primary = DataSource("bib-main", books, lan())
+    catalog.register_source(primary)
+    catalog.register_source(make_mirror(primary, "bib-mirror", wide_area()))
+    catalog.register_source(make_mirror(primary, "bib-partial", lan(), coverage=0.6, seed=2))
+    return catalog
+
+
+def make_collector(context, sources, **kwargs):
+    children = [WrapperScan(f"scan_{name}", context, name) for name in sources]
+    return DynamicCollector("coll1", context, children, **kwargs)
+
+
+class TestBasicUnion:
+    def test_contact_all_without_dedup_returns_bag_union(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(context, ["bib-main", "bib-mirror"], dedup_keys=None)
+        collector.open()
+        rows = list(collector.iterate())
+        assert len(rows) == 40
+
+    def test_dedup_suppresses_mirror_duplicates(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(
+            context, ["bib-main", "bib-mirror"], dedup_keys=["bib.isbn"]
+        )
+        collector.open()
+        rows = list(collector.iterate())
+        assert len(rows) == 20
+        assert len({row["isbn"] for row in rows}) == 20
+
+    def test_requires_children(self, joinable_catalog):
+        context = ExecutionContext(joinable_catalog)
+        with pytest.raises(ExecutionError):
+            DynamicCollector("coll", context, [])
+
+    def test_duplicate_child_ids_rejected(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        child_a = WrapperScan("same", context, "bib-main")
+        child_b = WrapperScan("same2", context, "bib-mirror")
+        child_b.operator_id = "same"
+        with pytest.raises(ExecutionError):
+            DynamicCollector("coll", context, [child_a, child_b])
+
+    def test_unknown_initially_active_rejected(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        with pytest.raises(ExecutionError):
+            make_collector(context, ["bib-main"], initially_active=["ghost"])
+
+
+class TestPolicyBehaviour:
+    def test_initially_active_limits_contacted_sources(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(
+            context,
+            ["bib-main", "bib-mirror"],
+            initially_active=["scan_bib-main"],
+            dedup_keys=["bib.isbn"],
+        )
+        collector.open()
+        rows = list(collector.iterate())
+        assert len(rows) == 20
+        assert collector.contacted_children == ["scan_bib-main"]
+        # The mirror's source was never opened.
+        assert bib_catalog.source("bib-mirror").stats.connections_opened == 0
+
+    def test_fallback_activated_when_primary_dead(self, bib_catalog):
+        bib_catalog.source("bib-main").set_profile(dead())
+        context = ExecutionContext(bib_catalog)
+        context.config.default_timeout_ms = 1_000.0
+        collector = make_collector(
+            context,
+            ["bib-main", "bib-mirror"],
+            initially_active=["scan_bib-main"],
+            dedup_keys=["bib.isbn"],
+        )
+        collector.open()
+        rows = list(collector.iterate())
+        bib_catalog.source("bib-main").set_profile(lan())
+        assert len(rows) == 20
+        assert "scan_bib-mirror" in collector.contacted_children
+
+    def test_no_fallback_when_disabled(self, bib_catalog):
+        bib_catalog.source("bib-main").set_profile(dead())
+        context = ExecutionContext(bib_catalog)
+        context.config.default_timeout_ms = 100.0
+        collector = make_collector(
+            context,
+            ["bib-main", "bib-mirror"],
+            initially_active=["scan_bib-main"],
+            fallback_on_failure=False,
+        )
+        collector.open()
+        rows = list(collector.iterate())
+        bib_catalog.source("bib-main").set_profile(lan())
+        assert rows == []
+
+    def test_partial_mirror_fallback_returns_subset(self, bib_catalog):
+        bib_catalog.source("bib-main").set_profile(dead())
+        context = ExecutionContext(bib_catalog)
+        context.config.default_timeout_ms = 1_000.0
+        collector = make_collector(
+            context,
+            ["bib-main", "bib-partial"],
+            initially_active=["scan_bib-main"],
+            dedup_keys=["bib.isbn"],
+        )
+        collector.open()
+        rows = list(collector.iterate())
+        bib_catalog.source("bib-main").set_profile(lan())
+        assert 0 < len(rows) < 20
+
+    def test_deactivate_child_stops_reading_it(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(
+            context, ["bib-main", "bib-mirror"], dedup_keys=None
+        )
+        collector.open()
+        collector.next()
+        collector.deactivate_child("scan_bib-mirror")
+        rows = [collector.next() for _ in range(100)]
+        rows = [r for r in rows if r is not None]
+        # Only the primary's remaining tuples are returned after deactivation.
+        assert collector.tuples_per_child["scan_bib-mirror"] <= 1
+
+    def test_activate_child_midway(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(
+            context,
+            ["bib-main", "bib-mirror"],
+            initially_active=["scan_bib-main"],
+            dedup_keys=None,
+        )
+        collector.open()
+        collector.next()
+        collector.activate_child("scan_bib-mirror")
+        rows = list(collector.iterate())
+        assert collector.tuples_per_child["scan_bib-mirror"] == 20
+
+    def test_threshold_events_emitted_per_child(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(context, ["bib-main"], dedup_keys=None)
+        collector.open()
+        list(collector.iterate())
+        events = context.events.drain()
+        values = [
+            e.value for e in events
+            if e.event_type == EventType.THRESHOLD and e.subject == "scan_bib-main"
+        ]
+        # Both the wrapper scan and the collector report progress for the
+        # child, so counts may repeat, but they must be non-decreasing and
+        # reach the child's full cardinality.
+        assert values == sorted(values)
+        assert values[-1] == 20
+
+    def test_prefers_faster_source_first(self, bib_catalog):
+        bib_catalog.source("bib-mirror").set_profile(slow_start(delay_ms=5_000.0))
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(
+            context, ["bib-main", "bib-mirror"], dedup_keys=["bib.isbn"]
+        )
+        collector.open()
+        rows = list(collector.iterate())
+        bib_catalog.source("bib-mirror").set_profile(wide_area())
+        assert len(rows) == 20
+        # Everything useful came from the fast source; the slow mirror
+        # contributed only duplicates (if it was read at all).
+        assert collector.tuples_per_child["scan_bib-main"] == 20

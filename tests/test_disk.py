@@ -1,0 +1,87 @@
+"""Unit tests for repro.storage.disk."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import PAGE_SIZE_BYTES, SimulatedDisk
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk()
+
+
+@pytest.fixture
+def row():
+    schema = Schema.of("a:str", "b:str", "c:str")
+    return Row(schema, ("x", "y", "z"))
+
+
+class TestOverflowFile:
+    def test_write_and_read_preserves_order_and_marks(self, disk, row):
+        handle = disk.create_file("spill")
+        handle.write(row, marked=False)
+        handle.write(row, marked=True)
+        contents = list(handle.read())
+        assert [marked for _, marked in contents] == [False, True]
+
+    def test_write_after_close_rejected(self, disk, row):
+        handle = disk.create_file()
+        handle.close()
+        with pytest.raises(StorageError):
+            handle.write(row)
+
+    def test_peek_does_not_charge_io(self, disk, row):
+        handle = disk.create_file()
+        handle.write(row)
+        reads_before = disk.stats.tuples_read
+        handle.peek()
+        assert disk.stats.tuples_read == reads_before
+
+    def test_len(self, disk, row):
+        handle = disk.create_file()
+        handle.write_all([row, row])
+        assert len(handle) == 2
+
+
+class TestSimulatedDisk:
+    def test_unique_file_names(self, disk):
+        names = {disk.create_file("x").name for _ in range(5)}
+        assert len(names) == 5
+
+    def test_file_lookup(self, disk):
+        handle = disk.create_file("abc")
+        assert disk.file(handle.name) is handle
+        with pytest.raises(StorageError):
+            disk.file("missing")
+
+    def test_tuple_and_byte_accounting(self, disk, row):
+        handle = disk.create_file()
+        handle.write(row)
+        list(handle.read())
+        assert disk.stats.tuples_written == 1
+        assert disk.stats.tuples_read == 1
+        assert disk.stats.bytes_written == row.size_bytes
+        assert disk.stats.bytes_read == row.size_bytes
+        assert disk.stats.total_tuple_ios == 2
+
+    def test_pages_accumulate_across_tuples(self, disk, row):
+        handle = disk.create_file()
+        tuples_per_page = PAGE_SIZE_BYTES // row.size_bytes + 1
+        for _ in range(tuples_per_page):
+            handle.write(row)
+        assert disk.stats.pages_written >= 1
+
+    def test_io_time_since_snapshot(self, disk, row):
+        handle = disk.create_file()
+        tuples_per_page = PAGE_SIZE_BYTES // row.size_bytes + 1
+        for _ in range(tuples_per_page):
+            handle.write(row)
+        snapshot = disk.stats.snapshot()
+        assert disk.io_time_ms(snapshot) == 0.0
+        for _ in range(tuples_per_page):
+            handle.write(row)
+        assert disk.io_time_ms(snapshot) > 0.0
+        assert disk.io_time_ms() >= disk.io_time_ms(snapshot)

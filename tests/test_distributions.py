@@ -1,0 +1,81 @@
+"""Unit tests for repro.datagen.distributions."""
+
+import pytest
+
+from repro.datagen.distributions import ValueGenerator
+
+
+def test_deterministic_given_seed():
+    a = ValueGenerator(seed=5)
+    b = ValueGenerator(seed=5)
+    assert [a.integer(0, 100) for _ in range(10)] == [b.integer(0, 100) for _ in range(10)]
+
+
+def test_integer_bounds():
+    gen = ValueGenerator()
+    values = [gen.integer(3, 7) for _ in range(200)]
+    assert min(values) >= 3
+    assert max(values) <= 7
+
+
+def test_decimal_bounds_and_rounding():
+    gen = ValueGenerator()
+    value = gen.decimal(0.0, 1.0, digits=2)
+    assert 0.0 <= value <= 1.0
+    assert round(value, 2) == value
+
+
+def test_name_format():
+    assert ValueGenerator().name("Customer", 42) == "Customer#000000042"
+
+
+def test_choice_from_options():
+    gen = ValueGenerator()
+    options = ("a", "b", "c")
+    assert all(gen.choice(options) in options for _ in range(50))
+
+
+def test_date_int_within_window():
+    gen = ValueGenerator()
+    for _ in range(100):
+        date = gen.date_int()
+        year, month, day = date // 10000, (date // 100) % 100, date % 100
+        assert 1992 <= year <= 1998
+        assert 1 <= month <= 12
+        assert 1 <= day <= 28
+
+
+def test_word_and_phrase_nonempty():
+    gen = ValueGenerator()
+    assert gen.word()
+    assert len(gen.phrase(words=3).split()) == 3
+
+
+def test_text_length():
+    assert len(ValueGenerator().text(length=30)) <= 30
+
+
+def test_zipf_rank_bounds():
+    gen = ValueGenerator()
+    ranks = [gen.zipf_rank(10, skew=1.0) for _ in range(500)]
+    assert min(ranks) >= 1
+    assert max(ranks) <= 10
+
+
+def test_zipf_rank_is_skewed_toward_low_ranks():
+    gen = ValueGenerator(seed=1)
+    ranks = [gen.zipf_rank(100, skew=1.2) for _ in range(2000)]
+    low = sum(1 for r in ranks if r <= 10)
+    high = sum(1 for r in ranks if r > 90)
+    assert low > high * 2
+
+
+def test_zipf_rank_zero_skew_is_uniformish():
+    gen = ValueGenerator(seed=1)
+    ranks = [gen.zipf_rank(10, skew=0.0) for _ in range(2000)]
+    assert len(set(ranks)) == 10
+
+
+def test_zipf_rank_invalid_n():
+    with pytest.raises(ValueError):
+        ValueGenerator().zipf_rank(0)

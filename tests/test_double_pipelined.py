@@ -1,0 +1,187 @@
+"""Unit tests for the double pipelined join and its overflow strategies."""
+
+import pytest
+
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.joins.double_pipelined import DoublePipelinedJoin
+from repro.engine.operators.joins.hybrid_hash import HybridHashJoin
+from repro.engine.operators.scan import WrapperScan
+from repro.errors import MemoryOverflowError
+from repro.network.profiles import lan, slow_start
+from repro.plan.physical import OverflowMethod
+from repro.plan.rules import EventType
+from repro.storage.memory import MB
+
+from conftest import multiset, reference_join
+
+
+def make_join(context, method=OverflowMethod.LEFT_FLUSH, memory=None, buckets=16):
+    left = WrapperScan(f"scan_ord_{method.value}", context, "ord")
+    right = WrapperScan(f"scan_item_{method.value}", context, "item")
+    return DoublePipelinedJoin(
+        f"dpj_{method.value}",
+        context,
+        left,
+        right,
+        ["ord.o_id"],
+        ["item.i_order"],
+        memory_limit_bytes=memory,
+        bucket_count=buckets,
+        overflow_method=method,
+    )
+
+
+def expected(catalog):
+    return reference_join(
+        catalog.source("ord").relation, catalog.source("item").relation, "o_id", "i_order"
+    )
+
+
+class TestCorrectness:
+    def test_matches_reference_with_ample_memory(self, joinable_catalog, context):
+        join = make_join(context, memory=10 * MB)
+        join.open()
+        assert multiset(list(join.iterate())) == multiset(expected(joinable_catalog))
+
+    @pytest.mark.parametrize("method", [OverflowMethod.LEFT_FLUSH, OverflowMethod.SYMMETRIC_FLUSH])
+    def test_matches_reference_under_memory_pressure(self, joinable_catalog, method):
+        context = ExecutionContext(joinable_catalog)
+        join = make_join(context, method=method, memory=150, buckets=4)
+        join.open()
+        rows = list(join.iterate())
+        assert multiset(rows) == multiset(expected(joinable_catalog))
+        assert join.overflow_count > 0
+        assert context.disk.stats.tuples_written > 0
+
+    @pytest.mark.parametrize("method", [OverflowMethod.LEFT_FLUSH, OverflowMethod.SYMMETRIC_FLUSH])
+    def test_tpcd_join_under_pressure_matches_reference(self, tpcd_catalog, tiny_tpcd, method):
+        context = ExecutionContext(tpcd_catalog)
+        left = WrapperScan("scan_ps", context, "partsupp")
+        right = WrapperScan("scan_p", context, "part")
+        join = DoublePipelinedJoin(
+            "dpj", context, left, right,
+            ["partsupp.ps_partkey"], ["part.p_partkey"],
+            memory_limit_bytes=len(tiny_tpcd["partsupp"]) * 20,  # far less than needed
+            bucket_count=8,
+            overflow_method=method,
+        )
+        join.open()
+        rows = list(join.iterate())
+        reference = reference_join(tiny_tpcd["partsupp"], tiny_tpcd["part"], "ps_partkey", "p_partkey")
+        assert multiset(rows) == multiset(reference)
+        assert join.overflow_count > 0
+
+    def test_fail_method_raises(self, joinable_catalog):
+        context = ExecutionContext(joinable_catalog)
+        join = make_join(context, method=OverflowMethod.FAIL, memory=150)
+        join.open()
+        with pytest.raises(MemoryOverflowError):
+            list(join.iterate())
+
+
+class TestAdaptiveBehaviour:
+    def test_first_output_does_not_wait_for_either_input(self, tpcd_catalog):
+        """DPJ produces output long before either input is exhausted."""
+        context = ExecutionContext(tpcd_catalog)
+        left = WrapperScan("l", context, "partsupp")
+        right = WrapperScan("r", context, "part")
+        join = DoublePipelinedJoin(
+            "dpj", context, left, right, ["partsupp.ps_partkey"], ["part.p_partkey"]
+        )
+        join.open()
+        assert join.next() is not None
+        assert not left.wrapper.exhausted or not right.wrapper.exhausted
+
+    def test_time_to_first_tuple_beats_hybrid_hash_when_inner_is_slow(self, tpcd_catalog):
+        tpcd_catalog.source("part").set_profile(slow_start(delay_ms=2_000.0))
+        dpj_context = ExecutionContext(tpcd_catalog)
+        dpj = DoublePipelinedJoin(
+            "dpj",
+            dpj_context,
+            WrapperScan("l1", dpj_context, "partsupp"),
+            WrapperScan("r1", dpj_context, "part"),
+            ["partsupp.ps_partkey"],
+            ["part.p_partkey"],
+        )
+        dpj.open()
+        dpj.next()
+        dpj_first = dpj_context.clock.now
+
+        hh_context = ExecutionContext(tpcd_catalog)
+        hybrid = HybridHashJoin(
+            "hh",
+            hh_context,
+            WrapperScan("l2", hh_context, "partsupp"),
+            WrapperScan("r2", hh_context, "part"),
+            ["partsupp.ps_partkey"],
+            ["part.p_partkey"],
+        )
+        hybrid.open()
+        hybrid.next()
+        hybrid_first = hh_context.clock.now
+        tpcd_catalog.source("part").set_profile(lan())
+        assert dpj_first < hybrid_first
+
+    def test_consumes_from_earlier_arriving_child_first(self, joinable_catalog):
+        joinable_catalog.source("ord").set_profile(slow_start(delay_ms=500.0))
+        context = ExecutionContext(joinable_catalog)
+        join = make_join(context, memory=None)
+        join.open()
+        list(join.iterate())
+        joinable_catalog.source("ord").set_profile(lan())
+        # The right (fast) child's tuples are all inserted before the slow left child's.
+        assert join._tables[1].total_inserted > 0
+
+    def test_out_of_memory_event_emitted(self, joinable_catalog):
+        context = ExecutionContext(joinable_catalog)
+        join = make_join(context, memory=150, buckets=4)
+        join.open()
+        list(join.iterate())
+        events = context.events.drain()
+        assert any(e.event_type == EventType.OUT_OF_MEMORY for e in events)
+
+    def test_set_overflow_method_at_runtime(self, joinable_catalog):
+        context = ExecutionContext(joinable_catalog)
+        join = make_join(context, method=OverflowMethod.LEFT_FLUSH)
+        join.set_overflow_method("symmetric_flush")
+        assert join.overflow_method == OverflowMethod.SYMMETRIC_FLUSH
+
+    def test_left_flush_spills_more_left_than_right(self, tpcd_catalog, tiny_tpcd):
+        context = ExecutionContext(tpcd_catalog)
+        left = WrapperScan("l", context, "partsupp")
+        right = WrapperScan("r", context, "part")
+        join = DoublePipelinedJoin(
+            "dpj", context, left, right,
+            ["partsupp.ps_partkey"], ["part.p_partkey"],
+            memory_limit_bytes=len(tiny_tpcd["partsupp"]) * 20,
+            bucket_count=8,
+            overflow_method=OverflowMethod.LEFT_FLUSH,
+        )
+        join.open()
+        list(join.iterate())
+        left_flushed = len(join._tables[0].flushed_buckets)
+        right_flushed = len(join._tables[1].flushed_buckets)
+        assert left_flushed >= right_flushed
+
+    def test_symmetric_flush_flushes_pairs(self, tpcd_catalog, tiny_tpcd):
+        context = ExecutionContext(tpcd_catalog)
+        left = WrapperScan("l", context, "partsupp")
+        right = WrapperScan("r", context, "part")
+        join = DoublePipelinedJoin(
+            "dpj", context, left, right,
+            ["partsupp.ps_partkey"], ["part.p_partkey"],
+            memory_limit_bytes=len(tiny_tpcd["partsupp"]) * 20,
+            bucket_count=8,
+            overflow_method=OverflowMethod.SYMMETRIC_FLUSH,
+        )
+        join.open()
+        list(join.iterate())
+        assert set(join._tables[0].flushed_buckets) == set(join._tables[1].flushed_buckets)
+
+    def test_releases_memory_on_close(self, joinable_catalog):
+        context = ExecutionContext(joinable_catalog)
+        join = make_join(context, memory=MB)
+        join.open()
+        list(join.iterate())
+        join.close()
+        assert context.memory_pool.granted_bytes == 0

@@ -1,0 +1,152 @@
+"""Unit tests for the DP join enumerator and saved optimizer state."""
+
+import pytest
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.errors import OptimizationError
+from repro.network.profiles import lan
+from repro.network.source import DataSource
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.enumeration import JoinEnumerator
+from repro.query.conjunctive import ConjunctiveQuery, JoinPredicate
+
+from conftest import make_relation
+
+
+def chain_query(tables_and_sizes):
+    """A linear chain query A-B-C-... with join predicates on shared key `k`."""
+    names = [name for name, _ in tables_and_sizes]
+    predicates = [
+        JoinPredicate(names[i], "k", names[i + 1], "k") for i in range(len(names) - 1)
+    ]
+    return ConjunctiveQuery(name="chain", relations=names, join_predicates=predicates)
+
+
+@pytest.fixture
+def setup():
+    """Catalog with four chained relations of very different sizes."""
+    sizes = [("a", 1000), ("b", 10), ("c", 500), ("d", 20)]
+    catalog = DataSourceCatalog()
+    for name, size in sizes:
+        rel = make_relation(name, ["k:int"], [(i,) for i in range(size)])
+        catalog.register_source(DataSource(name, rel, lan()))
+    query = chain_query(sizes)
+    enumerator = JoinEnumerator(CostModel(catalog))
+    sources = {name: name for name, _ in sizes}
+    return catalog, query, enumerator, sources
+
+
+class TestEnumeration:
+    def test_full_plan_covers_all_relations(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        best = state.best_plan()
+        assert best.subset == frozenset(query.relations)
+        assert best.cost > 0
+        assert not best.is_leaf
+
+    def test_connected_subsets_only(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        # a-c are not adjacent in the chain: no entry without b.
+        assert frozenset({"a", "c"}) not in state.table
+        assert frozenset({"a", "b"}) in state.table
+
+    def test_plan_tree_entries_consistent(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        best = state.best_plan()
+        assert best.left | best.right == best.subset
+        assert not (best.left & best.right)
+        assert best.predicates
+
+    def test_disconnected_query_rejected(self, setup):
+        catalog, _, enumerator, _ = setup
+        query = ConjunctiveQuery(name="disc", relations=["a", "b"])
+        with pytest.raises(OptimizationError):
+            enumerator.enumerate(query, {"a": "a", "b": "b"})
+
+    def test_leaf_cardinalities_from_catalog(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        assert state.entry(frozenset({"a"})).cardinality.value == 1000
+        assert state.entry(frozenset({"b"})).cardinality.value == 10
+
+    def test_usage_pointers_reach_all_supersets(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        reachable = state.pointers.supersets_of(frozenset({"a", "b"}))
+        expected = {
+            subset for subset in state.table if frozenset({"a", "b"}) < subset
+        }
+        assert expected <= reachable
+
+    def test_nodes_visited_counted(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        assert state.nodes_visited >= len(state.table)
+
+
+class TestReoptimization:
+    def covered(self):
+        return frozenset({"a", "b"})
+
+    def test_saved_state_updates_cardinality_and_plan(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        enumerator.reoptimize_with_saved_state(state, self.covered(), "ab_result", 7)
+        entry = state.entry(self.covered())
+        assert entry.materialized_as == "ab_result"
+        assert entry.cardinality.value == 7
+        best = state.best_plan()
+        # The final plan must treat {a, b} as an unsplittable unit.
+        assert self.covered() in (best.left, best.right) or all(
+            not (self.covered() & side) or self.covered() <= side
+            for side in (best.left, best.right)
+        )
+
+    def test_saved_state_visits_fewer_nodes_than_scratch(self, setup):
+        _, query, enumerator, sources = setup
+        baseline = enumerator.enumerate(query, sources)
+        saved = enumerator.enumerate(query, sources)
+        before = saved.nodes_visited
+        enumerator.reoptimize_with_saved_state(saved, self.covered(), "ab", 7)
+        saved_work = saved.nodes_visited - before
+        scratch = enumerator.replan_from_scratch(
+            baseline, self.covered(), "ab", 7, sources
+        )
+        assert saved_work < scratch.nodes_visited
+
+    def test_no_pointers_visits_more_than_with_pointers(self, setup):
+        _, query, enumerator, sources = setup
+        with_pointers = enumerator.enumerate(query, sources)
+        base_with = with_pointers.nodes_visited
+        enumerator.reoptimize_with_saved_state(
+            with_pointers, self.covered(), "ab", 7, use_usage_pointers=True
+        )
+        work_with = with_pointers.nodes_visited - base_with
+
+        without_pointers = enumerator.enumerate(query, sources)
+        base_without = without_pointers.nodes_visited
+        enumerator.reoptimize_with_saved_state(
+            without_pointers, self.covered(), "ab", 7, use_usage_pointers=False
+        )
+        work_without = without_pointers.nodes_visited - base_without
+        assert work_without > work_with
+
+    def test_scratch_plan_equivalent_result_subset(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        fresh = enumerator.replan_from_scratch(state, self.covered(), "ab", 7, sources)
+        best = fresh.best_plan()
+        assert best.subset == frozenset(query.relations)
+        assert fresh.entry(self.covered()).materialized_as == "ab"
+
+    def test_successive_materializations(self, setup):
+        _, query, enumerator, sources = setup
+        state = enumerator.enumerate(query, sources)
+        enumerator.reoptimize_with_saved_state(state, frozenset({"a", "b"}), "ab", 7)
+        enumerator.reoptimize_with_saved_state(state, frozenset({"a", "b", "c"}), "abc", 3)
+        best = state.best_plan()
+        assert best.subset == frozenset(query.relations)
+        assert state.entry(frozenset({"a", "b", "c"})).materialized_as == "abc"

@@ -1,0 +1,135 @@
+"""Unit tests for repro.storage.hash_table."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.hash_table import BucketedHashTable, bucket_of
+from repro.storage.memory import MemoryBudget
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+SCHEMA = Schema.of("k:int", "v:str")
+
+
+def make_row(key: int, value: str = "x") -> Row:
+    return Row(SCHEMA, (key, value))
+
+
+def make_table(limit_bytes=None, buckets=8, name="t") -> BucketedHashTable:
+    return BucketedHashTable(
+        ["k"], MemoryBudget(limit_bytes), SimulatedDisk(), bucket_count=buckets, name=name
+    )
+
+
+class TestBasicOperations:
+    def test_insert_and_probe(self):
+        table = make_table()
+        table.insert(make_row(1, "a"))
+        table.insert(make_row(1, "b"))
+        table.insert(make_row(2, "c"))
+        assert {row["v"] for row in table.probe((1,))} == {"a", "b"}
+        assert table.probe((99,)) == []
+        assert table.resident_rows == 3
+
+    def test_probe_row_uses_given_keys(self):
+        table = make_table()
+        table.insert(make_row(5, "a"))
+        other_schema = Schema.of("fk:int")
+        probe = Row(other_schema, (5,))
+        assert len(table.probe_row(probe, ["fk"])) == 1
+
+    def test_budget_charged_per_row(self):
+        budget = MemoryBudget(10_000)
+        table = BucketedHashTable(["k"], budget, SimulatedDisk())
+        table.insert(make_row(1))
+        assert budget.used_bytes == SCHEMA.tuple_size
+
+    def test_insert_refused_when_budget_full(self):
+        table = make_table(limit_bytes=SCHEMA.tuple_size)
+        assert table.insert(make_row(1))
+        assert not table.insert(make_row(2))
+        assert table.resident_rows == 1
+
+    def test_insert_resident_raises_when_full(self):
+        table = make_table(limit_bytes=SCHEMA.tuple_size)
+        table.insert_resident(make_row(1))
+        with pytest.raises(StorageError):
+            table.insert_resident(make_row(2))
+
+    def test_bucket_count_validation(self):
+        with pytest.raises(StorageError):
+            make_table(buckets=0)
+
+    def test_bucket_of_deterministic(self):
+        assert bucket_of((5,), 16) == bucket_of((5,), 16)
+        assert 0 <= bucket_of(("abc", 3), 7) < 7
+
+
+class TestFlushing:
+    def test_flush_bucket_releases_memory_and_spills(self):
+        budget = MemoryBudget(None)
+        disk = SimulatedDisk()
+        table = BucketedHashTable(["k"], budget, disk, bucket_count=4)
+        rows = [make_row(i) for i in range(20)]
+        for row in rows:
+            table.insert(row)
+        used_before = budget.used_bytes
+        index = table.flush_largest_bucket()
+        assert index is not None
+        assert budget.used_bytes < used_before
+        assert disk.stats.tuples_written > 0
+        assert index in table.flushed_buckets
+
+    def test_inserts_into_flushed_bucket_go_to_disk(self):
+        table = make_table(buckets=1)
+        table.insert(make_row(1))
+        table.flush_bucket(0)
+        assert not table.insert(make_row(2))
+        assert table.resident_rows == 0
+        assert len(list(table.overflow_rows(0))) == 2
+
+    def test_flush_all(self):
+        table = make_table(buckets=4)
+        for i in range(10):
+            table.insert(make_row(i))
+        flushed = table.flush_all()
+        assert flushed == 10
+        assert table.resident_rows == 0
+        assert not table.has_resident_data
+
+    def test_flush_largest_picks_biggest(self):
+        table = make_table(buckets=2)
+        # Bucket of key k is deterministic; put more rows behind one key.
+        heavy_key, light_key = 0, 1
+        if bucket_of((0,), 2) == bucket_of((1,), 2):
+            light_key = 2
+        for _ in range(5):
+            table.insert(make_row(heavy_key))
+        table.insert(make_row(light_key))
+        flushed_index = table.flush_largest_bucket()
+        assert flushed_index == bucket_of((heavy_key,), 2)
+
+    def test_flush_largest_none_when_empty(self):
+        assert make_table().flush_largest_bucket() is None
+
+    def test_overflow_rows_marks_preserved(self):
+        table = make_table(buckets=1)
+        table.insert(make_row(1))
+        table.flush_bucket(0, mark_rows=True)
+        assert all(marked for _, marked in table.overflow_rows(0))
+
+    def test_release_all_returns_budget(self):
+        budget = MemoryBudget(None)
+        table = BucketedHashTable(["k"], budget, SimulatedDisk())
+        for i in range(5):
+            table.insert(make_row(i))
+        table.release_all()
+        assert budget.used_bytes == 0
+        assert table.resident_rows == 0
+
+    def test_resident_items_iterates_all(self):
+        table = make_table()
+        for i in range(5):
+            table.insert(make_row(i))
+        assert len(list(table.resident_items())) == 5

@@ -1,0 +1,139 @@
+"""Unit tests for the join operators (nested loops, hybrid hash, dependent)."""
+
+import pytest
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.joins.dependent import DependentJoin
+from repro.engine.operators.joins.hybrid_hash import HybridHashJoin
+from repro.engine.operators.joins.nested_loops import NestedLoopsJoin
+from repro.engine.operators.scan import WrapperScan
+from repro.network.profiles import lan, wide_area
+from repro.network.source import DataSource
+from repro.storage.memory import MB
+
+from conftest import multiset, reference_join
+
+
+def expected_join(catalog):
+    ord_rel = catalog.source("ord").relation
+    item_rel = catalog.source("item").relation
+    return reference_join(ord_rel, item_rel, "o_id", "i_order")
+
+
+def scans(context):
+    return (
+        WrapperScan("scan_ord", context, "ord"),
+        WrapperScan("scan_item", context, "item"),
+    )
+
+
+class TestNestedLoopsJoin:
+    def test_matches_reference(self, joinable_catalog, context):
+        left, right = scans(context)
+        join = NestedLoopsJoin("nl", context, left, right, ["ord.o_id"], ["item.i_order"])
+        join.open()
+        rows = list(join.iterate())
+        expected = expected_join(joinable_catalog)
+        assert multiset(rows) == multiset(expected)
+
+    def test_output_schema_concatenated(self, context):
+        left, right = scans(context)
+        join = NestedLoopsJoin("nl", context, left, right, ["ord.o_id"], ["item.i_order"])
+        assert join.output_schema.names == (
+            "ord.o_id", "ord.o_cust", "item.i_order", "item.i_sku", "item.i_qty"
+        )
+
+    def test_key_validation(self, context):
+        left, right = scans(context)
+        with pytest.raises(Exception):
+            NestedLoopsJoin("nl", context, left, right, ["ord.o_id"], [])
+
+
+class TestHybridHashJoin:
+    def test_matches_reference_with_ample_memory(self, joinable_catalog, context):
+        left, right = scans(context)
+        join = HybridHashJoin(
+            "hh", context, left, right, ["ord.o_id"], ["item.i_order"], memory_limit_bytes=10 * MB
+        )
+        join.open()
+        rows = list(join.iterate())
+        assert multiset(rows) == multiset(expected_join(joinable_catalog))
+
+    def test_matches_reference_with_tiny_memory(self, joinable_catalog):
+        context = ExecutionContext(joinable_catalog)
+        left, right = (
+            WrapperScan("scan_ord", context, "ord"),
+            WrapperScan("scan_item", context, "item"),
+        )
+        # Budget fits roughly one tuple: every bucket spills.
+        join = HybridHashJoin(
+            "hh", context, left, right, ["ord.o_id"], ["item.i_order"],
+            memory_limit_bytes=100, bucket_count=4,
+        )
+        join.open()
+        rows = list(join.iterate())
+        assert multiset(rows) == multiset(expected_join(joinable_catalog))
+        assert context.disk.stats.tuples_written > 0
+        assert context.stats.operator("hh").overflow_events > 0
+
+    def test_first_output_waits_for_inner(self, tpcd_catalog):
+        """The hybrid hash join cannot emit anything before the build side finishes."""
+        context = ExecutionContext(tpcd_catalog)
+        outer = WrapperScan("outer", context, "partsupp")
+        inner = WrapperScan("inner", context, "part")
+        join = HybridHashJoin(
+            "hh", context, outer, inner, ["partsupp.ps_partkey"], ["part.p_partkey"]
+        )
+        join.open()
+        first = join.next()
+        assert first is not None
+        # The inner relation must be fully consumed before the first output.
+        assert inner.wrapper.exhausted
+
+    def test_releases_memory_on_close(self, joinable_catalog, context):
+        left, right = scans(context)
+        join = HybridHashJoin(
+            "hh", context, left, right, ["ord.o_id"], ["item.i_order"], memory_limit_bytes=MB
+        )
+        join.open()
+        list(join.iterate())
+        join.close()
+        assert context.memory_pool.granted_bytes == 0
+
+
+class TestDependentJoin:
+    @pytest.fixture
+    def catalog_with_lookup(self, orders_and_items):
+        orders, items = orders_and_items
+        catalog = DataSourceCatalog()
+        catalog.register_source(DataSource("ord", orders, lan()))
+        catalog.register_source(DataSource("item", items, wide_area()))
+        return catalog
+
+    def test_matches_reference(self, catalog_with_lookup):
+        context = ExecutionContext(catalog_with_lookup)
+        left = WrapperScan("scan_ord", context, "ord")
+        join = DependentJoin(
+            "dj", context, left, "item", ["ord.o_id"], ["item.i_order"]
+        )
+        join.open()
+        rows = list(join.iterate())
+        expected = expected_join(catalog_with_lookup)
+        assert multiset(rows) == multiset(expected)
+        assert join.probes == 3  # one parameterized fetch per left tuple
+
+    def test_each_probe_pays_source_latency(self, catalog_with_lookup):
+        context = ExecutionContext(catalog_with_lookup)
+        left = WrapperScan("scan_ord", context, "ord")
+        join = DependentJoin("dj", context, left, "item", ["ord.o_id"], ["item.i_order"])
+        join.open()
+        list(join.iterate())
+        # Three probes at >=145ms each dominate the tiny scan time.
+        assert context.clock.now >= 3 * wide_area().initial_latency_ms
+
+    def test_key_arity_checked(self, catalog_with_lookup):
+        context = ExecutionContext(catalog_with_lookup)
+        left = WrapperScan("scan_ord", context, "ord")
+        with pytest.raises(Exception):
+            DependentJoin("dj", context, left, "item", ["ord.o_id"], [])

@@ -1,0 +1,74 @@
+"""Unit tests for repro.query.parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.parser import parse_query
+
+
+def test_paper_example_query_parses():
+    query = parse_query(
+        "Select * from A,B,C,D,E "
+        "where A.ssn = B.ssn and B.ssn = C.ssn and C.ssn = D.ssn and D.ssn = E.ssn",
+        name="paper",
+    )
+    assert query.relations == ("A", "B", "C", "D", "E")
+    assert len(query.join_predicates) == 4
+    assert query.projection == ()
+    assert query.join_connected()
+
+
+def test_projection_list():
+    query = parse_query("select a.x, b.y from a, b where a.k = b.k")
+    assert query.projection == ("a.x", "b.y")
+
+
+def test_selection_predicates_with_literals():
+    query = parse_query(
+        "select * from part where part.p_size > 10 and part.p_brand = 'Brand#13'"
+    )
+    assert len(query.selections) == 2
+    sizes = {(s.attr, s.op, s.value) for s in query.selections}
+    assert ("p_size", ">", 10) in sizes
+    assert ("p_brand", "=", "Brand#13") in sizes
+
+
+def test_float_literal():
+    query = parse_query("select * from t where t.x <= 2.5")
+    assert query.selections[0].value == 2.5
+
+
+def test_case_insensitive_keywords_and_semicolon():
+    query = parse_query("SELECT * FROM a, b WHERE a.x = b.y;")
+    assert len(query.join_predicates) == 1
+
+
+def test_no_where_clause():
+    query = parse_query("select * from a")
+    assert query.relations == ("a",)
+    assert query.join_predicates == ()
+
+
+def test_unqualified_attribute_rejected():
+    with pytest.raises(QueryError):
+        parse_query("select * from a where x = 3")
+
+
+def test_unquoted_string_literal_rejected():
+    with pytest.raises(QueryError):
+        parse_query("select * from a where a.x = hello")
+
+
+def test_non_equi_join_between_attributes_rejected():
+    with pytest.raises(QueryError):
+        parse_query("select * from a, b where a.x < b.y")
+
+
+def test_garbage_rejected():
+    with pytest.raises(QueryError):
+        parse_query("delete from users")
+
+
+def test_malformed_relation_list_rejected():
+    with pytest.raises(QueryError):
+        parse_query("select * from a b c")

@@ -1,0 +1,169 @@
+"""Unit tests for repro.plan.planio (plan serialization + condition grammar)."""
+
+import pytest
+
+from repro.errors import PlanError, RuleError
+from repro.plan.fragments import Fragment, QueryPlan
+from repro.plan.physical import collector, join, select_, wrapper_scan
+from repro.plan.planio import parse_condition, plan_from_xml, plan_to_xml, render_condition
+from repro.plan.rules import (
+    Compare,
+    Event,
+    EventType,
+    Rule,
+    card,
+    constant,
+    deactivate,
+    est_card,
+    event_value,
+    replan,
+)
+from repro.query.conjunctive import SelectionPredicate
+
+from test_rules import FakeContext
+
+
+class TestConditionGrammar:
+    def test_true_false(self):
+        assert parse_condition("true").evaluate(FakeContext(), Event(EventType.CLOSED, "x"))
+        assert not parse_condition("false").evaluate(FakeContext(), Event(EventType.CLOSED, "x"))
+        assert parse_condition("").evaluate(FakeContext(), Event(EventType.CLOSED, "x"))
+
+    def test_comparison_roundtrip(self):
+        original = Compare(card("join1"), ">=", est_card("join1"), scale=2.0)
+        parsed = parse_condition(render_condition(original))
+        ctx_hit = FakeContext(cards={"join1": 300}, est={"join1": 100})
+        ctx_miss = FakeContext(cards={"join1": 100}, est={"join1": 100})
+        event = Event(EventType.CLOSED, "join1")
+        assert parsed.evaluate(ctx_hit, event) == original.evaluate(ctx_hit, event)
+        assert parsed.evaluate(ctx_miss, event) == original.evaluate(ctx_miss, event)
+
+    def test_event_value_and_constants(self):
+        parsed = parse_condition("event.value >= 10")
+        assert parsed.evaluate(FakeContext(), Event(EventType.THRESHOLD, "s", value=12))
+        assert not parsed.evaluate(FakeContext(), Event(EventType.THRESHOLD, "s", value=5))
+
+    def test_boolean_combinations(self):
+        text = "(card(a) >= 5 and card(b) >= 5) or state(c) = 'closed'"
+        parsed = parse_condition(text)
+        event = Event(EventType.CLOSED, "x")
+        assert parsed.evaluate(FakeContext(cards={"a": 9, "b": 9}), event)
+        assert parsed.evaluate(FakeContext(states={"c": "closed"}), event)
+        assert not parsed.evaluate(FakeContext(), event)
+
+    def test_not(self):
+        parsed = parse_condition("not card(a) >= 5")
+        assert parsed.evaluate(FakeContext(cards={"a": 1}), Event(EventType.CLOSED, "x"))
+
+    def test_float_scale_and_less_equal(self):
+        parsed = parse_condition("event.value <= 0.5 * card(j)")
+        assert parsed.evaluate(
+            FakeContext(cards={"j": 100}), Event(EventType.CLOSED, "j", value=10)
+        )
+
+    def test_malformed_rejected(self):
+        with pytest.raises(RuleError):
+            parse_condition("card(a) ~~ 5")
+        with pytest.raises(RuleError):
+            parse_condition("frobnicate(a) >= 5")
+
+
+def build_plan() -> QueryPlan:
+    scan_a = wrapper_scan("srcA", operator_id="scanA")
+    scan_b = wrapper_scan("srcB", operator_id="scanB")
+    scan_b2 = wrapper_scan("srcB2", operator_id="scanB2")
+    coll = collector([scan_b, scan_b2], operator_id="coll1")
+    coll.params["dedup_keys"] = ["b.k"]
+    coll.params["initially_active"] = ["scanB"]
+    filtered = select_(scan_a, [SelectionPredicate("a", "x", ">", 5)], operator_id="sel1")
+    root = join(
+        filtered, coll, ["a.k"], ["b.k"],
+        operator_id="join1", memory_limit_bytes=65536, estimated_cardinality=42,
+    )
+    fragment = Fragment(
+        fragment_id="frag1",
+        root=root,
+        result_name="res1",
+        estimated_cardinality=42,
+        estimate_reliable=False,
+        covers=frozenset({"a", "b"}),
+        rules=[
+            Rule(
+                "replan-frag1",
+                "frag1",
+                EventType.CLOSED,
+                "frag1",
+                condition=Compare(event_value(), ">=", constant(42), scale=2.0),
+                actions=[replan()],
+            )
+        ],
+    )
+    return QueryPlan(
+        query_name="demo",
+        fragments=[fragment],
+        global_rules=[
+            Rule("kill-slow", "demo", EventType.TIMEOUT, "srcB", actions=[deactivate("scanB")])
+        ],
+        partial=True,
+    )
+
+
+class TestPlanSerialization:
+    def test_roundtrip_preserves_structure(self):
+        plan = build_plan()
+        xml = plan_to_xml(plan)
+        restored = plan_from_xml(xml)
+        assert restored.query_name == "demo"
+        assert restored.partial
+        assert restored.answer_name == "res1"
+        fragment = restored.fragment("frag1")
+        assert fragment.result_name == "res1"
+        assert fragment.estimated_cardinality == 42
+        assert not fragment.estimate_reliable
+        assert fragment.covers == frozenset({"a", "b"})
+        join_spec = restored.operator("join1")
+        assert join_spec.memory_limit_bytes == 65536
+        assert join_spec.params["left_keys"] == ["a.k"]
+        coll_spec = restored.operator("coll1")
+        assert coll_spec.params["initially_active"] == ["scanB"]
+        select_spec = restored.operator("sel1")
+        predicate = select_spec.params["predicates"][0]
+        assert (predicate.table, predicate.attr, predicate.op, predicate.value) == ("a", "x", ">", 5)
+
+    def test_roundtrip_preserves_rules(self):
+        restored = plan_from_xml(plan_to_xml(build_plan()))
+        rules = {rule.name: rule for rule in restored.all_rules()}
+        assert set(rules) == {"replan-frag1", "kill-slow"}
+        replan_rule = rules["replan-frag1"]
+        assert replan_rule.event_type == EventType.CLOSED
+        assert replan_rule.actions[0].action_type.value == "reoptimize"
+        # The condition still fires for a doubled cardinality.
+        assert replan_rule.condition.evaluate(
+            FakeContext(), Event(EventType.CLOSED, "frag1", value=100)
+        )
+        kill = rules["kill-slow"]
+        assert kill.actions[0].target == "scanB"
+
+    def test_dependencies_roundtrip(self):
+        plan = build_plan()
+        extra_root = wrapper_scan("srcC", operator_id="scanC")
+        extra = Fragment(fragment_id="frag2", root=extra_root, result_name="res2")
+        plan2 = QueryPlan(
+            query_name="demo2",
+            fragments=[plan.fragments[0], extra],
+            dependencies={"frag2": {"frag1"}},
+        )
+        restored = plan_from_xml(plan_to_xml(plan2))
+        assert restored.dependencies == {"frag2": {"frag1"}}
+
+    def test_xml_is_human_readable(self):
+        xml = plan_to_xml(build_plan())
+        assert "<plan" in xml
+        assert "wrapper_scan" in xml
+        assert "double_pipelined" in xml
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(PlanError):
+            plan_from_xml("<not-a-plan/>")
+        with pytest.raises(PlanError):
+            plan_from_xml("not xml at all <<<")

@@ -1,0 +1,76 @@
+"""Unit tests for collector policies (core.policies)."""
+
+import pytest
+
+from repro.catalog.overlap import OverlapCatalog
+from repro.core.policies import (
+    apply_policy,
+    contact_all_policy,
+    primary_with_fallback_policy,
+    race_policy,
+)
+from repro.plan.physical import collector, wrapper_scan
+from repro.plan.rules import ActionType, EventType, validate_rule_set
+
+
+@pytest.fixture
+def collector_spec():
+    children = [
+        wrapper_scan("src-a", operator_id="scan_a"),
+        wrapper_scan("src-b", operator_id="scan_b"),
+        wrapper_scan("src-c", operator_id="scan_c"),
+    ]
+    return collector(children, operator_id="coll1")
+
+
+def test_contact_all_policy(collector_spec):
+    policy = contact_all_policy(collector_spec)
+    assert policy.initially_active == ["scan_a", "scan_b", "scan_c"]
+    assert policy.rules == []
+
+
+def test_primary_with_fallback_orders_by_overlap(collector_spec):
+    overlap = OverlapCatalog()
+    overlap.set_overlap("src-a", "src-c", 0.9)
+    overlap.set_overlap("src-a", "src-b", 0.2)
+    policy = primary_with_fallback_policy(
+        collector_spec,
+        source_of_child={"scan_a": "src-a", "scan_b": "src-b", "scan_c": "src-c"},
+        overlap=overlap,
+    )
+    assert policy.initially_active == ["scan_a"]
+    # First fallback rules target the best-covering mirror (src-c / scan_c).
+    first_fallbacks = [r for r in policy.rules if r.subject == "scan_a"]
+    assert all(a.argument == "scan_c" for r in first_fallbacks for a in r.actions)
+    validate_rule_set(policy.rules)
+    # Both timeout and error trigger the fallback.
+    assert {r.event_type for r in first_fallbacks} == {EventType.TIMEOUT, EventType.ERROR}
+
+
+def test_race_policy_matches_paper_example(collector_spec):
+    policy = race_policy(collector_spec, threshold=10, racers=2)
+    assert policy.initially_active == ["scan_a", "scan_b"]
+    win_rules = [r for r in policy.rules if r.event_type == EventType.THRESHOLD]
+    assert len(win_rules) == 2
+    for rule in win_rules:
+        assert rule.actions[0].action_type == ActionType.DEACTIVATE
+    timeout_rules = [r for r in policy.rules if r.event_type == EventType.TIMEOUT]
+    assert len(timeout_rules) == 2
+    for rule in timeout_rules:
+        activations = [a for a in rule.actions if a.action_type == ActionType.ACTIVATE]
+        assert activations and activations[0].argument == "scan_c"
+    validate_rule_set(policy.rules)
+
+
+def test_apply_policy_writes_params(collector_spec):
+    policy = race_policy(collector_spec, threshold=5)
+    rules = apply_policy(collector_spec, policy)
+    assert collector_spec.params["initially_active"] == ["scan_a", "scan_b"]
+    assert collector_spec.params["policy"] == "race"
+    assert rules == list(policy.rules)
+
+
+def test_policy_rejects_non_collector():
+    spec = wrapper_scan("x")
+    with pytest.raises(ValueError):
+        contact_all_policy(spec)

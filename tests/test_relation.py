@@ -1,0 +1,83 @@
+"""Unit tests for repro.storage.relation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+from conftest import make_relation
+
+
+class TestConstruction:
+    def test_from_values_and_len(self):
+        rel = make_relation("r", ["a:int", "b:str"], [(1, "x"), (2, "y")])
+        assert len(rel) == 2
+        assert rel.cardinality == 2
+
+    def test_from_dicts(self):
+        schema = Schema.of("a:int", "b:str")
+        rel = Relation.from_dicts("r", schema, [{"a": 1, "b": "x"}])
+        assert rel[0].values == (1, "x")
+
+    def test_append_arity_check(self):
+        rel = make_relation("r", ["a:int"], [(1,)])
+        with pytest.raises(SchemaError):
+            rel.append(Row(Schema.of("a:int", "b:int"), (1, 2)))
+
+    def test_qualified_renames_attributes(self):
+        rel = make_relation("r", ["a:int"], [(1,)]).qualified()
+        assert rel.schema.names == ("r.a",)
+        assert rel[0]["r.a"] == 1
+
+
+class TestAlgebra:
+    def test_select(self, people_relation):
+        adults = people_relation.select(lambda row: row["score"] >= 8.0)
+        assert {row["name"] for row in adults} == {"ada", "cyd"}
+
+    def test_project_keeps_duplicates(self):
+        rel = make_relation("r", ["a:int", "b:str"], [(1, "x"), (1, "y")])
+        projected = rel.project(["a"])
+        assert [row.values for row in projected] == [(1,), (1,)]
+
+    def test_join_matches_expected_pairs(self, orders_and_items):
+        orders, items = orders_and_items
+        joined = orders.qualified().join(items.qualified(), ["o_id"], ["i_order"])
+        assert joined.cardinality == 3
+        assert all(row["o_id"] == row["i_order"] for row in joined)
+
+    def test_join_key_length_mismatch(self, orders_and_items):
+        orders, items = orders_and_items
+        with pytest.raises(Exception):
+            orders.join(items, ["o_id"], ["i_order", "i_sku"])
+
+    def test_union_compatible(self):
+        a = make_relation("a", ["x:int"], [(1,), (2,)])
+        b = make_relation("b", ["y:int"], [(2,), (3,)])
+        union = a.union(b)
+        assert union.cardinality == 4
+
+    def test_union_incompatible_rejected(self):
+        a = make_relation("a", ["x:int"], [(1,)])
+        b = make_relation("b", ["y:str"], [("s",)])
+        with pytest.raises(SchemaError):
+            a.union(b)
+
+    def test_distinct(self):
+        rel = make_relation("r", ["a:int"], [(1,), (1,), (2,)])
+        assert rel.distinct().cardinality == 2
+
+    def test_multiset(self):
+        rel = make_relation("r", ["a:int"], [(1,), (1,), (2,)])
+        assert rel.multiset() == {(1,): 2, (2,): 1}
+
+
+class TestStatisticsHelpers:
+    def test_column_and_distinct_count(self, people_relation):
+        assert len(people_relation.column("id")) == 4
+        assert people_relation.distinct_count("id") == 4
+
+    def test_size_bytes(self, people_relation):
+        assert people_relation.size_bytes == people_relation.schema.tuple_size * 4

@@ -1,0 +1,93 @@
+"""Unit tests for repro.engine.stats (runtime statistics containers)."""
+
+import pytest
+
+from repro.engine.stats import (
+    FragmentStats,
+    OperatorRuntimeStats,
+    QueryRuntimeStats,
+    TupleTimeline,
+)
+
+
+class TestOperatorRuntimeStats:
+    def test_record_output_tracks_first_and_last(self):
+        stats = OperatorRuntimeStats("op1")
+        stats.record_output(10.0)
+        stats.record_output(25.0)
+        assert stats.tuples_produced == 2
+        assert stats.time_of_first_output == 10.0
+        assert stats.time_of_last_output == 25.0
+
+    def test_initial_state(self):
+        stats = OperatorRuntimeStats("op1")
+        assert stats.state == "pending"
+        assert stats.time_of_first_output is None
+
+
+class TestFragmentStats:
+    def make(self, actual, estimate):
+        return FragmentStats(
+            fragment_id="f1",
+            result_name="r1",
+            result_cardinality=actual,
+            estimated_cardinality=estimate,
+            started_at_ms=0.0,
+            completed_at_ms=100.0,
+        )
+
+    def test_estimate_error_factor_overestimate_and_underestimate(self):
+        assert self.make(actual=200, estimate=100).estimate_error_factor == pytest.approx(2.0)
+        assert self.make(actual=50, estimate=100).estimate_error_factor == pytest.approx(2.0)
+        assert self.make(actual=100, estimate=100).estimate_error_factor == pytest.approx(1.0)
+
+    def test_estimate_error_factor_without_estimate(self):
+        assert self.make(actual=10, estimate=None).estimate_error_factor is None
+
+    def test_zero_actual_cardinality_handled(self):
+        assert self.make(actual=0, estimate=100).estimate_error_factor == pytest.approx(100.0)
+
+
+class TestQueryRuntimeStats:
+    def test_operator_record_created_on_demand(self):
+        stats = QueryRuntimeStats("q")
+        record = stats.operator("join1")
+        assert record.operator_id == "join1"
+        assert stats.operator("join1") is record
+
+    def test_observed_cardinalities(self):
+        stats = QueryRuntimeStats("q")
+        stats.fragment_stats.append(
+            FragmentStats("f1", "r1", 42, 10, 0.0, 5.0)
+        )
+        stats.fragment_stats.append(
+            FragmentStats("f2", "r2", 7, None, 5.0, 9.0)
+        )
+        assert stats.observed_cardinalities() == {"r1": 42, "r2": 7}
+
+    def test_time_to_first_tuple_from_output_timeline(self):
+        stats = QueryRuntimeStats("q")
+        assert stats.time_to_first_tuple is None
+        stats.output_timeline.record(12.0, 1)
+        assert stats.time_to_first_tuple == 12.0
+
+
+class TestTupleTimelineEdgeCases:
+    def test_empty_timeline(self):
+        timeline = TupleTimeline()
+        assert timeline.total == 0
+        assert timeline.time_to_first is None
+        assert timeline.completion_time is None
+        assert timeline.count_at(100.0) == 0
+        assert timeline.sample() == []
+
+    def test_time_to_first_skips_zero_counts(self):
+        timeline = TupleTimeline()
+        timeline.record(1.0, 0)
+        timeline.record(5.0, 1)
+        assert timeline.time_to_first == 5.0
+
+    def test_single_point_sample(self):
+        timeline = TupleTimeline()
+        timeline.record(10.0, 3)
+        assert timeline.sample(points=1) == [(10.0, 3)]

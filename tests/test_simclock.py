@@ -1,0 +1,46 @@
+"""Unit tests for repro.network.simclock."""
+
+import pytest
+
+from repro.network.simclock import SimClock
+
+
+def test_advance_to_moves_forward_only():
+    clock = SimClock()
+    assert clock.advance_to(10.0) == 10.0
+    assert clock.advance_to(5.0) == 10.0
+    assert clock.now == 10.0
+    assert clock.stats.wait_ms == 10.0
+
+
+def test_consume_cpu_and_io_accumulate():
+    clock = SimClock()
+    clock.consume_cpu(2.0)
+    clock.consume_io(3.0)
+    assert clock.now == 5.0
+    assert clock.stats.cpu_ms == 2.0
+    assert clock.stats.io_ms == 3.0
+    assert clock.stats.total_ms == 5.0
+
+
+def test_negative_durations_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.consume_cpu(-1.0)
+    with pytest.raises(ValueError):
+        clock.consume_io(-0.5)
+
+
+def test_reset():
+    clock = SimClock(start_ms=100.0)
+    clock.consume_cpu(5.0)
+    clock.reset()
+    assert clock.now == 0.0
+    assert clock.stats.total_ms == 0.0
+
+
+def test_start_offset():
+    clock = SimClock(start_ms=50.0)
+    assert clock.now == 50.0
+    clock.advance_to(60.0)
+    assert clock.stats.wait_ms == 10.0

@@ -1,0 +1,118 @@
+"""Unit tests for repro.network.source."""
+
+import pytest
+
+from repro.errors import SourceUnavailableError
+from repro.network.profiles import NetworkProfile, dead, lan
+from repro.network.source import DataSource, make_mirror
+
+from conftest import make_relation
+
+
+@pytest.fixture
+def relation():
+    return make_relation("books", ["isbn:int", "title:str"], [(i, f"t{i}") for i in range(10)])
+
+
+@pytest.fixture
+def source(relation):
+    return DataSource("lib", relation, lan())
+
+
+class TestDataSource:
+    def test_exported_schema_is_qualified(self, source):
+        assert source.exported_schema.names == ("books.isbn", "books.title")
+
+    def test_cardinality_and_size(self, source, relation):
+        assert source.cardinality == 10
+        assert source.size_bytes == relation.size_bytes
+
+    def test_set_profile(self, source):
+        source.set_profile(dead())
+        assert source.profile.unavailable
+
+
+class TestSourceConnection:
+    def test_fetch_streams_all_tuples_in_order(self, source):
+        connection = source.open()
+        arrivals = []
+        while not connection.exhausted:
+            row, arrival = connection.fetch()
+            arrivals.append(arrival)
+        assert len(arrivals) == 10
+        assert arrivals == sorted(arrivals)
+        assert source.stats.tuples_sent == 10
+
+    def test_next_arrival_matches_fetch(self, source):
+        connection = source.open()
+        expected = connection.next_arrival()
+        _, arrival = connection.fetch()
+        assert arrival == expected
+
+    def test_fetch_after_exhaustion_raises(self, source):
+        connection = source.open()
+        for _ in range(10):
+            connection.fetch()
+        assert connection.next_arrival() is None
+        with pytest.raises(SourceUnavailableError):
+            connection.fetch()
+
+    def test_open_at_offset_shifts_arrivals(self, source):
+        early = source.open(at_ms=0.0).next_arrival()
+        late = source.open(at_ms=1000.0).next_arrival()
+        assert late == pytest.approx(early + 1000.0)
+
+    def test_closed_connection_rejects_fetch(self, source):
+        connection = source.open()
+        connection.close()
+        assert connection.closed
+        with pytest.raises(SourceUnavailableError):
+            connection.fetch()
+        assert connection.next_arrival() is None
+
+    def test_unavailable_source_never_arrives(self, relation):
+        source = DataSource("dead", relation, dead())
+        connection = source.open()
+        assert connection.next_arrival() == float("inf")
+        assert not connection.exhausted
+        with pytest.raises(SourceUnavailableError):
+            connection.fetch()
+        assert source.stats.failures == 1
+
+    def test_drop_after_tuples_fails_mid_transfer(self, relation):
+        profile = NetworkProfile(drop_after_tuples=3)
+        source = DataSource("flaky", relation, profile)
+        connection = source.open()
+        for _ in range(3):
+            connection.fetch()
+        with pytest.raises(SourceUnavailableError):
+            connection.fetch()
+        assert connection.remaining() == 0
+
+    def test_remaining_counts_down(self, source):
+        connection = source.open()
+        assert connection.remaining() == 10
+        connection.fetch()
+        assert connection.remaining() == 9
+
+
+class TestMakeMirror:
+    def test_full_mirror_has_same_rows(self, source):
+        mirror = make_mirror(source, "mirror", lan())
+        assert mirror.cardinality == source.cardinality
+        assert mirror.relation.name == source.relation.name
+
+    def test_partial_mirror_subset(self, source):
+        mirror = make_mirror(source, "partial", lan(), coverage=0.5, seed=3)
+        assert 0 < mirror.cardinality <= source.cardinality
+        source_keys = set(source.relation.column("isbn"))
+        assert set(mirror.relation.column("isbn")) <= source_keys
+
+    def test_partial_mirror_deterministic(self, source):
+        a = make_mirror(source, "m1", lan(), coverage=0.5, seed=3)
+        b = make_mirror(source, "m2", lan(), coverage=0.5, seed=3)
+        assert a.relation.multiset() == b.relation.multiset()
+
+    def test_invalid_coverage_rejected(self, source):
+        with pytest.raises(ValueError):
+            make_mirror(source, "bad", lan(), coverage=0.0)

@@ -1,0 +1,57 @@
+"""Unit tests for repro.storage.table_store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.table_store import LocalStore
+
+from conftest import make_relation
+
+
+@pytest.fixture
+def store():
+    return LocalStore()
+
+
+def test_materialize_and_get(store):
+    rel = make_relation("r1", ["a:int"], [(1,), (2,)])
+    info = store.materialize(rel, at_time=42.0)
+    assert info.cardinality == 2
+    assert info.materialized_at == 42.0
+    assert store.get("r1") is rel
+    assert "r1" in store
+
+
+def test_get_missing_raises(store):
+    with pytest.raises(StorageError):
+        store.get("missing")
+    with pytest.raises(StorageError):
+        store.info("missing")
+
+
+def test_rematerialize_replaces(store):
+    store.materialize(make_relation("r", ["a:int"], [(1,)]))
+    store.materialize(make_relation("r", ["a:int"], [(1,), (2,)]))
+    assert store.info("r").cardinality == 2
+    assert len(store) == 1
+
+
+def test_drop_and_clear(store):
+    store.materialize(make_relation("a", ["x:int"], [(1,)]))
+    store.materialize(make_relation("b", ["x:int"], [(1,)]))
+    store.drop("a")
+    store.drop("not-there")  # no error
+    assert store.names() == ["b"]
+    store.clear()
+    assert len(store) == 0
+
+
+def test_total_bytes(store):
+    rel = make_relation("a", ["x:int"], [(1,), (2,)])
+    store.materialize(rel)
+    assert store.total_bytes == rel.size_bytes
+
+
+def test_iteration(store):
+    store.materialize(make_relation("a", ["x:int"], [(1,)]))
+    assert list(store) == ["a"]

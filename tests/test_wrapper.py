@@ -1,0 +1,120 @@
+"""Unit tests for repro.network.wrapper."""
+
+import pytest
+
+from repro.errors import SourceTimeoutError, SourceUnavailableError
+from repro.network.profiles import NetworkProfile, dead, lan, slow_start
+from repro.network.simclock import SimClock
+from repro.network.source import DataSource
+from repro.network.wrapper import Wrapper
+
+from conftest import make_relation
+
+
+@pytest.fixture
+def relation():
+    return make_relation("t", ["k:int"], [(i,) for i in range(5)])
+
+
+def make_wrapper(relation, profile=None, timeout_ms=None, clock=None):
+    source = DataSource("src", relation, profile or lan())
+    return Wrapper(source, clock or SimClock(), timeout_ms=timeout_ms)
+
+
+class TestWrapperStreaming:
+    def test_fetch_advances_clock_to_arrival(self, relation):
+        clock = SimClock()
+        wrapper = make_wrapper(relation, clock=clock)
+        wrapper.open()
+        row = wrapper.fetch()
+        assert row is not None
+        assert clock.now >= lan().initial_latency_ms
+        assert row.arrival == clock.now
+
+    def test_fetch_all_then_none(self, relation):
+        wrapper = make_wrapper(relation)
+        wrapper.open()
+        rows = []
+        while True:
+            row = wrapper.fetch()
+            if row is None:
+                break
+            rows.append(row)
+        assert len(rows) == 5
+        assert wrapper.exhausted
+        assert wrapper.stats.tuples_fetched == 5
+        assert wrapper.stats.time_of_first_tuple is not None
+
+    def test_fetch_before_open_raises(self, relation):
+        wrapper = make_wrapper(relation)
+        with pytest.raises(SourceUnavailableError):
+            wrapper.fetch()
+
+    def test_schema_qualified(self, relation):
+        wrapper = make_wrapper(relation)
+        assert wrapper.schema.names == ("t.k",)
+
+    def test_next_arrival_visible_without_consuming(self, relation):
+        wrapper = make_wrapper(relation)
+        wrapper.open()
+        arrival = wrapper.next_arrival()
+        assert arrival is not None
+        assert wrapper.stats.tuples_fetched == 0
+
+    def test_fetch_available_only_returns_arrived_tuples(self, relation):
+        clock = SimClock()
+        wrapper = make_wrapper(relation, profile=slow_start(delay_ms=1000.0), clock=clock)
+        wrapper.open()
+        assert wrapper.fetch_available() is None
+        clock.advance_to(5000.0)
+        assert wrapper.fetch_available() is not None
+
+    def test_reset_allows_reopen(self, relation):
+        wrapper = make_wrapper(relation)
+        wrapper.open()
+        wrapper.fetch()
+        wrapper.reset()
+        assert not wrapper.is_open
+        wrapper.open()
+        assert wrapper.fetch() is not None
+
+
+class TestWrapperTimeouts:
+    def test_timeout_raised_for_slow_source(self, relation):
+        wrapper = make_wrapper(relation, profile=slow_start(delay_ms=10_000.0), timeout_ms=100.0)
+        wrapper.open()
+        with pytest.raises(SourceTimeoutError):
+            wrapper.fetch()
+        assert wrapper.stats.timeouts == 1
+
+    def test_timeout_advances_clock_by_timeout(self, relation):
+        clock = SimClock()
+        wrapper = make_wrapper(
+            relation, profile=slow_start(delay_ms=10_000.0), timeout_ms=250.0, clock=clock
+        )
+        wrapper.open()
+        with pytest.raises(SourceTimeoutError):
+            wrapper.fetch()
+        assert clock.now == pytest.approx(250.0)
+
+    def test_dead_source_times_out(self, relation):
+        wrapper = make_wrapper(relation, profile=dead(), timeout_ms=50.0)
+        wrapper.open()
+        assert wrapper.would_timeout()
+        with pytest.raises(SourceTimeoutError):
+            wrapper.fetch()
+
+    def test_no_timeout_when_disabled(self, relation):
+        wrapper = make_wrapper(relation, profile=slow_start(delay_ms=2_000.0), timeout_ms=None)
+        wrapper.open()
+        assert not wrapper.would_timeout()
+        assert wrapper.fetch() is not None
+
+    def test_error_counted_for_failing_source(self, relation):
+        profile = NetworkProfile(drop_after_tuples=1)
+        wrapper = make_wrapper(relation, profile=profile)
+        wrapper.open()
+        wrapper.fetch()
+        with pytest.raises(SourceUnavailableError):
+            wrapper.fetch()
+        assert wrapper.stats.errors == 1
