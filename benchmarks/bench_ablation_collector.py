@@ -25,7 +25,7 @@ from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 from repro.plan.physical import collector, union_, wrapper_scan
 
-from conftest import run_once
+from bench_support import run_once
 
 CITATION_COUNT = 2_000
 

@@ -31,7 +31,7 @@ from repro.plan.physical import join, wrapper_scan
 from repro.plan.rules import Compare, EventType, Rule, constant, event_value, replan
 from repro.query.reformulation import Reformulator
 
-from conftest import run_once, scale_mb
+from bench_support import run_once, scale_mb
 
 TABLES = ["region", "nation", "supplier", "customer", "orders"]
 

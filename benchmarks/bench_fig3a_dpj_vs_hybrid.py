@@ -18,7 +18,7 @@ from repro.bench.harness import build_deployment, run_operator_tree
 from repro.bench.reporting import format_table, timeline_series
 from repro.plan.physical import JoinImplementation, join, wrapper_scan
 
-from conftest import run_once, scale_mb
+from bench_support import run_once, scale_mb
 
 TABLES = ["lineitem", "orders", "supplier"]
 

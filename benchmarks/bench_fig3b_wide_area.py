@@ -20,7 +20,7 @@ from repro.bench.reporting import format_table
 from repro.network.profiles import lan, wide_area
 from repro.plan.physical import JoinImplementation, join, wrapper_scan
 
-from conftest import run_once, scale_mb
+from bench_support import run_once, scale_mb
 
 TABLES = ["part", "partsupp"]
 

@@ -33,7 +33,7 @@ from repro.optimizer.optimizer import Optimizer, OptimizerConfig, PlanningStrate
 from repro.query.reformulation import Reformulator
 from repro.storage.memory import MB
 
-from conftest import run_once, scale_mb
+from bench_support import run_once, scale_mb
 
 TABLES = ["region", "nation", "supplier", "customer", "part", "partsupp", "orders"]
 

@@ -25,7 +25,7 @@ from repro.datagen.workload import TPCDJoinGraph
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.enumeration import JoinEnumerator
 
-from conftest import run_once, scale_mb
+from bench_support import run_once, scale_mb
 
 TABLES = ["region", "nation", "supplier", "customer", "part", "partsupp", "orders"]
 

@@ -1,0 +1,27 @@
+"""Shared helper functions for the benchmark suite.
+
+These used to live in ``benchmarks/conftest.py`` and were imported with
+``from conftest import ...``.  Because ``conftest`` is also the (unqualified)
+module name of ``tests/conftest.py``, whichever directory pytest imported
+first poisoned the other's imports.  The helpers now live in a uniquely named
+module; ``benchmarks/conftest.py`` keeps only fixtures.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scale_mb(default: float) -> float:
+    """Benchmark data scale in MB (overridable via REPRO_BENCH_SCALE_MB)."""
+    value = os.environ.get("REPRO_BENCH_SCALE_MB")
+    return float(value) if value else default
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The simulated experiments are deterministic, so repeated rounds add no
+    information; one round keeps the suite fast while still recording timing.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

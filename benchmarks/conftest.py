@@ -1,31 +1,20 @@
-"""Shared configuration for the benchmark suite.
+"""Shared fixtures for the benchmark suite.
 
 Benchmarks reproduce the paper's figures on the simulated substrate.  The
 data scale defaults to a few megabytes so the whole suite runs in well under
 a minute of wall-clock time; set ``REPRO_BENCH_SCALE_MB`` to run closer to
 the paper's 10/50 MB settings.
+
+Helper *functions* (``scale_mb``, ``run_once``) live in
+:mod:`bench_support` (``benchmarks/bench_support.py``); only fixtures belong
+here.  Keeping this module fixture-only means nothing ever needs to
+``import conftest``, so the tests/ and benchmarks/ directories can no longer
+shadow each other's shared helpers.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
-
-
-def scale_mb(default: float) -> float:
-    """Benchmark data scale in MB (overridable via REPRO_BENCH_SCALE_MB)."""
-    value = os.environ.get("REPRO_BENCH_SCALE_MB")
-    return float(value) if value else default
-
-
-def run_once(benchmark, func):
-    """Run ``func`` exactly once under pytest-benchmark and return its result.
-
-    The simulated experiments are deterministic, so repeated rounds add no
-    information; one round keeps the suite fast while still recording timing.
-    """
-    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
 
 
 @pytest.fixture(scope="session")

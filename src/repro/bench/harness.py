@@ -16,6 +16,7 @@ from repro.catalog.statistics import SourceStatistics
 from repro.datagen.tpcd import TPCDDatabase, TPCDGenerator
 from repro.engine.builder import build_operator
 from repro.engine.context import EngineConfig, ExecutionContext
+from repro.engine.iterators import DEFAULT_BATCH_SIZE
 from repro.engine.operators.materialize import Materialize
 from repro.engine.stats import TupleTimeline
 from repro.network.profiles import NetworkProfile, lan
@@ -86,12 +87,19 @@ def run_operator_tree(
     result_name: str = "bench_result",
     engine_config: EngineConfig | None = None,
     capture_points: int | None = None,
+    batch_size: int | None = DEFAULT_BATCH_SIZE,
 ) -> RunResult:
     """Execute one physical operator tree to completion against ``catalog``.
 
     This bypasses the optimizer so that benchmarks can compare hand-chosen
     plans (exactly what the paper does for the join experiments, which used
     hand-coded query plans for greater control).
+
+    ``batch_size`` selects the drive mode: the default pulls batches of up to
+    that many rows through the vectorized ``next_batch`` protocol (ramping up
+    from one row so time-to-first-tuple stays exact); ``None`` drives the tree
+    tuple-at-a-time, which is the pre-vectorization baseline that
+    ``benchmarks/bench_batch_pipeline.py`` measures against.
     """
     context = ExecutionContext(catalog, config=engine_config, query_name=result_name)
     root = build_operator(spec, context)
@@ -99,12 +107,29 @@ def run_operator_tree(
     timeline = TupleTimeline()
     root.open()
     produced = 0
-    while True:
-        row = root.next()
-        if row is None:
-            break
-        produced += 1
-        timeline.record(context.clock.now, produced)
+    if batch_size is None:
+        while True:
+            row = root.next()
+            if row is None:
+                break
+            produced += 1
+            timeline.record(context.clock.now, produced)
+    else:
+        current = 1
+        last_time = 0.0
+        while True:
+            batch = root.next_batch(current)
+            if not batch:
+                break
+            # Rows carry their virtual arrival stamps, so the tuples-vs-time
+            # series keeps tuple-level resolution (the figures' curves — e.g.
+            # the overflow stall shapes — survive batch-at-a-time driving).
+            for row in batch:
+                produced += 1
+                if row.arrival > last_time:
+                    last_time = row.arrival
+                timeline.record(last_time, produced)
+            current = min(current * 4, batch_size)
     root.close()
     relation = context.local_store.get(result_name)
     return RunResult(

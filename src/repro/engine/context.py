@@ -96,6 +96,13 @@ class ExecutionContext:
         self._wrappers: dict[str, list[Wrapper]] = {}
         self._operators: dict[str, object] = {}
         self._deactivated: set[str] = set()
+        #: Event keys ``(event_type, subject)`` that some registered rule
+        #: triggers on.  Emitting a watched event raises ``batch_interrupt``,
+        #: which tells batch-mode operators to cut their current batch short so
+        #: the executor drains the queue at exactly the point a tuple-at-a-time
+        #: drive would have — rule firing order is preserved under batching.
+        self.watched_event_keys: set[tuple[EventType, str]] = set()
+        self.batch_interrupt = False
 
     # -- wrappers ------------------------------------------------------------------
 
@@ -156,6 +163,16 @@ class ExecutionContext:
     def emit_event(self, event_type: EventType, subject: str, value=None) -> None:
         """Raise a runtime event at the current virtual time."""
         self.events.emit(event_type, subject, value, at_time=self.clock.now)
+        if (event_type, subject) in self.watched_event_keys:
+            self.batch_interrupt = True
+
+    def watch_events(self, keys) -> None:
+        """Declare event keys that must interrupt in-flight batches (see above)."""
+        self.watched_event_keys.update(keys)
+
+    def event_watched(self, event_type: EventType, subject: str) -> bool:
+        """True when a registered rule triggers on ``(event_type, subject)``."""
+        return (event_type, subject) in self.watched_event_keys
 
     # -- RuntimeContext protocol (observed by rule conditions) ----------------------------
 

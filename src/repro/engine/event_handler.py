@@ -56,6 +56,20 @@ class EventHandler:
     def active_rules(self) -> list[Rule]:
         return [r for r in self._rules_by_name.values() if self._is_active(r)]
 
+    @property
+    def watched_keys(self) -> set[tuple[EventType, str]]:
+        """Event keys that at least one *active* rule still triggers on.
+
+        Fired rules (and rules of deactivated owners) drop out, so batch
+        operators stop paying per-tuple event costs for triggers that can
+        never fire again.
+        """
+        return {
+            key
+            for key, rules in self._rules_by_key.items()
+            if any(self._is_active(rule) for rule in rules)
+        }
+
     # -- owner management --------------------------------------------------------------
 
     def deactivate_owner(self, owner: str) -> None:

@@ -16,6 +16,7 @@ from enum import Enum
 from repro.engine.builder import build_operator
 from repro.engine.context import ExecutionContext
 from repro.engine.event_handler import EventHandler
+from repro.engine.iterators import DEFAULT_BATCH_SIZE
 from repro.engine.operators.materialize import Materialize
 from repro.engine.stats import FragmentStats, QueryRuntimeStats, TupleTimeline
 from repro.errors import ExecutionError, SourceTimeoutError, SourceUnavailableError
@@ -54,10 +55,19 @@ class ExecutionOutcome:
 
 
 class QueryExecutor:
-    """Executes a :class:`~repro.plan.fragments.QueryPlan` over an execution context."""
+    """Executes a :class:`~repro.plan.fragments.QueryPlan` over an execution context.
 
-    def __init__(self, context: ExecutionContext) -> None:
+    Fragments are driven batch-at-a-time by default (``batch_size`` rows per
+    ``next_batch`` call, ramping up from a single row so time-to-first-tuple
+    is recorded exactly).  Events are drained at batch boundaries; operators
+    cut batches short whenever an event with a registered rule fires, so rule
+    semantics are identical to the tuple-at-a-time drive (``batch_size=None``),
+    which is retained as a baseline.
+    """
+
+    def __init__(self, context: ExecutionContext, batch_size: int | None = DEFAULT_BATCH_SIZE) -> None:
         self.context = context
+        self.batch_size = batch_size
         self.event_handler = EventHandler(context, self._apply_action)
         self._reoptimize_requested = False
         self._reschedule_requested = False
@@ -168,17 +178,36 @@ class QueryExecutor:
         self._drain_events()
         produced = 0
         try:
-            while True:
-                if self._error_message:
-                    raise ExecutionError(self._error_message)
-                row = root.next()
-                if row is None:
-                    break
-                produced += 1
-                timeline.record(self.context.clock.now, produced)
-                if is_final:
-                    self.context.stats.output_timeline.record(self.context.clock.now, produced)
-                self._drain_events()
+            if self.batch_size is None:
+                # Tuple-at-a-time drive (the pre-vectorization baseline).
+                while True:
+                    if self._error_message:
+                        raise ExecutionError(self._error_message)
+                    row = root.next()
+                    if row is None:
+                        break
+                    produced += 1
+                    timeline.record(self.context.clock.now, produced)
+                    if is_final:
+                        self.context.stats.output_timeline.record(self.context.clock.now, produced)
+                    self._drain_events()
+            else:
+                # Batch-at-a-time drive.  Ramp the batch size up from one row
+                # so the first output tuple is timestamped exactly, then grow
+                # to the configured size for bulk throughput.
+                batch_size = 1
+                while True:
+                    if self._error_message:
+                        raise ExecutionError(self._error_message)
+                    batch = root.next_batch(batch_size)
+                    if not batch:
+                        break
+                    produced += len(batch)
+                    timeline.record(self.context.clock.now, produced)
+                    if is_final:
+                        self.context.stats.output_timeline.record(self.context.clock.now, produced)
+                    self._drain_events()
+                    batch_size = min(batch_size * 4, self.batch_size)
         finally:
             root.close()
             self._drain_events()
@@ -199,7 +228,12 @@ class QueryExecutor:
         return stats
 
     def _drain_events(self) -> None:
-        self.event_handler.process(self.context.events)
+        fired = self.event_handler.process(self.context.events)
+        self.context.batch_interrupt = False
+        if fired:
+            # Fired (one-shot) rules and deactivated owners no longer watch
+            # their trigger keys; refresh so batches stop being cut for them.
+            self.context.watched_event_keys = self.event_handler.watched_keys
         self.context.stats.events_processed = self.event_handler.events_processed
         self.context.stats.rules_fired = self.event_handler.rules_fired
 
@@ -211,6 +245,10 @@ class QueryExecutor:
         self.event_handler.register_all(
             rule for rule in plan.all_rules() if not rule.fired
         )
+        # Batches must be interrupted whenever an event that can fire a rule
+        # is emitted, so rules run at the same per-tuple points as the
+        # tuple-at-a-time drive.
+        self.context.watch_events(self.event_handler.watched_keys)
         completed: list[str] = []
         failed_sources: list[str] = []
         stats = self.context.stats

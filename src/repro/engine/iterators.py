@@ -18,6 +18,9 @@ from repro.plan.rules import EventType
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
+#: Default number of rows per batch in the vectorized (batch-at-a-time) path.
+DEFAULT_BATCH_SIZE = 256
+
 
 class Operator:
     """Base class for all runtime operators.
@@ -72,6 +75,71 @@ class Operator:
             self.context.clock.consume_cpu(self.context.config.per_tuple_cpu_ms)
             self._stats.record_output(self.context.clock.now)
         return row
+
+    def next_batch(self, max_rows: int = DEFAULT_BATCH_SIZE) -> list[Row]:
+        """Produce up to ``max_rows`` output rows; an empty list means end of stream.
+
+        The batch contract:
+
+        * A non-empty batch may hold fewer than ``max_rows`` rows (operators
+          cut batches short when a watched event fires, so the executor can
+          run rules at exactly the tuple-at-a-time firing point).
+        * An empty batch is only returned at end of stream — operators keep
+          pulling until they have at least one row or their input is done,
+          mirroring :meth:`next`, which blocks until a row or ``None``.
+
+        The default implementation loops :meth:`_next`; hot operators override
+        :meth:`_next_batch` with native vectorized paths.  Per-tuple CPU and
+        statistics are charged once per batch with identical totals.
+        """
+        if self.state == "pending":
+            raise ExecutionError(f"operator {self.operator_id!r} used before open()")
+        if self.state in ("closed", "deactivated"):
+            return []
+        if max_rows <= 0:
+            raise ExecutionError(f"batch size must be positive, got {max_rows}")
+        clock = self.context.clock
+        wait_before = clock.stats.wait_ms
+        batch = self._next_batch(max_rows)
+        if batch:
+            # Charge the batch's per-tuple CPU as overlapped with the waiting
+            # that accrued while the batch streamed in — the accounting a
+            # tuple-at-a-time drive produces by interleaving the same charges
+            # between arrival waits.
+            clock.consume_cpu_overlapped(
+                len(batch) * self.context.config.per_tuple_cpu_ms,
+                max(0.0, clock.stats.wait_ms - wait_before),
+            )
+            self._stats.record_output_batch(len(batch), clock.now)
+        return batch
+
+    def next_batch_bounded(
+        self, max_rows: int, arrival_bound: float
+    ) -> list[Row]:
+        """Produce up to ``max_rows`` rows arriving strictly before ``arrival_bound``.
+
+        Used by data-driven consumers (the double pipelined join) to consume a
+        *run* of tuples from one input in bulk: every row returned would also
+        have been consumed consecutively by a tuple-at-a-time drive, because
+        no other input could deliver anything earlier.  May return an empty
+        list when the next row arrives at or after the bound — that is not end
+        of stream; callers fall back to a single :meth:`next` step (the
+        tie-break case).
+        """
+        if self.state == "pending":
+            raise ExecutionError(f"operator {self.operator_id!r} used before open()")
+        if self.state in ("closed", "deactivated"):
+            return []
+        clock = self.context.clock
+        wait_before = clock.stats.wait_ms
+        batch = self._next_batch_bounded(max_rows, arrival_bound)
+        if batch:
+            clock.consume_cpu_overlapped(
+                len(batch) * self.context.config.per_tuple_cpu_ms,
+                max(0.0, clock.stats.wait_ms - wait_before),
+            )
+            self._stats.record_output_batch(len(batch), clock.now)
+        return batch
 
     def close(self) -> None:
         """Close this operator and its children; emits the ``closed`` event."""
@@ -131,6 +199,45 @@ class Operator:
 
     def _next(self) -> Row | None:
         raise NotImplementedError
+
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        """Subclass hook: produce up to ``max_rows`` rows ([] = end of stream).
+
+        The fallback loops the tuple-at-a-time hook, stopping early when a
+        watched event interrupts the batch (but never returning an empty batch
+        unless the stream is exhausted).
+        """
+        context = self.context
+        batch: list[Row] = []
+        while len(batch) < max_rows:
+            row = self._next()
+            if row is None:
+                break
+            batch.append(row)
+            if context.batch_interrupt:
+                break
+        return batch
+
+    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> list[Row]:
+        """Subclass hook for :meth:`next_batch_bounded`.
+
+        The fallback re-checks :meth:`peek_arrival` before every pull, so it
+        is exact for any operator; leaf scans override it with a direct loop
+        over their source's arrival sequence.
+        """
+        context = self.context
+        batch: list[Row] = []
+        while len(batch) < max_rows:
+            arrival = self.peek_arrival()
+            if arrival is None or arrival >= arrival_bound:
+                break
+            row = self._next()
+            if row is None:
+                break
+            batch.append(row)
+            if context.batch_interrupt:
+                break
+        return batch
 
     def _do_close(self) -> None:
         """Subclass hook: release resources."""

@@ -197,3 +197,46 @@ class DynamicCollector(Operator):
                     continue
                 self._seen_keys.add(key)
             return Row(schema, row.values, row.arrival)
+
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        """Batch iteration with per-row child selection.
+
+        Child picking stays tuple-at-a-time — which input to service next is
+        the collector's data-driven policy and depends on each tuple's virtual
+        arrival — but the per-row THRESHOLD event is only materialized when a
+        rule watches that child, and the batch is cut short as soon as a
+        watched event fires so rule actions (activate/deactivate) take effect
+        at the tuple-accurate point.
+        """
+        schema = self.output_schema
+        context = self.context
+        out: list[Row] = []
+        while len(out) < max_rows:
+            child_id = self._pick_child()
+            if child_id is None:
+                break
+            child = self._child_by_id[child_id]
+            try:
+                row = child.next()
+            except (SourceTimeoutError, SourceUnavailableError):
+                self._handle_child_failure(child_id)
+                continue
+            if row is None:
+                self._active.remove(child_id)
+                self._finished.add(child_id)
+                continue
+            count = self.tuples_per_child[child_id] + 1
+            self.tuples_per_child[child_id] = count
+            if context.event_watched(EventType.THRESHOLD, child_id):
+                context.emit_event(EventType.THRESHOLD, child_id, value=count)
+            if self.dedup_keys is not None:
+                key = row.key(self.dedup_keys)
+                if key in self._seen_keys:
+                    if context.batch_interrupt and out:
+                        break
+                    continue
+                self._seen_keys.add(key)
+            out.append(Row.make(schema, row.values, row.arrival))
+            if context.batch_interrupt:
+                break
+        return out

@@ -6,7 +6,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
 from repro.errors import PlanError
 from repro.storage.schema import Schema
-from repro.storage.tuples import Row
+from repro.storage.tuples import KeyBinder, Row
 
 
 class JoinOperator(Operator):
@@ -39,6 +39,8 @@ class JoinOperator(Operator):
         self.left_keys = list(left_keys)
         self.right_keys = list(right_keys)
         self._schema: Schema | None = None
+        self._left_binder = KeyBinder(left_keys)
+        self._right_binder = KeyBinder(right_keys)
 
     @property
     def left(self) -> Operator:
@@ -59,10 +61,10 @@ class JoinOperator(Operator):
         return left_row.concat(right_row, self.output_schema)
 
     def left_key(self, row: Row):
-        return row.key(self.left_keys)
+        return self._left_binder.key(row)
 
     def right_key(self, row: Row):
-        return row.key(self.right_keys)
+        return self._right_binder.key(row)
 
     def _charge_disk_time(self) -> None:
         """Convert disk page I/O performed since the last call into virtual time."""

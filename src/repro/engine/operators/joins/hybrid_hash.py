@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.engine.context import ExecutionContext
-from repro.engine.iterators import Operator
+from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
 from repro.engine.operators.joins.base import JoinOperator
 from repro.plan.rules import EventType
 from repro.storage.disk import OverflowFile
@@ -80,6 +80,31 @@ class HybridHashJoin(JoinOperator):
         self._charge_disk_time()
         self._built = True
 
+    def _build_inner_batched(self) -> None:
+        """Batch-at-a-time build: bulk inserts with the tuple path's overflow recovery."""
+        assert self._inner_table is not None
+        table = self._inner_table
+        right = self.right
+        while True:
+            rows = right.next_batch(DEFAULT_BATCH_SIZE)
+            if not rows:
+                break
+            while rows:
+                rows = table.insert_batch(rows)
+                if rows:
+                    # Memory pressure: flush the largest bucket and retry the
+                    # refused suffix (rows whose bucket got flushed spill on
+                    # the retry, as in the tuple path).
+                    self._raise_out_of_memory()
+                    if table.flush_largest_bucket() is None:
+                        # Nothing resident to flush; the tuple path's single
+                        # retry gives up on such a row, so route it through
+                        # one plain insert and move on.
+                        table.insert(rows[0])
+                        rows = rows[1:]
+        self._charge_disk_time()
+        self._built = True
+
     def _raise_out_of_memory(self) -> None:
         self._stats.overflow_events += 1
         self.context.emit_event(EventType.OUT_OF_MEMORY, self.operator_id)
@@ -138,6 +163,57 @@ class HybridHashJoin(JoinOperator):
                 self._overflow_output = self._overflow_pairs()
                 continue
             self._probe_matches = self._probe_one(outer_row)
+
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        if not self._built:
+            self._build_inner_batched()
+        assert self._inner_table is not None
+        table = self._inner_table
+        context = self.context
+        left_key = self.left_key
+        out: list[Row] = []
+        while len(out) < max_rows:
+            if self._probe_matches:
+                needed = max_rows - len(out)
+                out.extend(self._probe_matches[:needed])
+                del self._probe_matches[:needed]
+                continue
+            if self._overflow_output is not None:
+                row = next(self._overflow_output, None)
+                if row is None:
+                    break
+                out.append(row)
+                continue
+            outer = self.left.next_batch(max_rows)
+            if not outer:
+                self._overflow_output = self._overflow_pairs()
+                continue
+            matches: list[Row] = []
+            if table.flushed_buckets:
+                # Some buckets spilled: per-row probing routes outer tuples
+                # for flushed buckets to their overflow files.
+                for outer_row in outer:
+                    matches.extend(self._probe_one(outer_row))
+            else:
+                schema = self.output_schema
+                make = Row.make
+                keys = [left_key(row) for row in outer]
+                for outer_row, inner_rows in zip(outer, table.probe_batch(keys)):
+                    if inner_rows:
+                        values = outer_row.values
+                        arrival = outer_row.arrival
+                        matches.extend(
+                            make(
+                                schema,
+                                values + inner.values,
+                                arrival if arrival >= inner.arrival else inner.arrival,
+                            )
+                            for inner in inner_rows
+                        )
+            self._probe_matches = matches
+            if context.batch_interrupt and out:
+                break
+        return out
 
     def _do_close(self) -> None:
         if self._inner_table is not None:

@@ -60,6 +60,22 @@ class Materialize(Operator):
         self.context.clock.consume_io(self.context.config.materialization_cost_ms_per_tuple)
         return row
 
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        clock = self.context.clock
+        wait_before = clock.stats.wait_ms
+        batch = self.child.next_batch(max_rows)
+        if batch:
+            assert self._relation is not None
+            self._relation.extend(batch)
+            # Overlapped like the batch CPU charge in Operator.next_batch:
+            # tuple-at-a-time materialization hides this IO inside the waits
+            # between arrivals.
+            clock.consume_io_overlapped(
+                len(batch) * self.context.config.materialization_cost_ms_per_tuple,
+                max(0.0, clock.stats.wait_ms - wait_before),
+            )
+        return batch
+
     def _do_close(self) -> None:
         if self._relation is not None:
             self.context.local_store.materialize(self._relation, at_time=self.context.clock.now)

@@ -24,6 +24,7 @@ class Project(Operator):
         )
         self.attributes = list(attributes)
         self._schema: Schema | None = None
+        self._indices: list[int] | None = None
 
     @property
     def child(self) -> Operator:
@@ -45,3 +46,17 @@ class Project(Operator):
         if row is None:
             return None
         return row.project(self.attributes, self.output_schema)
+
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        if self._indices is None:
+            # The input schema is fixed once the child is open; bind the
+            # projected attribute positions once instead of per row.
+            child_schema = self.child.output_schema
+            self._indices = [child_schema.index_of(name) for name in self.attributes]
+        indices = self._indices
+        schema = self.output_schema
+        batch = self.child.next_batch(max_rows)
+        return [
+            Row.make(schema, tuple(row.values[i] for i in indices), row.arrival)
+            for row in batch
+        ]

@@ -37,6 +37,7 @@ class WrapperScan(Operator):
         self._threshold_counter = 0
         self._cache_feed = None
         self._rows_seen: list[Row] = []
+        self._deferred_error: Exception | None = None
         self.served_from_cache = False
 
     @property
@@ -106,6 +107,87 @@ class WrapperScan(Operator):
         )
         return row
 
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        return self._batched_fetch(max_rows, None)
+
+    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> list[Row]:
+        return self._batched_fetch(max_rows, arrival_bound)
+
+    def _batched_fetch(self, max_rows: int, arrival_bound: float | None) -> list[Row]:
+        """Vectorized fetch loop, optionally stopping at an arrival bound.
+
+        Per-row THRESHOLD events are only emitted when a rule actually watches
+        this operator (emitting one Event object per source tuple is the
+        single biggest per-row cost of the tuple-at-a-time path); the
+        threshold counter itself is always maintained.  A source failure that
+        strikes mid-batch is deferred so the rows fetched before it are not
+        lost: the partial batch is delivered and the error re-raised on the
+        next call, which is when a tuple-at-a-time consumer would have hit it.
+        """
+        if self._deferred_error is not None:
+            error, self._deferred_error = self._deferred_error, None
+            raise error
+        context = self.context
+        if context.is_deactivated(self.operator_id):
+            return []
+        batch: list[Row] = []
+        cache_feed = self._cache_feed
+        collect_for_cache = cache_feed is None and context.source_cache is not None
+        watched = context.event_watched(EventType.THRESHOLD, self.operator_id)
+        if cache_feed is not None:
+            fetch = cache_feed.fetch
+            next_arrival = cache_feed.next_arrival
+        else:
+            fetch = self.wrapper.fetch
+            next_arrival = self.wrapper.next_arrival
+        use_block = cache_feed is None and not watched
+        while len(batch) < max_rows:
+            if use_block:
+                rows = self.wrapper.fetch_batch(max_rows - len(batch), arrival_bound)
+                if rows:
+                    self._threshold_counter += len(rows)
+                    if collect_for_cache:
+                        self._rows_seen.extend(rows)
+                    batch.extend(rows)
+                    continue
+                # Empty block: end of stream, bound reached, or a tuple that
+                # would fail/time out — fall through to the per-tuple path,
+                # which surfaces each of those with exact semantics.
+            if arrival_bound is not None:
+                arrival = next_arrival()
+                if arrival is None or arrival >= arrival_bound:
+                    break
+            try:
+                row = fetch()
+            except SourceTimeoutError as exc:
+                context.emit_event(EventType.TIMEOUT, self.source_name)
+                context.emit_event(EventType.TIMEOUT, self.operator_id)
+                if batch:
+                    self._deferred_error = exc
+                    break
+                raise
+            except SourceUnavailableError as exc:
+                context.emit_event(EventType.ERROR, self.source_name, value=str(exc))
+                context.emit_event(EventType.ERROR, self.operator_id, value=str(exc))
+                if batch:
+                    self._deferred_error = exc
+                    break
+                raise
+            if row is None:
+                self._fill_cache_if_complete()
+                break
+            if collect_for_cache:
+                self._rows_seen.append(row)
+            self._threshold_counter += 1
+            batch.append(row)
+            if watched:
+                context.emit_event(
+                    EventType.THRESHOLD, self.operator_id, value=self._threshold_counter
+                )
+                if context.batch_interrupt:
+                    break
+        return batch
+
     def _do_close(self) -> None:
         self._fill_cache_if_complete()
         self.wrapper.close()
@@ -143,3 +225,11 @@ class TableScan(Operator):
         # Local reads are CPU + buffer-pool work; charge a small per-tuple cost
         # (the base class adds the generic per-tuple CPU charge on return).
         return row.with_arrival(self.context.clock.now)
+
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        block = self.context.local_store.row_block(
+            self.relation_name, self._cursor, max_rows
+        )
+        self._cursor += len(block)
+        now = self.context.clock.now
+        return [row.with_arrival(now) for row in block]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
+from repro.errors import SchemaError
 from repro.query.conjunctive import SelectionPredicate
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
@@ -24,6 +25,7 @@ class Select(Operator):
             operator_id, context, children=[child], estimated_cardinality=estimated_cardinality
         )
         self.predicates = list(predicates)
+        self._resolved: list[tuple[int | None, SelectionPredicate]] | None = None
 
     @property
     def child(self) -> Operator:
@@ -52,3 +54,49 @@ class Select(Operator):
                 return None
             if self._matches(row):
                 return row
+
+    def _resolve_predicates(self) -> list[tuple[int | None, SelectionPredicate]]:
+        """Bind each predicate to a column index of the child schema.
+
+        The tuple path resolves attribute names per row; the input schema is
+        fixed once the child is open, so the batch path binds indices once.
+        ``None`` marks an attribute absent from the schema — such predicates
+        can never be satisfied (mirroring :meth:`_matches`, where the lookup
+        yields ``None``).
+        """
+        schema = self.child.output_schema
+        resolved: list[tuple[int | None, SelectionPredicate]] = []
+        for predicate in self.predicates:
+            index: int | None
+            try:
+                index = schema.index_of(f"{predicate.table}.{predicate.attr}")
+            except SchemaError:
+                try:
+                    index = schema.index_of(predicate.attr)
+                except SchemaError:
+                    index = None
+            resolved.append((index, predicate))
+        return resolved
+
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        if self._resolved is None:
+            self._resolved = self._resolve_predicates()
+        resolved = self._resolved
+        child = self.child
+        while True:
+            batch = child.next_batch(max_rows)
+            if not batch:
+                return []
+            out: list[Row] = []
+            for row in batch:
+                values = row.values
+                for index, predicate in resolved:
+                    if index is None:
+                        break
+                    value = values[index]
+                    if value is None or not predicate.evaluate(value):
+                        break
+                else:
+                    out.append(row)
+            if out:
+                return out

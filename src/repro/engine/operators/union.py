@@ -59,3 +59,12 @@ class Union(Operator):
                 return Row(schema, row.values, row.arrival)
             self._current += 1
         return None
+
+    def _next_batch(self, max_rows: int) -> list[Row]:
+        schema = self.output_schema
+        while self._current < len(self.children):
+            batch = self.children[self._current].next_batch(max_rows)
+            if batch:
+                return [Row.make(schema, row.values, row.arrival) for row in batch]
+            self._current += 1
+        return []

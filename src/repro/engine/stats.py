@@ -81,6 +81,15 @@ class OperatorRuntimeStats:
             self.time_of_first_output = at_time
         self.time_of_last_output = at_time
 
+    def record_output_batch(self, count: int, at_time: float) -> None:
+        """Record ``count`` outputs produced by ``at_time`` (one counter update)."""
+        if count <= 0:
+            return
+        self.tuples_produced += count
+        if self.time_of_first_output is None:
+            self.time_of_first_output = at_time
+        self.time_of_last_output = at_time
+
 
 @dataclass
 class FragmentStats:

@@ -159,6 +159,45 @@ class SourceConnection:
         self.source.stats.tuples_sent += 1
         return row.with_arrival(arrival), arrival
 
+    def fetch_block(
+        self, max_rows: int, arrival_bound: float | None = None, arrival_limit: float | None = None
+    ) -> tuple[list[Row], list[float]]:
+        """Deliver up to ``max_rows`` tuples in one call (batch scan support).
+
+        Stops *without raising* at the failure point, the timetable's end, or
+        the first tuple arriving at/after ``arrival_bound`` (exclusive) or
+        beyond ``arrival_limit`` (inclusive — the caller's timeout horizon);
+        the caller falls back to :meth:`fetch`, which surfaces failures and
+        timeouts with exact per-tuple semantics.  Rows are returned unstamped
+        alongside their arrival times.
+        """
+        if self._closed or self.source.profile.unavailable or max_rows <= 0:
+            return [], []
+        start = self._cursor
+        stop = len(self._rows)
+        if self._fail_at_index is not None:
+            stop = min(stop, self._fail_at_index)
+        stop = min(stop, start + max_rows)
+        if arrival_bound is not None or arrival_limit is not None:
+            arrivals = self._arrivals
+            # Walk rather than bisect: jittered schedules are only loosely
+            # sorted, and the block is materialized row by row anyway.
+            for index in range(start, stop):
+                arrival = arrivals[index]
+                if arrival_bound is not None and arrival >= arrival_bound:
+                    stop = index
+                    break
+                if arrival_limit is not None and arrival > arrival_limit:
+                    stop = index
+                    break
+        if stop <= start:
+            return [], []
+        rows = self._rows[start:stop]
+        arrivals_out = self._arrivals[start:stop]
+        self._cursor = stop
+        self.source.stats.tuples_sent += stop - start
+        return rows, arrivals_out
+
     def close(self) -> None:
         """Tear down the connection (collector `deactivate` uses this)."""
         self._closed = True

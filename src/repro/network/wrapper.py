@@ -154,6 +154,44 @@ class Wrapper:
         self.stats.time_of_last_tuple = self.clock.now
         return row.with_arrival(self.clock.now)
 
+    def fetch_batch(self, max_rows: int, arrival_bound: float | None = None) -> list[Row]:
+        """Bulk fetch: up to ``max_rows`` tuples arriving before ``arrival_bound``.
+
+        Never raises: the block stops *before* any tuple that would time out,
+        fail, or land at/after the bound, and returns what it has (possibly
+        nothing).  The per-tuple :meth:`fetch` surfaces errors with their
+        exact semantics on the caller's next pull.  Clock accounting and the
+        rows' arrival stamps are identical to fetching the same tuples one at
+        a time.
+        """
+        if self._connection is None or self._connection.closed:
+            return []
+        now = self.clock.now
+        limit = now + self.timeout_ms if self.timeout_ms is not None else None
+        rows, arrivals = self._connection.fetch_block(
+            max_rows, arrival_bound=arrival_bound, arrival_limit=limit
+        )
+        if not rows:
+            return []
+        cpu = self.per_tuple_cpu_ms
+        wait_total = 0.0
+        make = Row.make
+        out: list[Row] = []
+        append = out.append
+        for row, arrival in zip(rows, arrivals):
+            if arrival > now:
+                wait_total += arrival - now
+                now = arrival
+            now += cpu
+            append(make(row.schema, row.values, now))
+        self.clock.charge(wait_total, cpu * len(out))
+        stats = self.stats
+        stats.tuples_fetched += len(out)
+        if stats.time_of_first_tuple is None:
+            stats.time_of_first_tuple = out[0].arrival
+        stats.time_of_last_tuple = now
+        return out
+
     def fetch_available(self) -> Row | None:
         """Fetch the next tuple only if it has already arrived; else ``None``.
 

@@ -16,7 +16,7 @@ from typing import Any, Iterator, Sequence
 from repro.errors import StorageError
 from repro.storage.disk import OverflowFile, SimulatedDisk
 from repro.storage.memory import MemoryBudget
-from repro.storage.tuples import Row
+from repro.storage.tuples import KeyBinder, Row
 
 #: Default bucket count; the paper's engine sized this from optimizer hints.
 DEFAULT_BUCKET_COUNT = 64
@@ -90,25 +90,28 @@ class BucketedHashTable:
         self.name = name
         self.buckets = [Bucket(i) for i in range(bucket_count)]
         self.total_inserted = 0
+        self._binder = KeyBinder(self.key_names)
 
     # -- basic operations --------------------------------------------------------
 
     def key_for(self, row: Row) -> tuple[Any, ...]:
-        return row.key(self.key_names)
+        return self._binder.key(row)
 
     def bucket_for_key(self, key: tuple[Any, ...]) -> Bucket:
         return self.buckets[bucket_of(key, self.bucket_count)]
 
-    def insert(self, row: Row, marked: bool = False) -> bool:
+    def insert(self, row: Row, marked: bool = False, key: tuple[Any, ...] | None = None) -> bool:
         """Insert ``row``.
 
         Returns ``True`` when the row is resident in memory, ``False`` when it
         went straight to the bucket's overflow file (because the bucket was
         already flushed) or when the memory budget refused the reservation.
         A ``False`` return with an un-flushed bucket signals the caller that
-        its overflow strategy must run before retrying.
+        its overflow strategy must run before retrying.  Callers that already
+        computed the row's join key may pass it to skip recomputation.
         """
-        key = self.key_for(row)
+        if key is None:
+            key = self.key_for(row)
         bucket = self.bucket_for_key(key)
         self.total_inserted += 1
         if bucket.flushed:
@@ -119,6 +122,32 @@ class BucketedHashTable:
             return False
         bucket.add(key, row)
         return True
+
+    def insert_batch(self, rows: Sequence[Row], marked: bool = False) -> list[Row]:
+        """Bulk-insert ``rows``; returns the suffix that could not be inserted.
+
+        Rows whose bucket is already flushed are written straight to that
+        bucket's overflow file (they count as handled, exactly as in
+        :meth:`insert`).  On the first memory refusal for a resident insert,
+        the refused row and every row after it are returned unchanged so the
+        caller can run its overflow strategy and retry the remainder.
+        """
+        key_for = self.key_for
+        buckets = self.buckets
+        count = self.bucket_count
+        budget = self.budget
+        for position, row in enumerate(rows):
+            key = key_for(row)
+            bucket = buckets[hash(key) % count]
+            if bucket.flushed:
+                self.total_inserted += 1
+                self._ensure_overflow(bucket).write(row, marked)
+                continue
+            if not budget.try_reserve(row.size_bytes):
+                return list(rows[position:])
+            self.total_inserted += 1
+            bucket.add(key, row)
+        return []
 
     def insert_resident(self, row: Row) -> None:
         """Insert assuming memory is available; raises if the budget refuses."""
@@ -135,6 +164,12 @@ class BucketedHashTable:
     def probe_row(self, row: Row, key_names: Sequence[str]) -> list[Row]:
         """Probe using ``row``'s values of ``key_names`` as the key."""
         return self.probe(row.key(key_names))
+
+    def probe_batch(self, keys: Sequence[tuple[Any, ...]]) -> list[list[Row]]:
+        """Resident matches for each key in ``keys`` (one result list per key)."""
+        buckets = self.buckets
+        count = self.bucket_count
+        return [buckets[hash(key) % count].matches(key) for key in keys]
 
     def is_bucket_flushed_for(self, key: tuple[Any, ...]) -> bool:
         return self.bucket_for_key(key).flushed

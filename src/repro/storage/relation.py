@@ -22,8 +22,8 @@ class Relation:
         self.name = name
         self.schema = schema
         self._rows: list[Row] = []
-        for row in rows:
-            self.append(row)
+        if rows:
+            self.extend(rows)
 
     # -- construction ----------------------------------------------------------
 
@@ -44,11 +44,11 @@ class Relation:
     def qualified(self) -> "Relation":
         """Copy with every attribute qualified by the relation name."""
         schema = self.schema.qualified(self.name)
-        return Relation(
-            self.name,
-            schema,
-            (Row(schema, r.values, r.arrival) for r in self._rows),
-        )
+        make = Row.make
+        relation = Relation(self.name, schema)
+        # Qualification renames attributes 1:1, so the rows transfer as-is.
+        relation._rows = [make(schema, r.values, r.arrival) for r in self._rows]
+        return relation
 
     # -- mutation ---------------------------------------------------------------
 
@@ -62,9 +62,16 @@ class Relation:
         self._rows.append(row)
 
     def extend(self, rows: Iterable[Row]) -> None:
-        """Append many rows."""
+        """Append many rows (validated in bulk)."""
+        rows = rows if isinstance(rows, list) else list(rows)
+        arity = len(self.schema)
         for row in rows:
-            self.append(row)
+            if len(row.values) != arity:
+                raise SchemaError(
+                    f"row arity {len(row.values)} does not match relation "
+                    f"{self.name!r} arity {arity}"
+                )
+        self._rows.extend(rows)
 
     # -- access -----------------------------------------------------------------
 

@@ -92,6 +92,12 @@ class Schema:
         if len(names) != len(set(names)):
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise SchemaError(f"duplicate attribute names in schema: {dupes}")
+        # Lazy per-instance caches (the dataclass is frozen, hence the
+        # object.__setattr__): name-resolution and tuple-size lookups sit on
+        # the engine's per-row hot paths, and a schema never changes after
+        # construction.  Neither cache participates in equality or hashing.
+        object.__setattr__(self, "_index_cache", {})
+        object.__setattr__(self, "_tuple_size", None)
 
     # -- construction helpers -------------------------------------------------
 
@@ -146,6 +152,16 @@ class Schema:
         SchemaError
             If the name is absent or a base name is ambiguous.
         """
+        cached = self._index_cache.get(name)
+        if cached is None:
+            cached = self._resolve_index(name)
+            self._index_cache[name] = cached
+        if isinstance(cached, int):
+            return cached
+        raise SchemaError(cached)
+
+    def _resolve_index(self, name: str) -> int | str:
+        """Uncached lookup; returns the index or the error message to raise."""
         for i, attr in enumerate(self.attributes):
             if attr.name == name:
                 return i
@@ -153,8 +169,8 @@ class Schema:
         if len(matches) == 1:
             return matches[0]
         if len(matches) > 1:
-            raise SchemaError(f"attribute name {name!r} is ambiguous in {self.names}")
-        raise SchemaError(f"attribute {name!r} not found in schema {self.names}")
+            return f"attribute name {name!r} is ambiguous in {self.names}"
+        return f"attribute {name!r} not found in schema {self.names}"
 
     def attribute(self, name: str) -> Attribute:
         """Return the attribute named ``name`` (qualified or base name)."""
@@ -193,8 +209,12 @@ class Schema:
         """Estimated size in bytes of one tuple with this schema."""
         # A small per-tuple overhead models Python object headers / pointers in
         # the original engine's slotted pages.
-        overhead = 16
-        return overhead + sum(a.avg_size for a in self.attributes)
+        size = self._tuple_size
+        if size is None:
+            overhead = 16
+            size = overhead + sum(a.avg_size for a in self.attributes)
+            object.__setattr__(self, "_tuple_size", size)
+        return size
 
     def compatible_with(self, other: "Schema") -> bool:
         """True when both schemas have the same arity and attribute types."""

@@ -66,9 +66,24 @@ class Row:
 
     # -- derivation -----------------------------------------------------------
 
+    @classmethod
+    def make(cls, schema: Schema, values: tuple[Any, ...], arrival: float = 0.0) -> "Row":
+        """Fast constructor for callers that guarantee ``values`` fits ``schema``.
+
+        Skips the dataclass ``__init__``/``__post_init__`` arity validation —
+        row construction sits on the engine's per-tuple hot path, and the
+        derivation helpers below (plus the batch operator paths) build values
+        directly from a schema they also produce.
+        """
+        row = object.__new__(cls)
+        object.__setattr__(row, "schema", schema)
+        object.__setattr__(row, "values", values)
+        object.__setattr__(row, "arrival", arrival)
+        return row
+
     def with_arrival(self, arrival: float) -> "Row":
         """Copy of this row with a different arrival stamp."""
-        return Row(self.schema, self.values, arrival)
+        return Row.make(self.schema, self.values, arrival)
 
     def project(self, names: Sequence[str], schema: Schema | None = None) -> "Row":
         """Project onto ``names``; ``schema`` may be supplied to avoid rebuilds."""
@@ -83,16 +98,49 @@ class Row:
     def concat(self, other: "Row", schema: Schema | None = None) -> "Row":
         """Concatenate with ``other`` (join output); arrival is the later stamp."""
         out_schema = schema if schema is not None else self.schema.join(other.schema)
-        return Row(
+        if len(out_schema) != len(self.values) + len(other.values):
+            raise SchemaError(
+                f"concatenated arity {len(self.values) + len(other.values)} does "
+                f"not match schema arity {len(out_schema)} ({out_schema.names})"
+            )
+        return Row.make(
             out_schema,
             self.values + other.values,
-            max(self.arrival, other.arrival),
+            self.arrival if self.arrival >= other.arrival else other.arrival,
         )
 
     @property
     def size_bytes(self) -> int:
         """Estimated footprint used for memory accounting."""
         return self.schema.tuple_size
+
+
+class KeyBinder:
+    """Extracts a fixed key (a list of attribute names) from rows by position.
+
+    The names are resolved to value indices once per observed schema instance
+    (rows of one stream share theirs) and re-bound if the schema changes —
+    per-row name resolution is the iterator model's classic hot-path overhead.
+    Used by the join operators and the bucketed hash table.
+    """
+
+    __slots__ = ("names", "_schema", "_indices")
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.names = tuple(names)
+        self._schema: Schema | None = None
+        self._indices: tuple[int, ...] = ()
+
+    def key(self, row: Row) -> tuple[Any, ...]:
+        schema = row.schema
+        if schema is not self._schema:
+            self._indices = tuple(schema.index_of(name) for name in self.names)
+            self._schema = schema
+        indices = self._indices
+        values = row.values
+        if len(indices) == 1:
+            return (values[indices[0]],)
+        return tuple(values[i] for i in indices)
 
 
 def rows_from_dicts(schema: Schema, records: Sequence[dict[str, Any]]) -> list[Row]:

@@ -3,6 +3,10 @@
 Fixtures build tiny deployments (a few dozen to a few hundred tuples) so the
 whole suite runs in seconds while still exercising every code path the
 benchmarks use at larger scale.
+
+Plain helper *functions* live in :mod:`helpers` (``tests/helpers.py``) so test
+modules can import them without relying on the ambiguous top-level module name
+``conftest`` (see the module docstring there for the collision this avoids).
 """
 
 from __future__ import annotations
@@ -17,6 +21,8 @@ from repro.network.source import DataSource
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
+
+from helpers import make_relation
 
 
 @pytest.fixture(scope="session")
@@ -41,12 +47,6 @@ def people_relation(simple_schema) -> Relation:
         Row(simple_schema, (4, "dee", 5.5)),
     ]
     return Relation("people", simple_schema, rows)
-
-
-def make_relation(name: str, columns: list[str], values: list[tuple]) -> Relation:
-    """Helper used throughout the tests to build small relations."""
-    schema = Schema.of(*columns)
-    return Relation.from_values(name, schema, values)
 
 
 @pytest.fixture
@@ -86,31 +86,3 @@ def tpcd_catalog(tiny_tpcd) -> DataSourceCatalog:
     for table in tiny_tpcd.names:
         catalog.register_source(DataSource(table, tiny_tpcd[table], lan()))
     return catalog
-
-
-def reference_join(left: Relation, right: Relation, left_key: str, right_key: str) -> Relation:
-    """Order-insensitive reference equi-join used to validate engine operators."""
-    return left.qualified().join(right.qualified(), [left_key], [right_key])
-
-
-def attribute_multiset(relation) -> dict:
-    """Multiset of rows as (attribute -> value) sets, ignoring column order.
-
-    Useful when comparing engine output (whose column order depends on the
-    chosen join order) with a reference result.
-    """
-    counts: dict = {}
-    for row in relation:
-        key = frozenset((name.rsplit(".", 1)[-1], value) for name, value in row.as_dict().items())
-        counts[key] = counts.get(key, 0) + 1
-    return counts
-
-
-def multiset(relation_or_rows) -> dict:
-    """Value-vector multiset for order-insensitive comparisons."""
-    if isinstance(relation_or_rows, Relation):
-        return relation_or_rows.multiset()
-    counts: dict = {}
-    for row in relation_or_rows:
-        counts[row.values] = counts.get(row.values, 0) + 1
-    return counts

@@ -1,0 +1,48 @@
+"""Shared helper functions for the test suite.
+
+These used to live in ``tests/conftest.py`` and were imported with
+``from conftest import ...``, which relies on the top-level module name
+``conftest`` resolving to *this directory's* conftest.  When pytest collects
+from the repo root it may import ``benchmarks/conftest.py`` under that name
+first, poisoning ``sys.modules`` and breaking every such import.  Keeping the
+helpers in a uniquely named module makes the imports unambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+def make_relation(name: str, columns: list[str], values: list[tuple]) -> Relation:
+    """Helper used throughout the tests to build small relations."""
+    schema = Schema.of(*columns)
+    return Relation.from_values(name, schema, values)
+
+
+def reference_join(left: Relation, right: Relation, left_key: str, right_key: str) -> Relation:
+    """Order-insensitive reference equi-join used to validate engine operators."""
+    return left.qualified().join(right.qualified(), [left_key], [right_key])
+
+
+def attribute_multiset(relation) -> dict:
+    """Multiset of rows as (attribute -> value) sets, ignoring column order.
+
+    Useful when comparing engine output (whose column order depends on the
+    chosen join order) with a reference result.
+    """
+    counts: dict = {}
+    for row in relation:
+        key = frozenset((name.rsplit(".", 1)[-1], value) for name, value in row.as_dict().items())
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def multiset(relation_or_rows) -> dict:
+    """Value-vector multiset for order-insensitive comparisons."""
+    if isinstance(relation_or_rows, Relation):
+        return relation_or_rows.multiset()
+    counts: dict = {}
+    for row in relation_or_rows:
+        counts[row.values] = counts.get(row.values, 0) + 1
+    return counts

@@ -1,0 +1,354 @@
+"""Batch/tuple parity: every operator yields the same rows either way.
+
+Property-style tests asserting that each operator produces an identical
+multiset of rows when driven batch-at-a-time (``next_batch``) and
+tuple-at-a-time (repeated ``next``), across several batch sizes and both the
+tiny joinable catalog and the TPC-D catalog — including the memory-overflow
+paths of both hash joins and the rule-driven collector-switch path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.core.policies import apply_policy, race_policy
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import ExecutionStatus, QueryExecutor
+from repro.engine.operators.collector import DynamicCollector
+from repro.engine.operators.joins.double_pipelined import DoublePipelinedJoin
+from repro.engine.operators.joins.hybrid_hash import HybridHashJoin
+from repro.engine.operators.joins.nested_loops import NestedLoopsJoin
+from repro.engine.operators.materialize import Materialize
+from repro.engine.operators.project import Project
+from repro.engine.operators.scan import TableScan, WrapperScan
+from repro.engine.operators.select import Select
+from repro.engine.operators.union import Union
+from repro.network.profiles import lan, wide_area
+from repro.network.source import DataSource, make_mirror
+from repro.plan.fragments import Fragment, QueryPlan
+from repro.plan.physical import OverflowMethod, collector, join, wrapper_scan
+from repro.query.conjunctive import SelectionPredicate
+
+from helpers import make_relation, multiset
+
+BATCH_SIZES = [1, 3, 7, 64, 512]
+
+
+def drain_tuple(operator):
+    operator.open()
+    rows = list(operator.iterate())
+    operator.close()
+    return rows
+
+
+def drain_batch(operator, batch_size):
+    operator.open()
+    rows = []
+    while True:
+        batch = operator.next_batch(batch_size)
+        if not batch:
+            break
+        assert len(batch) <= batch_size
+        rows.extend(batch)
+    operator.close()
+    return rows
+
+
+def assert_parity(build_tree, catalog, batch_size):
+    """Drive two identical trees (fresh contexts) and compare row multisets."""
+    reference = drain_tuple(build_tree(ExecutionContext(catalog)))
+    batched = drain_batch(build_tree(ExecutionContext(catalog)), batch_size)
+    assert multiset(batched) == multiset(reference)
+
+
+# -- operator trees over the tiny joinable catalog ----------------------------------------
+
+
+def tree_wrapper_scan(context):
+    return WrapperScan("scan_ord", context, "ord")
+
+
+def tree_table_scan(context):
+    stored = make_relation(
+        "stored", ["k:int", "v:str"], [(i, f"v{i}") for i in range(100)]
+    )
+    context.local_store.materialize(stored)
+    return TableScan("tscan", context, "stored")
+
+
+def tree_select(context):
+    scan = WrapperScan("scan_item", context, "item")
+    return Select(
+        "sel", context, scan, [SelectionPredicate("item", "i_qty", ">=", 2)]
+    )
+
+
+def tree_select_unsatisfiable(context):
+    scan = WrapperScan("scan_item", context, "item")
+    return Select(
+        "sel", context, scan, [SelectionPredicate("item", "no_such_attr", "=", 1)]
+    )
+
+
+def tree_project(context):
+    scan = WrapperScan("scan_ord", context, "ord")
+    return Project("proj", context, scan, ["ord.o_cust"])
+
+
+def tree_union(context):
+    return Union(
+        "uni",
+        context,
+        [
+            WrapperScan("scan_a", context, "ord"),
+            WrapperScan("scan_b", context, "ord2"),
+        ],
+    )
+
+
+def tree_hybrid(context):
+    return HybridHashJoin(
+        "hh",
+        context,
+        WrapperScan("scan_ord", context, "ord"),
+        WrapperScan("scan_item", context, "item"),
+        ["ord.o_id"],
+        ["item.i_order"],
+    )
+
+
+def tree_nested_loops(context):
+    # No native batch path: exercises the default next_batch fallback.
+    return NestedLoopsJoin(
+        "nl",
+        context,
+        WrapperScan("scan_ord", context, "ord"),
+        WrapperScan("scan_item", context, "item"),
+        ["ord.o_id"],
+        ["item.i_order"],
+    )
+
+
+def tree_materialize(context):
+    scan = WrapperScan("scan_ord", context, "ord")
+    return Materialize("mat", context, scan, result_name="mat_out")
+
+
+def tree_dpj(context):
+    return DoublePipelinedJoin(
+        "dpj",
+        context,
+        WrapperScan("scan_ord", context, "ord"),
+        WrapperScan("scan_item", context, "item"),
+        ["ord.o_id"],
+        ["item.i_order"],
+    )
+
+
+JOINABLE_TREES = {
+    "wrapper_scan": tree_wrapper_scan,
+    "table_scan": tree_table_scan,
+    "select": tree_select,
+    "select_unsatisfiable": tree_select_unsatisfiable,
+    "project": tree_project,
+    "union": tree_union,
+    "hybrid_hash": tree_hybrid,
+    "nested_loops": tree_nested_loops,
+    "materialize": tree_materialize,
+    "double_pipelined": tree_dpj,
+}
+
+
+@pytest.fixture
+def parity_catalog():
+    """Joinable catalog with enough rows to fill several batches."""
+    orders = make_relation(
+        "ord", ["o_id:int", "o_cust:str"], [(i, f"cust{i % 17}") for i in range(150)]
+    )
+    orders2 = make_relation(
+        "ord", ["o_id:int", "o_cust:str"], [(i + 500, f"cust{i % 5}") for i in range(40)]
+    )
+    items = make_relation(
+        "item",
+        ["i_order:int", "i_sku:str", "i_qty:int"],
+        [(i % 180, f"sku{i}", i % 7) for i in range(300)],
+    )
+    catalog = DataSourceCatalog()
+    catalog.register_source(DataSource("ord", orders, lan()))
+    catalog.register_source(DataSource("ord2", orders2, lan()))
+    catalog.register_source(DataSource("item", items, lan()))
+    return catalog
+
+
+@pytest.mark.parametrize("tree_name", sorted(JOINABLE_TREES))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_operator_parity_on_joinable_catalog(parity_catalog, tree_name, batch_size):
+    assert_parity(JOINABLE_TREES[tree_name], parity_catalog, batch_size)
+
+
+# -- overflow paths (tiny memory budgets force bucket spills) -------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64])
+@pytest.mark.parametrize(
+    "method", [OverflowMethod.LEFT_FLUSH, OverflowMethod.SYMMETRIC_FLUSH]
+)
+def test_dpj_overflow_parity(tpcd_catalog, tiny_tpcd, method, batch_size):
+    def build(context):
+        return DoublePipelinedJoin(
+            "dpj",
+            context,
+            WrapperScan("scan_ps", context, "partsupp"),
+            WrapperScan("scan_p", context, "part"),
+            ["partsupp.ps_partkey"],
+            ["part.p_partkey"],
+            memory_limit_bytes=len(tiny_tpcd["partsupp"]) * 20,
+            bucket_count=8,
+            overflow_method=method,
+        )
+
+    reference = drain_tuple(build(ExecutionContext(tpcd_catalog)))
+
+    context = ExecutionContext(tpcd_catalog)
+    joined = build(context)
+    rows = drain_batch(joined, batch_size)
+    assert joined.overflow_count > 0, "memory budget was meant to force spills"
+    assert multiset(rows) == multiset(reference)
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64])
+def test_hybrid_overflow_parity(tpcd_catalog, tiny_tpcd, batch_size):
+    def build(context):
+        return HybridHashJoin(
+            "hh",
+            context,
+            WrapperScan("scan_ps", context, "partsupp"),
+            WrapperScan("scan_p", context, "part"),
+            ["partsupp.ps_partkey"],
+            ["part.p_partkey"],
+            memory_limit_bytes=len(tiny_tpcd["part"]) * 20,
+            bucket_count=8,
+        )
+
+    reference = drain_tuple(build(ExecutionContext(tpcd_catalog)))
+
+    context = ExecutionContext(tpcd_catalog)
+    joined = build(context)
+    rows = drain_batch(joined, batch_size)
+    assert context.stats.operator("hh").overflow_events > 0
+    assert multiset(rows) == multiset(reference)
+
+
+# -- TPC-D catalog parity for the hot tree shapes ------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [1, 64, 512])
+@pytest.mark.parametrize("implementation", ["hybrid", "dpj"])
+def test_tpcd_join_parity(tpcd_catalog, implementation, batch_size):
+    def build(context):
+        left = WrapperScan("scan_ps", context, "partsupp")
+        right = WrapperScan("scan_p", context, "part")
+        cls = HybridHashJoin if implementation == "hybrid" else DoublePipelinedJoin
+        return cls(
+            "j", context, left, right, ["partsupp.ps_partkey"], ["part.p_partkey"]
+        )
+
+    assert_parity(build, tpcd_catalog, batch_size)
+
+
+# -- collector parity, including the rule-driven switch path -------------------------------
+
+
+@pytest.fixture
+def mirror_catalog():
+    books = make_relation(
+        "bib", ["isbn:int", "title:str"], [(i, f"book{i}") for i in range(60)]
+    )
+    catalog = DataSourceCatalog()
+    primary = DataSource("bib-main", books, lan())
+    catalog.register_source(primary)
+    catalog.register_source(make_mirror(primary, "bib-mirror", wide_area()))
+    catalog.register_source(make_mirror(primary, "bib-partial", lan(), coverage=0.6, seed=2))
+    return catalog
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("dedup", [None, ["bib.isbn"]])
+def test_collector_parity(mirror_catalog, dedup, batch_size):
+    def build(context):
+        children = [
+            WrapperScan(f"scan_{name}", context, name)
+            for name in ["bib-main", "bib-mirror", "bib-partial"]
+        ]
+        return DynamicCollector("coll", context, children, dedup_keys=dedup)
+
+    assert_parity(build, mirror_catalog, batch_size)
+
+
+def _race_plan():
+    """A collector under a race policy: threshold rules deactivate the loser."""
+    children = [
+        wrapper_scan("bib-main", operator_id="scan_main"),
+        wrapper_scan("bib-mirror", operator_id="scan_mirror"),
+        wrapper_scan("bib-partial", operator_id="scan_partial"),
+    ]
+    spec = collector(children, operator_id="coll1")
+    spec.params["dedup_keys"] = ["bib.isbn"]
+    policy = race_policy(spec, threshold=10, racers=2)
+    rules = apply_policy(spec, policy)
+    fragment = Fragment(fragment_id="f1", root=spec, result_name="answer")
+    fragment.rules = rules
+    return QueryPlan(query_name="race", fragments=[fragment], answer_name="answer")
+
+
+def _run_plan(catalog, batch_size):
+    context = ExecutionContext(catalog, query_name="race")
+    executor = QueryExecutor(context, batch_size=batch_size)
+    outcome = executor.execute(_race_plan())
+    assert outcome.status == ExecutionStatus.COMPLETED
+    return outcome, context
+
+
+@pytest.mark.parametrize("batch_size", [2, 16, 256])
+def test_executor_collector_switch_parity(mirror_catalog, batch_size):
+    """The race policy must fire at the same tuple under both drive modes."""
+    reference, ref_context = _run_plan(mirror_catalog, batch_size=None)
+    batched, batch_context = _run_plan(mirror_catalog, batch_size=batch_size)
+    assert multiset(batched.answer) == multiset(reference.answer)
+    assert batched.stats.rules_fired == reference.stats.rules_fired
+    ref_collector = ref_context.operator("coll1")
+    batch_collector = batch_context.operator("coll1")
+    assert batch_collector.tuples_per_child == ref_collector.tuples_per_child
+
+
+@pytest.mark.parametrize("batch_size", [2, 64])
+def test_executor_join_plan_parity(tpcd_catalog, batch_size):
+    """Whole-plan parity on a TPC-D join fragment under both drive modes."""
+    def run(mode):
+        context = ExecutionContext(tpcd_catalog, query_name="q")
+        plan = QueryPlan(
+            query_name="q",
+            fragments=[
+                Fragment(
+                    fragment_id="f1",
+                    root=join(
+                        wrapper_scan("partsupp", operator_id="s_ps"),
+                        wrapper_scan("part", operator_id="s_p"),
+                        ["partsupp.ps_partkey"],
+                        ["part.p_partkey"],
+                        operator_id="j1",
+                    ),
+                    result_name="answer",
+                )
+            ],
+            answer_name="answer",
+        )
+        return QueryExecutor(context, batch_size=mode).execute(plan)
+
+    reference = run(None)
+    batched = run(batch_size)
+    assert reference.status == ExecutionStatus.COMPLETED
+    assert batched.status == ExecutionStatus.COMPLETED
+    assert multiset(batched.answer) == multiset(reference.answer)
+    assert batched.stats.output_timeline.total == reference.stats.output_timeline.total

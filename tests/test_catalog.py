@@ -9,7 +9,7 @@ from repro.errors import CatalogError
 from repro.network.profiles import lan, wide_area
 from repro.network.source import DataSource
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 @pytest.fixture

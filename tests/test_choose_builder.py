@@ -23,7 +23,7 @@ from repro.plan.physical import (
 )
 from repro.query.conjunctive import SelectionPredicate
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 class TestChooseNode:

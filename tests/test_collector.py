@@ -11,7 +11,7 @@ from repro.network.profiles import dead, lan, slow_start, wide_area
 from repro.network.source import DataSource, make_mirror
 from repro.plan.rules import EventType
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 @pytest.fixture

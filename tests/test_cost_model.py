@@ -9,7 +9,7 @@ from repro.network.source import DataSource
 from repro.optimizer.cost_model import CardinalityEstimate, CostModel
 from repro.query.conjunctive import ConjunctiveQuery, JoinPredicate
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 @pytest.fixture

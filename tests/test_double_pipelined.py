@@ -12,7 +12,7 @@ from repro.plan.physical import OverflowMethod
 from repro.plan.rules import EventType
 from repro.storage.memory import MB
 
-from conftest import multiset, reference_join
+from helpers import multiset, reference_join
 
 
 def make_join(context, method=OverflowMethod.LEFT_FLUSH, memory=None, buckets=16):

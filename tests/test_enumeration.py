@@ -10,7 +10,7 @@ from repro.optimizer.cost_model import CostModel
 from repro.optimizer.enumeration import JoinEnumerator
 from repro.query.conjunctive import ConjunctiveQuery, JoinPredicate
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 def chain_query(tables_and_sizes):

@@ -19,7 +19,7 @@ from repro.plan.rules import (
     set_overflow_method,
 )
 
-from conftest import multiset, reference_join
+from helpers import multiset, reference_join
 
 
 def join_fragment(fragment_id="f1", result="res1", memory=None, estimate=None, reliable=True):

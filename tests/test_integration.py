@@ -18,7 +18,7 @@ from repro.plan.physical import JoinImplementation, OverflowMethod, join, wrappe
 from repro.query.reformulation import Reformulator
 from repro.storage.memory import MB
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 @pytest.fixture(scope="module")

@@ -10,7 +10,7 @@ from repro.query.conjunctive import ConjunctiveQuery, JoinPredicate
 from repro.query.reformulation import Reformulator
 from repro.storage.memory import MB
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 def star_catalog(sizes, profiles=None):

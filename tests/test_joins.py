@@ -12,7 +12,7 @@ from repro.network.profiles import lan, wide_area
 from repro.network.source import DataSource
 from repro.storage.memory import MB
 
-from conftest import multiset, reference_join
+from helpers import multiset, reference_join
 
 
 def expected_join(catalog):

@@ -16,7 +16,7 @@ from repro.query.conjunctive import ConjunctiveQuery, JoinPredicate
 from repro.query.reformulation import Reformulator
 from repro.storage.memory import MB
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 def chain_catalog(sizes, with_mirror=False, publish=True):

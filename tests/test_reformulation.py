@@ -10,7 +10,7 @@ from repro.network.source import DataSource, make_mirror
 from repro.query.conjunctive import ConjunctiveQuery, JoinPredicate
 from repro.query.reformulation import Reformulator
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 @pytest.fixture

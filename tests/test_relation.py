@@ -7,7 +7,7 @@ from repro.storage.relation import Relation
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 class TestConstruction:

@@ -13,7 +13,7 @@ from repro.network.profiles import slow_start
 from repro.plan.rules import EventType
 from repro.query.conjunctive import SelectionPredicate
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 class TestOperatorBase:

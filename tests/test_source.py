@@ -6,7 +6,7 @@ from repro.errors import SourceUnavailableError
 from repro.network.profiles import NetworkProfile, dead, lan
 from repro.network.source import DataSource, make_mirror
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 @pytest.fixture

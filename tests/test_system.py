@@ -10,7 +10,7 @@ from repro.network.source import DataSource, make_mirror
 from repro.catalog.source_desc import SourceDescription
 from repro.optimizer.optimizer import PlanningStrategy, ReoptimizationMode
 
-from conftest import attribute_multiset, reference_join
+from helpers import attribute_multiset, reference_join
 
 
 @pytest.fixture

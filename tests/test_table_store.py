@@ -5,7 +5,7 @@ import pytest
 from repro.errors import StorageError
 from repro.storage.table_store import LocalStore
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 @pytest.fixture

@@ -8,7 +8,7 @@ from repro.network.simclock import SimClock
 from repro.network.source import DataSource
 from repro.network.wrapper import Wrapper
 
-from conftest import make_relation
+from helpers import make_relation
 
 
 @pytest.fixture
