@@ -88,6 +88,7 @@ def run_operator_tree(
     engine_config: EngineConfig | None = None,
     capture_points: int | None = None,
     batch_size: int | None = DEFAULT_BATCH_SIZE,
+    columnar: bool | None = None,
 ) -> RunResult:
     """Execute one physical operator tree to completion against ``catalog``.
 
@@ -95,13 +96,22 @@ def run_operator_tree(
     plans (exactly what the paper does for the join experiments, which used
     hand-coded query plans for greater control).
 
-    ``batch_size`` selects the drive mode: the default pulls batches of up to
-    that many rows through the vectorized ``next_batch`` protocol (ramping up
-    from one row so time-to-first-tuple stays exact); ``None`` drives the tree
-    tuple-at-a-time, which is the pre-vectorization baseline that
-    ``benchmarks/bench_batch_pipeline.py`` measures against.
+    ``batch_size`` and ``columnar`` select among the three drive modes:
+
+    * the default pulls columnar (struct-of-arrays) batches of up to
+      ``batch_size`` rows through the vectorized ``next_batch`` protocol
+      (ramping up from one row so time-to-first-tuple stays exact);
+    * ``columnar=False`` keeps the batch protocol but forces row-backed
+      batches — PR 1's "row-batch" drive, the baseline that
+      ``benchmarks/bench_columnar_pipeline.py`` measures against;
+    * ``batch_size=None`` drives the tree tuple-at-a-time, the
+      pre-vectorization baseline of ``benchmarks/bench_batch_pipeline.py``.
+
+    ``columnar=None`` defers to the engine config (columnar by default).
     """
     context = ExecutionContext(catalog, config=engine_config, query_name=result_name)
+    if columnar is not None:
+        context.columnar = columnar
     root = build_operator(spec, context)
     root = Materialize(f"{result_name}-mat", context, root, result_name=result_name)
     timeline = TupleTimeline()
@@ -121,13 +131,15 @@ def run_operator_tree(
             batch = root.next_batch(current)
             if not batch:
                 break
-            # Rows carry their virtual arrival stamps, so the tuples-vs-time
-            # series keeps tuple-level resolution (the figures' curves — e.g.
-            # the overflow stall shapes — survive batch-at-a-time driving).
-            for row in batch:
+            # Batches carry their virtual arrival stamps, so the
+            # tuples-vs-time series keeps tuple-level resolution (the
+            # figures' curves — e.g. the overflow stall shapes — survive
+            # batch-at-a-time driving).  Reading the arrival column directly
+            # avoids materializing rows for columnar batches.
+            for arrival in batch.arrivals:
                 produced += 1
-                if row.arrival > last_time:
-                    last_time = row.arrival
+                if arrival > last_time:
+                    last_time = arrival
                 timeline.record(last_time, produced)
             current = min(current * 4, batch_size)
     root.close()

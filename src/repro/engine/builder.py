@@ -81,6 +81,7 @@ def build_operator(spec: OperatorSpec, context: ExecutionContext) -> Operator:
             left_keys=list(_required(spec, "left_keys")),
             right_keys=list(_required(spec, "right_keys")),
             estimated_cardinality=spec.estimated_cardinality,
+            probe_cache=_as_bool(params.get("probe_cache", True)),
         )
     if operator_type == OperatorType.COLLECTOR:
         initially_active = params.get("initially_active")

@@ -8,6 +8,7 @@ can observe dynamic quantities (operator state, cardinalities, memory use).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.catalog.catalog import DataSourceCatalog
@@ -44,6 +45,14 @@ class EngineConfig:
     disk_page_read_ms / disk_page_write_ms:
         Virtual cost of one page of spill I/O.  Benchmarks that study memory
         overflow raise these to model a spinning disk.
+    columnar_batches:
+        When true (the default), batch-producing leaves build columnar
+        (struct-of-arrays) :class:`~repro.storage.batch.Batch` objects and
+        operators with native columnar paths keep data in columns end to
+        end.  When false, batches stay row-backed — the pre-columnar
+        "row-batch" drive, retained as a baseline for the parity tests and
+        ``benchmarks/bench_columnar_pipeline.py``.  Virtual-time accounting
+        is identical either way.
     enable_source_caching:
         When true, fully-read source extents are cached (the paper's
         "caching of source data" extension) and later scans of the same
@@ -58,6 +67,7 @@ class EngineConfig:
     collector_dedup: bool = True
     disk_page_read_ms: float = 0.12
     disk_page_write_ms: float = 0.15
+    columnar_batches: bool = True
     enable_source_caching: bool = False
     source_cache_max_age_ms: float | None = None
 
@@ -103,6 +113,29 @@ class ExecutionContext:
         #: drive would have — rule firing order is preserved under batching.
         self.watched_event_keys: set[tuple[EventType, str]] = set()
         self.batch_interrupt = False
+        #: Drive-mode switch for batch-producing leaves: columnar
+        #: (struct-of-arrays) batches when true, row-backed batches when
+        #: false.  Seeded from the config; the bench harness flips it per run
+        #: to compare the two batch drives.
+        self.columnar = self.config.columnar_batches
+
+    @contextmanager
+    def row_backed_pulls(self):
+        """Temporarily force row-backed batches from leaves.
+
+        Operators that buffer their input as :class:`Row` objects anyway
+        (hash-join build sides, the double pipelined join's runs, the
+        nested-loops inner) wrap their child pulls in this so leaves skip the
+        columnar transpose that ``Batch.rows()`` would immediately undo.
+        Representation only — virtual-clock accounting is identical — and the
+        previous mode is always restored, even on error.
+        """
+        saved = self.columnar
+        self.columnar = False
+        try:
+            yield
+        finally:
+            self.columnar = saved
 
     # -- wrappers ------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Iterator
 from repro.engine.context import ExecutionContext
 from repro.errors import ExecutionError
 from repro.plan.rules import EventType
+from repro.storage.batch import Batch
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -76,17 +77,23 @@ class Operator:
             self._stats.record_output(self.context.clock.now)
         return row
 
-    def next_batch(self, max_rows: int = DEFAULT_BATCH_SIZE) -> list[Row]:
-        """Produce up to ``max_rows`` output rows; an empty list means end of stream.
+    def next_batch(self, max_rows: int = DEFAULT_BATCH_SIZE) -> Batch:
+        """Produce up to ``max_rows`` output rows as a :class:`Batch`.
 
         The batch contract:
 
         * A non-empty batch may hold fewer than ``max_rows`` rows (operators
           cut batches short when a watched event fires, so the executor can
           run rules at exactly the tuple-at-a-time firing point).
-        * An empty batch is only returned at end of stream — operators keep
-          pulling until they have at least one row or their input is done,
-          mirroring :meth:`next`, which blocks until a row or ``None``.
+        * An empty (falsy) batch is only returned at end of stream —
+          operators keep pulling until they have at least one row or their
+          input is done, mirroring :meth:`next`, which blocks until a row or
+          ``None``.
+        * The batch may be column-backed (native columnar paths) or
+          row-backed (tuple-driven operators, the generic fallback); either
+          converts to the other lazily, so consumers dispatch on
+          :attr:`Batch.is_columnar` when they have a vectorized path and
+          call :meth:`Batch.rows` otherwise.
 
         The default implementation loops :meth:`_next`; hot operators override
         :meth:`_next_batch` with native vectorized paths.  Per-tuple CPU and
@@ -95,7 +102,7 @@ class Operator:
         if self.state == "pending":
             raise ExecutionError(f"operator {self.operator_id!r} used before open()")
         if self.state in ("closed", "deactivated"):
-            return []
+            return Batch.empty(self.output_schema)
         if max_rows <= 0:
             raise ExecutionError(f"batch size must be positive, got {max_rows}")
         clock = self.context.clock
@@ -113,23 +120,21 @@ class Operator:
             self._stats.record_output_batch(len(batch), clock.now)
         return batch
 
-    def next_batch_bounded(
-        self, max_rows: int, arrival_bound: float
-    ) -> list[Row]:
+    def next_batch_bounded(self, max_rows: int, arrival_bound: float) -> Batch:
         """Produce up to ``max_rows`` rows arriving strictly before ``arrival_bound``.
 
         Used by data-driven consumers (the double pipelined join) to consume a
         *run* of tuples from one input in bulk: every row returned would also
         have been consumed consecutively by a tuple-at-a-time drive, because
         no other input could deliver anything earlier.  May return an empty
-        list when the next row arrives at or after the bound — that is not end
-        of stream; callers fall back to a single :meth:`next` step (the
-        tie-break case).
+        :class:`Batch` when the next row arrives at or after the bound — that
+        is not end of stream; callers fall back to a single :meth:`next` step
+        (the tie-break case).
         """
         if self.state == "pending":
             raise ExecutionError(f"operator {self.operator_id!r} used before open()")
         if self.state in ("closed", "deactivated"):
-            return []
+            return Batch.empty(self.output_schema)
         clock = self.context.clock
         wait_before = clock.stats.wait_ms
         batch = self._next_batch_bounded(max_rows, arrival_bound)
@@ -200,25 +205,26 @@ class Operator:
     def _next(self) -> Row | None:
         raise NotImplementedError
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
-        """Subclass hook: produce up to ``max_rows`` rows ([] = end of stream).
+    def _next_batch(self, max_rows: int) -> Batch:
+        """Subclass hook: produce up to ``max_rows`` rows (empty = end of stream).
 
-        The fallback loops the tuple-at-a-time hook, stopping early when a
-        watched event interrupts the batch (but never returning an empty batch
-        unless the stream is exhausted).
+        The fallback loops the tuple-at-a-time hook into a row-backed
+        :class:`Batch`, stopping early when a watched event interrupts the
+        batch (but never returning an empty batch unless the stream is
+        exhausted).
         """
         context = self.context
-        batch: list[Row] = []
-        while len(batch) < max_rows:
+        rows: list[Row] = []
+        while len(rows) < max_rows:
             row = self._next()
             if row is None:
                 break
-            batch.append(row)
+            rows.append(row)
             if context.batch_interrupt:
                 break
-        return batch
+        return Batch.from_rows(rows[0].schema if rows else self.output_schema, rows)
 
-    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> list[Row]:
+    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> Batch:
         """Subclass hook for :meth:`next_batch_bounded`.
 
         The fallback re-checks :meth:`peek_arrival` before every pull, so it
@@ -226,18 +232,18 @@ class Operator:
         over their source's arrival sequence.
         """
         context = self.context
-        batch: list[Row] = []
-        while len(batch) < max_rows:
+        rows: list[Row] = []
+        while len(rows) < max_rows:
             arrival = self.peek_arrival()
             if arrival is None or arrival >= arrival_bound:
                 break
             row = self._next()
             if row is None:
                 break
-            batch.append(row)
+            rows.append(row)
             if context.batch_interrupt:
                 break
-        return batch
+        return Batch.from_rows(rows[0].schema if rows else self.output_schema, rows)
 
     def _do_close(self) -> None:
         """Subclass hook: release resources."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
 from repro.errors import ExecutionError
+from repro.storage.batch import Batch
 from repro.storage.schema import Schema, merge_union_schema
 from repro.storage.tuples import Row
 
@@ -76,12 +77,23 @@ class ChooseNode(Operator):
                 return child
         return self.children[0]
 
-    def _next(self) -> Row | None:
+    def _ensure_selected(self) -> Operator:
         if self._selected is None:
             self._selected = self._default_selection()
         if self._selected.state == "pending":
             self._selected.open()
-        return self._selected.next()
+        return self._selected
+
+    def _next(self) -> Row | None:
+        return self._ensure_selected().next()
+
+    def _next_batch(self, max_rows: int) -> Batch:
+        # Pass-through: the chosen alternative's batches (columnar or not)
+        # flow on unchanged, matching the tuple path's row pass-through.
+        return self._ensure_selected().next_batch(max_rows)
+
+    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> Batch:
+        return self._ensure_selected().next_batch_bounded(max_rows, arrival_bound)
 
     def peek_arrival(self) -> float | None:
         if self.state in ("closed", "deactivated"):

@@ -17,6 +17,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
 from repro.errors import ExecutionError, SourceTimeoutError, SourceUnavailableError
 from repro.plan.rules import EventType
+from repro.storage.batch import Batch
 from repro.storage.schema import Schema, merge_union_schema
 from repro.storage.tuples import Row
 
@@ -198,7 +199,7 @@ class DynamicCollector(Operator):
                 self._seen_keys.add(key)
             return Row(schema, row.values, row.arrival)
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
+    def _next_batch(self, max_rows: int) -> Batch:
         """Batch iteration with per-row child selection.
 
         Child picking stays tuple-at-a-time — which input to service next is
@@ -206,7 +207,9 @@ class DynamicCollector(Operator):
         arrival — but the per-row THRESHOLD event is only materialized when a
         rule watches that child, and the batch is cut short as soon as a
         watched event fires so rule actions (activate/deactivate) take effect
-        at the tuple-accurate point.
+        at the tuple-accurate point.  The output batch is row-backed (rows are
+        created here regardless); downstream columnar operators convert
+        lazily if they need columns.
         """
         schema = self.output_schema
         context = self.context
@@ -239,4 +242,4 @@ class DynamicCollector(Operator):
             out.append(Row.make(schema, row.values, row.arrival))
             if context.batch_interrupt:
                 break
-        return out
+        return Batch.from_rows(schema, out)

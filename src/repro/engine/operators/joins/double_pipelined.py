@@ -34,6 +34,7 @@ from repro.engine.operators.joins.base import JoinOperator
 from repro.errors import MemoryOverflowError
 from repro.plan.physical import OverflowMethod
 from repro.plan.rules import EventType
+from repro.storage.batch import Batch
 from repro.storage.hash_table import BucketedHashTable, DEFAULT_BUCKET_COUNT, bucket_of
 from repro.storage.memory import MemoryBudget
 from repro.storage.tuples import Row
@@ -81,8 +82,12 @@ class DoublePipelinedJoin(JoinOperator):
         self._cleanup: Iterator[Row] | None = None
         # Batch path only: per-side run buffers (rows already consumed from a
         # child in bulk because they all arrive before the other side's next).
+        # When a run arrives as a columnar batch, its join keys are extracted
+        # in bulk from the key columns and consumed alongside the rows.
         self._input_buffers: list[list[Row]] = [[], []]
+        self._buffer_keys: list[list[tuple[Any, ...]] | None] = [None, None]
         self._buffer_cursors = [0, 0]
+        self._popped_key: tuple[Any, ...] | None = None
         self._emitted_output = False
         self.overflow_count = 0
 
@@ -166,12 +171,19 @@ class DoublePipelinedJoin(JoinOperator):
         return self._child(side).peek_arrival()
 
     def _pop_buffered(self, side: int) -> Row | None:
-        """Next already-buffered row of ``side``, or ``None`` when none is held."""
+        """Next already-buffered row of ``side``, or ``None`` when none is held.
+
+        Sets :attr:`_popped_key` to the row's precomputed join key when the
+        run arrived columnar (``None`` otherwise — the caller computes it).
+        """
         cursor = self._buffer_cursors[side]
         buffer = self._input_buffers[side]
         if cursor >= len(buffer):
+            self._popped_key = None
             return None
         self._buffer_cursors[side] = cursor + 1
+        keys = self._buffer_keys[side]
+        self._popped_key = keys[cursor] if keys is not None else None
         return buffer[cursor]
 
     def _pull_buffered(self, side: int) -> Row | None:
@@ -201,12 +213,23 @@ class DoublePipelinedJoin(JoinOperator):
                 # time-to-first-tuple matches the tuple-at-a-time drive exactly
                 # (the paper's headline DPJ metric).
                 bound = other_arrival
-        run = self._child(side).next_batch_bounded(RUN_LENGTH, bound)
+        # The symmetric pipeline boxes every run row anyway (hash-table
+        # inserts), so pull the run row-backed.
+        with self.context.row_backed_pulls():
+            run = self._child(side).next_batch_bounded(RUN_LENGTH, bound)
         if not run:
+            self._popped_key = None
             return self._child(side).next()
-        self._input_buffers[side] = run
+        rows = run.rows()
+        self._input_buffers[side] = rows
+        # Bulk key extraction for the whole run — the per-row KeyBinder
+        # lookup is the probe loop's hottest scalar cost.
+        binder = self._left_binder if side == LEFT else self._right_binder
+        keys = run.key_tuples(binder.indices_in(run.schema))
+        self._buffer_keys[side] = keys
         self._buffer_cursors[side] = 1
-        return run[0]
+        self._popped_key = keys[0]
+        return rows[0]
 
     # -- tuple processing ----------------------------------------------------------------------------
 
@@ -227,10 +250,11 @@ class DoublePipelinedJoin(JoinOperator):
         table._ensure_overflow(bucket).write(row, marked=marked)
         self._charge_disk_time()
 
-    def _process(self, side: int, row: Row) -> None:
-        """Probe, emit, and insert one arriving tuple."""
+    def _process(self, side: int, row: Row, key: tuple[Any, ...] | None = None) -> None:
+        """Probe, emit, and insert one arriving tuple (key may be precomputed)."""
         other = 1 - side
-        key = self.left_key(row) if side == LEFT else self.right_key(row)
+        if key is None:
+            key = self.left_key(row) if side == LEFT else self.right_key(row)
         index = bucket_of(key, self.bucket_count)
         tables = self._tables
         if tables[LEFT].buckets[index].flushed or tables[RIGHT].buckets[index].flushed:
@@ -375,6 +399,7 @@ class DoublePipelinedJoin(JoinOperator):
                 self._cleanup = self._cleanup_pairs()
                 continue
             row = self._pop_buffered(side)
+            key = self._popped_key
             if row is None:
                 row = self._child(side).next()
             if row is None:
@@ -383,26 +408,29 @@ class DoublePipelinedJoin(JoinOperator):
                     # Right side drained: resume reading the paused left input.
                     self._drain_right_first = False
                 continue
-            self._process(side, row)
+            self._process(side, row, key)
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
+    def _next_batch(self, max_rows: int) -> Batch:
         return self._produce_batch(max_rows, None)
 
-    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> list[Row]:
+    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> Batch:
         # Mirrors the generic bounded fallback (whose per-pull check is
         # ``peek_arrival() < bound``, and an open join's peek is "now") while
         # keeping the run-buffer machinery engaged for this join's own inputs.
         return self._produce_batch(max_rows, arrival_bound)
 
-    def _produce_batch(self, max_rows: int, arrival_bound: float | None) -> list[Row]:
+    def _produce_batch(self, max_rows: int, arrival_bound: float | None) -> Batch:
         """Batch iteration around the symmetric per-tuple pipeline.
 
         Inputs are consumed in arrival-ordered *runs* (see
         :meth:`_pull_buffered`): which side to service next is still decided
         by arrival, and every arriving tuple still probes before the next is
-        consumed, but consecutive same-side tuples are pulled in bulk and
-        output rows accumulate into a batch, amortizing the per-row driver
-        overhead.  The batch is cut short when a watched event (e.g.
+        consumed, but consecutive same-side tuples are pulled in bulk (with
+        their join keys extracted from the run's key columns when the run is
+        columnar) and output rows accumulate into a batch, amortizing the
+        per-row driver overhead.  The output batch is row-backed: the
+        symmetric pipeline materializes rows anyway to insert them into the
+        hash tables.  The batch is cut short when a watched event (e.g.
         ``out_of_memory`` with an overflow-method rule attached) fires, so
         rule actions land at the tuple-accurate point.
         """
@@ -434,16 +462,19 @@ class DoublePipelinedJoin(JoinOperator):
             buffer = self._input_buffers[side]
             if cursor < len(buffer):
                 self._buffer_cursors[side] = cursor + 1
+                keys = self._buffer_keys[side]
+                key = keys[cursor] if keys is not None else None
                 row = buffer[cursor]
             else:
                 row = self._pull_buffered(side)
+                key = self._popped_key
             if row is None:
                 self._exhausted[side] = True
                 if side == RIGHT and self._drain_right_first:
                     # Right side drained: resume reading the paused left input.
                     self._drain_right_first = False
                 continue
-            self._process(side, row)
+            self._process(side, row, key)
             if context.batch_interrupt and out:
                 break
-        return out
+        return Batch.from_rows(self.output_schema, out)

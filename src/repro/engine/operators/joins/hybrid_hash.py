@@ -19,6 +19,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
 from repro.engine.operators.joins.base import JoinOperator
 from repro.plan.rules import EventType
+from repro.storage.batch import Batch, BatchCursor, collect_matches, gather_join
 from repro.storage.disk import OverflowFile
 from repro.storage.hash_table import BucketedHashTable, DEFAULT_BUCKET_COUNT, bucket_of
 from repro.storage.memory import MemoryBudget
@@ -49,6 +50,7 @@ class HybridHashJoin(JoinOperator):
         self._outer_overflow: dict[int, OverflowFile] = {}
         self._built = False
         self._probe_matches: list[Row] = []
+        self._pending_out: BatchCursor | None = None
         self._overflow_output: Iterator[Row] | None = None
 
     # -- build phase --------------------------------------------------------------------
@@ -85,23 +87,28 @@ class HybridHashJoin(JoinOperator):
         assert self._inner_table is not None
         table = self._inner_table
         right = self.right
-        while True:
-            rows = right.next_batch(DEFAULT_BATCH_SIZE)
-            if not rows:
-                break
-            while rows:
-                rows = table.insert_batch(rows)
-                if rows:
-                    # Memory pressure: flush the largest bucket and retry the
-                    # refused suffix (rows whose bucket got flushed spill on
-                    # the retry, as in the tuple path).
-                    self._raise_out_of_memory()
-                    if table.flush_largest_bucket() is None:
-                        # Nothing resident to flush; the tuple path's single
-                        # retry gives up on such a row, so route it through
-                        # one plain insert and move on.
-                        table.insert(rows[0])
-                        rows = rows[1:]
+        # The build side is buffered as Row objects either way (the hash
+        # table stores and memory-accounts rows), so ask the subtree for
+        # row-backed batches.
+        with self.context.row_backed_pulls():
+            while True:
+                batch = right.next_batch(DEFAULT_BATCH_SIZE)
+                if not batch:
+                    break
+                rows = batch.rows()
+                while rows:
+                    rows = table.insert_batch(rows)
+                    if rows:
+                        # Memory pressure: flush the largest bucket and retry
+                        # the refused suffix (rows whose bucket got flushed
+                        # spill on the retry, as in the tuple path).
+                        self._raise_out_of_memory()
+                        if table.flush_largest_bucket() is None:
+                            # Nothing resident to flush; the tuple path's
+                            # single retry gives up on such a row, so route it
+                            # through one plain insert and move on.
+                            table.insert(rows[0])
+                            rows = rows[1:]
         self._charge_disk_time()
         self._built = True
 
@@ -154,6 +161,11 @@ class HybridHashJoin(JoinOperator):
         if not self._built:
             self._build_inner()
         while True:
+            if self._pending_out is not None:
+                row = self._pending_out.next_row()
+                if row is not None:
+                    return row
+                self._pending_out = None
             if self._probe_matches:
                 return self._probe_matches.pop()
             if self._overflow_output is not None:
@@ -164,56 +176,77 @@ class HybridHashJoin(JoinOperator):
                 continue
             self._probe_matches = self._probe_one(outer_row)
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
-        if not self._built:
-            self._build_inner_batched()
+    def _probe_outer_batch(self, outer: Batch) -> Batch | None:
+        """Probe one outer batch in bulk; ``None`` when nothing matched.
+
+        On the columnar path the probe keys are extracted as column slices
+        (one ``zip`` over the key columns) and the output batch is assembled
+        with per-column gathers — no per-row key tuples via attribute lookup
+        and no per-match :class:`Row` construction.  Once any bucket has
+        spilled, probing falls back to the per-row path, which routes outer
+        tuples of flushed buckets to their overflow files.
+        """
         assert self._inner_table is not None
         table = self._inner_table
+        if table.flushed_buckets or not outer.is_columnar:
+            matches: list[Row] = []
+            for outer_row in outer.rows():
+                matches.extend(self._probe_one(outer_row))
+            if not matches:
+                return None
+            return Batch.from_rows(self.output_schema, matches)
+        keys = outer.key_tuples(self._left_binder.indices_in(outer.schema))
+        take, inner_rows, aligned = collect_matches(table.probe_batch(keys))
+        if not inner_rows:
+            return None
+        return gather_join(outer, take, inner_rows, self.output_schema, aligned=aligned)
+
+    def _next_batch(self, max_rows: int) -> Batch:
+        if not self._built:
+            self._build_inner_batched()
         context = self.context
-        left_key = self.left_key
-        out: list[Row] = []
-        while len(out) < max_rows:
+        schema = self.output_schema
+        parts: list[Batch] = []
+        count = 0
+        while count < max_rows:
+            if self._pending_out is not None:
+                part = self._pending_out.take(max_rows - count)
+                if not self._pending_out:
+                    self._pending_out = None
+                if part:
+                    parts.append(part)
+                    count += len(part)
+                continue
             if self._probe_matches:
-                needed = max_rows - len(out)
-                out.extend(self._probe_matches[:needed])
+                # Leftovers from a tuple-at-a-time caller on the same operator.
+                needed = max_rows - count
+                rows = self._probe_matches[:needed]
                 del self._probe_matches[:needed]
+                parts.append(Batch.from_rows(schema, rows))
+                count += len(rows)
                 continue
             if self._overflow_output is not None:
-                row = next(self._overflow_output, None)
-                if row is None:
+                rows = []
+                needed = max_rows - count
+                for row in self._overflow_output:
+                    rows.append(row)
+                    if len(rows) >= needed:
+                        break
+                if not rows:
                     break
-                out.append(row)
+                parts.append(Batch.from_rows(schema, rows))
+                count += len(rows)
                 continue
             outer = self.left.next_batch(max_rows)
             if not outer:
                 self._overflow_output = self._overflow_pairs()
                 continue
-            matches: list[Row] = []
-            if table.flushed_buckets:
-                # Some buckets spilled: per-row probing routes outer tuples
-                # for flushed buckets to their overflow files.
-                for outer_row in outer:
-                    matches.extend(self._probe_one(outer_row))
-            else:
-                schema = self.output_schema
-                make = Row.make
-                keys = [left_key(row) for row in outer]
-                for outer_row, inner_rows in zip(outer, table.probe_batch(keys)):
-                    if inner_rows:
-                        values = outer_row.values
-                        arrival = outer_row.arrival
-                        matches.extend(
-                            make(
-                                schema,
-                                values + inner.values,
-                                arrival if arrival >= inner.arrival else inner.arrival,
-                            )
-                            for inner in inner_rows
-                        )
-            self._probe_matches = matches
-            if context.batch_interrupt and out:
+            result = self._probe_outer_batch(outer)
+            if result is not None:
+                self._pending_out = BatchCursor(result)
+            if context.batch_interrupt and count:
                 break
-        return out
+        return Batch.concat(schema, parts)
 
     def _do_close(self) -> None:
         if self._inner_table is not None:

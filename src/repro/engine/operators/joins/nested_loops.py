@@ -4,14 +4,33 @@ Included as a baseline and for the dependent join's bind-and-fetch pattern.
 The inner (right) input is fully buffered before the outer is streamed, so it
 shares the asymmetric, non-pipelined start-up behaviour the paper attributes
 to conventional join algorithms.
+
+The inner load pulls blocks through ``next_batch`` like the other blocking
+operators (the hybrid hash build), so the inner child's per-tuple rule events
+are only materialized when a rule actually watches them and blocks are cut at
+the tuple-accurate firing points — the earlier implementation looped
+``next()``, paying one event object per inner tuple and ignoring the block
+protocol entirely.  The batch paths are native: the bounded variant pulls the
+outer side through ``next_batch_bounded`` so arrival bounds are honored, and
+matching is vectorized while still charging the tuple path's full
+compare-every-pair CPU cost (the algorithm being simulated is still a nested
+loop; only the wall-clock bookkeeping is bulk).
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.engine.context import ExecutionContext
-from repro.engine.iterators import Operator
+from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
 from repro.engine.operators.joins.base import JoinOperator
+from repro.storage.batch import Batch, BatchCursor, collect_matches, gather_join
 from repro.storage.tuples import Row
+
+#: Fraction of the per-tuple CPU cost charged for one inner-row comparison.
+#: Shared by the tuple path (charged per comparison) and the batch path
+#: (charged in bulk per outer block) so their virtual-time totals agree.
+COMPARE_CPU_FACTOR = 0.1
 
 
 class NestedLoopsJoin(JoinOperator):
@@ -31,21 +50,59 @@ class NestedLoopsJoin(JoinOperator):
             operator_id, context, left, right, left_keys, right_keys, estimated_cardinality
         )
         self._inner_rows: list[Row] = []
+        self._inner_index: dict[tuple[Any, ...], list[Row]] = {}
         self._inner_loaded = False
         self._current_outer: Row | None = None
         self._inner_cursor = 0
+        self._pending_out: BatchCursor | None = None
 
     def _load_inner(self) -> None:
-        while True:
-            row = self.right.next()
-            if row is None:
-                break
-            self._inner_rows.append(row)
+        """Buffer the entire inner input, draining it at block granularity."""
+        right = self.right
+        rows = self._inner_rows
+        # The inner buffer holds Row objects; pull row-backed blocks.
+        with self.context.row_backed_pulls():
+            while True:
+                block = right.next_batch(DEFAULT_BATCH_SIZE)
+                if not block:
+                    break
+                rows.extend(block.rows())
+        # Group inner rows by key for the batch paths (insertion order is the
+        # scan order, so per-outer-row match order equals the sequential scan).
+        index = self._inner_index
+        right_key = self.right_key
+        for row in rows:
+            key = right_key(row)
+            found = index.get(key)
+            if found is None:
+                index[key] = [row]
+            else:
+                found.append(row)
         self._inner_loaded = True
+
+    def peek_arrival(self) -> float | None:
+        if self.state in ("closed", "deactivated"):
+            return None
+        if self._pending_out or self._current_outer is not None:
+            return self.context.clock.now
+        if not self._inner_loaded:
+            # Nothing can be produced before the inner is drained; its next
+            # arrival is a (conservative) lower bound on our first output.
+            # ``None`` here means an empty inner — the join produces nothing.
+            return self.right.peek_arrival()
+        if not self._inner_rows:
+            return None
+        return self.left.peek_arrival()
 
     def _next(self) -> Row | None:
         if not self._inner_loaded:
             self._load_inner()
+        if self._pending_out is not None:
+            # Output left behind by a batch caller on the same operator.
+            row = self._pending_out.next_row()
+            if row is not None:
+                return row
+            self._pending_out = None
         while True:
             if self._current_outer is None:
                 self._current_outer = self.left.next()
@@ -57,7 +114,82 @@ class NestedLoopsJoin(JoinOperator):
                 inner_row = self._inner_rows[self._inner_cursor]
                 self._inner_cursor += 1
                 # Comparing every inner tuple costs CPU even on mismatch.
-                self.context.clock.consume_cpu(self.context.config.per_tuple_cpu_ms * 0.1)
+                self.context.clock.consume_cpu(
+                    self.context.config.per_tuple_cpu_ms * COMPARE_CPU_FACTOR
+                )
                 if self.right_key(inner_row) == outer_key:
                     return self.join_rows(self._current_outer, inner_row)
             self._current_outer = None
+
+    # -- batch paths -------------------------------------------------------------
+
+    def _join_outer_batch(self, outer: Batch) -> Batch | None:
+        """All matches for one outer batch; ``None`` when nothing matched."""
+        index = self._inner_index
+        if not index:
+            return None
+        if outer.is_columnar:
+            keys = outer.key_tuples(self._left_binder.indices_in(outer.schema))
+            take, matches, aligned = collect_matches(map(index.get, keys))
+            if not matches:
+                return None
+            return gather_join(outer, take, matches, self.output_schema, aligned=aligned)
+        out: list[Row] = []
+        left_key = self.left_key
+        join_rows = self.join_rows
+        for outer_row in outer.rows():
+            found = index.get(left_key(outer_row))
+            if found:
+                out.extend(join_rows(outer_row, inner_row) for inner_row in found)
+        if not out:
+            return None
+        return Batch.from_rows(self.output_schema, out)
+
+    def _batched(self, max_rows: int, arrival_bound: float | None) -> Batch:
+        if not self._inner_loaded:
+            self._load_inner()
+        if self._current_outer is not None:
+            # A tuple-at-a-time caller left an outer row mid-scan: fall back
+            # to the generic per-tuple loop, which finishes it exactly.
+            if arrival_bound is None:
+                return super()._next_batch(max_rows)
+            return super()._next_batch_bounded(max_rows, arrival_bound)
+        schema = self.output_schema
+        clock = self.context.clock
+        cpu_per_compare = self.context.config.per_tuple_cpu_ms * COMPARE_CPU_FACTOR
+        inner_count = len(self._inner_rows)
+        while True:
+            if self._pending_out is not None:
+                part = self._pending_out.take(max_rows)
+                if not self._pending_out:
+                    self._pending_out = None
+                if part:
+                    return part
+            wait_before = clock.stats.wait_ms
+            if arrival_bound is None:
+                outer = self.left.next_batch(max_rows)
+            else:
+                outer = self.left.next_batch_bounded(max_rows, arrival_bound)
+            if not outer:
+                # Unbounded: the outer is exhausted — end of stream.  Bounded:
+                # possibly just the bound; the caller falls back to next().
+                return Batch.empty(schema)
+            # The simulated algorithm still compares every (outer, inner)
+            # pair; charge the whole block's comparison CPU in one call,
+            # overlapped with the waits accrued while the block streamed in —
+            # the tuple path interleaves the same charges between arrival
+            # waits, hiding them whenever data is the bottleneck.
+            if inner_count:
+                clock.consume_cpu_overlapped(
+                    len(outer) * inner_count * cpu_per_compare,
+                    max(0.0, clock.stats.wait_ms - wait_before),
+                )
+            result = self._join_outer_batch(outer)
+            if result is not None:
+                self._pending_out = BatchCursor(result)
+
+    def _next_batch(self, max_rows: int) -> Batch:
+        return self._batched(max_rows, None)
+
+    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> Batch:
+        return self._batched(max_rows, arrival_bound)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
+from repro.storage.batch import Batch
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
@@ -60,13 +61,15 @@ class Materialize(Operator):
         self.context.clock.consume_io(self.context.config.materialization_cost_ms_per_tuple)
         return row
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
+    def _next_batch(self, max_rows: int) -> Batch:
         clock = self.context.clock
         wait_before = clock.stats.wait_ms
         batch = self.child.next_batch(max_rows)
         if batch:
             assert self._relation is not None
-            self._relation.extend(batch)
+            # Columnar batches are retained struct-of-arrays; rows are only
+            # boxed if something later reads the relation row-wise.
+            self._relation.extend_batch(batch)
             # Overlapped like the batch CPU charge in Operator.next_batch:
             # tuple-at-a-time materialization hides this IO inside the waits
             # between arrivals.

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
+from repro.storage.batch import Batch
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -47,7 +48,7 @@ class Project(Operator):
             return None
         return row.project(self.attributes, self.output_schema)
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
+    def _next_batch(self, max_rows: int) -> Batch:
         if self._indices is None:
             # The input schema is fixed once the child is open; bind the
             # projected attribute positions once instead of per row.
@@ -56,7 +57,16 @@ class Project(Operator):
         indices = self._indices
         schema = self.output_schema
         batch = self.child.next_batch(max_rows)
-        return [
-            Row.make(schema, tuple(row.values[i] for i in indices), row.arrival)
-            for row in batch
-        ]
+        if not batch:
+            return Batch.empty(schema)
+        if batch.is_columnar:
+            # Columnar projection is pure column selection: the output batch
+            # aliases the chosen column lists, copying nothing.
+            return batch.select_columns(indices, schema)
+        return Batch.from_rows(
+            schema,
+            [
+                Row.make(schema, tuple(row.values[i] for i in indices), row.arrival)
+                for row in batch.rows()
+            ],
+        )

@@ -6,6 +6,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
 from repro.errors import SourceTimeoutError, SourceUnavailableError
 from repro.plan.rules import EventType
+from repro.storage.batch import Batch
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -107,13 +108,13 @@ class WrapperScan(Operator):
         )
         return row
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
+    def _next_batch(self, max_rows: int) -> Batch:
         return self._batched_fetch(max_rows, None)
 
-    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> list[Row]:
+    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> Batch:
         return self._batched_fetch(max_rows, arrival_bound)
 
-    def _batched_fetch(self, max_rows: int, arrival_bound: float | None) -> list[Row]:
+    def _batched_fetch(self, max_rows: int, arrival_bound: float | None) -> Batch:
         """Vectorized fetch loop, optionally stopping at an arrival bound.
 
         Per-row THRESHOLD events are only emitted when a rule actually watches
@@ -123,13 +124,19 @@ class WrapperScan(Operator):
         strikes mid-batch is deferred so the rows fetched before it are not
         lost: the partial batch is delivered and the error re-raised on the
         next call, which is when a tuple-at-a-time consumer would have hit it.
+
+        In columnar mode the unwatched block path builds the batch's column
+        lists straight from the wrapper's fetched blocks (no per-row
+        :class:`Row` objects); the watched, cache-feed, and cache-collecting
+        paths stay row-based, since they need per-row events or row objects
+        anyway.
         """
         if self._deferred_error is not None:
             error, self._deferred_error = self._deferred_error, None
             raise error
         context = self.context
         if context.is_deactivated(self.operator_id):
-            return []
+            return Batch.empty(self.output_schema)
         batch: list[Row] = []
         cache_feed = self._cache_feed
         collect_for_cache = cache_feed is None and context.source_cache is not None
@@ -141,6 +148,8 @@ class WrapperScan(Operator):
             fetch = self.wrapper.fetch
             next_arrival = self.wrapper.next_arrival
         use_block = cache_feed is None and not watched
+        if use_block and not collect_for_cache and context.columnar:
+            return self._batched_fetch_columnar(max_rows, arrival_bound)
         while len(batch) < max_rows:
             if use_block:
                 rows = self.wrapper.fetch_batch(max_rows - len(batch), arrival_bound)
@@ -186,7 +195,63 @@ class WrapperScan(Operator):
                 )
                 if context.batch_interrupt:
                     break
-        return batch
+        return Batch.from_rows(self.output_schema, batch)
+
+    def _batched_fetch_columnar(self, max_rows: int, arrival_bound: float | None) -> Batch:
+        """Columnar block fetch: identical block/fallback structure, no boxing."""
+        context = self.context
+        wrapper = self.wrapper
+        columns: list[list] | None = None
+        arrivals: list[float] = []
+        while len(arrivals) < max_rows:
+            block = wrapper.fetch_columns(max_rows - len(arrivals), arrival_bound)
+            if block is not None:
+                block_columns, block_arrivals = block
+                self._threshold_counter += len(block_arrivals)
+                if columns is None:
+                    columns, arrivals = block_columns, block_arrivals
+                else:
+                    for acc, column in zip(columns, block_columns):
+                        acc.extend(column)
+                    arrivals.extend(block_arrivals)
+                continue
+            # Empty block: end of stream, bound reached, or a tuple that
+            # would fail/time out — take one per-tuple step, which surfaces
+            # each of those with exact semantics.
+            if arrival_bound is not None:
+                arrival = wrapper.next_arrival()
+                if arrival is None or arrival >= arrival_bound:
+                    break
+            try:
+                row = wrapper.fetch()
+            except SourceTimeoutError as exc:
+                context.emit_event(EventType.TIMEOUT, self.source_name)
+                context.emit_event(EventType.TIMEOUT, self.operator_id)
+                if arrivals:
+                    self._deferred_error = exc
+                    break
+                raise
+            except SourceUnavailableError as exc:
+                context.emit_event(EventType.ERROR, self.source_name, value=str(exc))
+                context.emit_event(EventType.ERROR, self.operator_id, value=str(exc))
+                if arrivals:
+                    self._deferred_error = exc
+                    break
+                raise
+            if row is None:
+                self._fill_cache_if_complete()
+                break
+            self._threshold_counter += 1
+            if columns is None:
+                columns = [[value] for value in row.values]
+            else:
+                for acc, value in zip(columns, row.values):
+                    acc.append(value)
+            arrivals.append(row.arrival)
+        schema = self.output_schema
+        if columns is None:
+            return Batch.empty(schema)
+        return Batch.from_columns(schema, columns, arrivals)
 
     def _do_close(self) -> None:
         self._fill_cache_if_complete()
@@ -205,7 +270,7 @@ class TableScan(Operator):
     ) -> None:
         super().__init__(operator_id, context, estimated_cardinality=estimated_cardinality)
         self.relation_name = relation_name
-        self._rows: list[Row] = []
+        self._relation = None
         self._cursor = 0
 
     @property
@@ -213,23 +278,39 @@ class TableScan(Operator):
         return self.context.local_store.get(self.relation_name).schema
 
     def _do_open(self) -> None:
-        relation = self.context.local_store.get(self.relation_name)
-        self._rows = relation.rows
+        # Row access stays lazy: a relation materialized columnar is only
+        # boxed into Row objects if the tuple path actually reads it.
+        self._relation = self.context.local_store.get(self.relation_name)
         self._cursor = 0
 
     def _next(self) -> Row | None:
-        if self._cursor >= len(self._rows):
+        rows = self._relation.rows
+        if self._cursor >= len(rows):
             return None
-        row = self._rows[self._cursor]
+        row = rows[self._cursor]
         self._cursor += 1
         # Local reads are CPU + buffer-pool work; charge a small per-tuple cost
         # (the base class adds the generic per-tuple CPU charge on return).
         return row.with_arrival(self.context.clock.now)
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
+    def _next_batch(self, max_rows: int) -> Batch:
+        now = self.context.clock.now
+        schema = self.output_schema
+        if self.context.columnar:
+            # Columns come straight from the stored relation (served from its
+            # buffered columnar batches when the result was materialized
+            # columnar); arrival is "now" for every row, as in the tuple path.
+            columns, count = self.context.local_store.column_block(
+                self.relation_name, self._cursor, max_rows
+            )
+            self._cursor += count
+            if not count:
+                return Batch.empty(schema)
+            return Batch.from_columns(schema, columns, [now] * count)
         block = self.context.local_store.row_block(
             self.relation_name, self._cursor, max_rows
         )
         self._cursor += len(block)
-        now = self.context.clock.now
-        return [row.with_arrival(now) for row in block]
+        if not block:
+            return Batch.empty(schema)
+        return Batch.from_rows(schema, [row.with_arrival(now) for row in block])

@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
 from repro.errors import SchemaError
-from repro.query.conjunctive import SelectionPredicate
+from repro.query.conjunctive import COMPARATORS, SelectionPredicate
+from repro.storage.batch import Batch
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
+
+#: A compiled predicate: (column index or None, comparator, constant).
+CompiledPredicate = tuple[int | None, Callable[[Any, Any], bool], Any]
 
 
 class Select(Operator):
@@ -25,7 +31,7 @@ class Select(Operator):
             operator_id, context, children=[child], estimated_cardinality=estimated_cardinality
         )
         self.predicates = list(predicates)
-        self._resolved: list[tuple[int | None, SelectionPredicate]] | None = None
+        self._compiled: list[CompiledPredicate] | None = None
 
     @property
     def child(self) -> Operator:
@@ -55,17 +61,19 @@ class Select(Operator):
             if self._matches(row):
                 return row
 
-    def _resolve_predicates(self) -> list[tuple[int | None, SelectionPredicate]]:
-        """Bind each predicate to a column index of the child schema.
+    def _compile_predicates(self) -> list[CompiledPredicate]:
+        """Bind each predicate to a column index and a raw comparator, once.
 
-        The tuple path resolves attribute names per row; the input schema is
-        fixed once the child is open, so the batch path binds indices once.
-        ``None`` marks an attribute absent from the schema — such predicates
-        can never be satisfied (mirroring :meth:`_matches`, where the lookup
-        yields ``None``).
+        The tuple path resolves attribute names (and the comparator table) per
+        row; the input schema is fixed once the child is open, so the batch
+        evaluator binds column indices and comparator callables a single time
+        and then filters whole batches with plain ``comparator(value, const)``
+        calls.  ``None`` marks an attribute absent from the schema — such
+        predicates can never be satisfied (mirroring :meth:`_matches`, where
+        the lookup yields ``None``).
         """
         schema = self.child.output_schema
-        resolved: list[tuple[int | None, SelectionPredicate]] = []
+        compiled: list[CompiledPredicate] = []
         for predicate in self.predicates:
             index: int | None
             try:
@@ -75,28 +83,71 @@ class Select(Operator):
                     index = schema.index_of(predicate.attr)
                 except SchemaError:
                     index = None
-            resolved.append((index, predicate))
-        return resolved
+            compiled.append((index, COMPARATORS[predicate.op], predicate.value))
+        return compiled
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
-        if self._resolved is None:
-            self._resolved = self._resolve_predicates()
-        resolved = self._resolved
+    def _filter_columnar(self, batch: Batch) -> Batch:
+        """Filter a whole columnar batch: per-column passes, one index-take.
+
+        Each predicate narrows a selection vector of row indices by scanning
+        only its own column; the surviving indices drive a single
+        :meth:`Batch.take` at the end.  A batch that passes entirely is
+        returned as-is (no copies at all).
+        """
+        assert self._compiled is not None
+        columns = batch.columns
+        count = len(batch)
+        selected: list[int] | None = None
+        for index, comparator, constant in self._compiled:
+            if index is None:
+                return Batch.empty(batch.schema)
+            column = columns[index]
+            if selected is None:
+                selected = [
+                    i
+                    for i in range(count)
+                    if (v := column[i]) is not None and comparator(v, constant)
+                ]
+            else:
+                selected = [
+                    i
+                    for i in selected
+                    if (v := column[i]) is not None and comparator(v, constant)
+                ]
+            if not selected:
+                return Batch.empty(batch.schema)
+        if selected is None or len(selected) == count:
+            return batch
+        return batch.take(selected)
+
+    def _filter_rows(self, batch: Batch) -> Batch:
+        """Row-backed filtering with the same compiled predicates."""
+        assert self._compiled is not None
+        compiled = self._compiled
+        out: list[Row] = []
+        for row in batch.rows():
+            values = row.values
+            for index, comparator, constant in compiled:
+                if index is None:
+                    break
+                value = values[index]
+                if value is None or not comparator(value, constant):
+                    break
+            else:
+                out.append(row)
+        return Batch.from_rows(batch.schema, out)
+
+    def _next_batch(self, max_rows: int) -> Batch:
+        if self._compiled is None:
+            self._compiled = self._compile_predicates()
         child = self.child
         while True:
             batch = child.next_batch(max_rows)
             if not batch:
-                return []
-            out: list[Row] = []
-            for row in batch:
-                values = row.values
-                for index, predicate in resolved:
-                    if index is None:
-                        break
-                    value = values[index]
-                    if value is None or not predicate.evaluate(value):
-                        break
-                else:
-                    out.append(row)
+                return batch
+            if batch.is_columnar:
+                out = self._filter_columnar(batch)
+            else:
+                out = self._filter_rows(batch)
             if out:
                 return out

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
 from repro.errors import ExecutionError
+from repro.storage.batch import Batch
 from repro.storage.schema import Schema, merge_union_schema
 from repro.storage.tuples import Row
 
@@ -60,11 +61,13 @@ class Union(Operator):
             self._current += 1
         return None
 
-    def _next_batch(self, max_rows: int) -> list[Row]:
+    def _next_batch(self, max_rows: int) -> Batch:
         schema = self.output_schema
         while self._current < len(self.children):
             batch = self.children[self._current].next_batch(max_rows)
             if batch:
-                return [Row.make(schema, row.values, row.arrival) for row in batch]
+                # Re-stamping onto the union schema is a pure schema rebind
+                # for columnar batches (column lists are aliased, not copied).
+                return batch.with_schema(schema)
             self._current += 1
-        return []
+        return Batch.empty(schema)

@@ -73,6 +73,7 @@ class OperatorRuntimeStats:
     time_of_last_output: float | None = None
     memory_peak_bytes: int = 0
     overflow_events: int = 0
+    cache_hits: int = 0
     state: str = "pending"
 
     def record_output(self, at_time: float) -> None:

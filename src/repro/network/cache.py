@@ -20,6 +20,11 @@ from repro.storage.relation import Relation
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
+#: CPU cost (virtual ms) to serve one tuple from cached source data instead
+#: of the network.  Shared by :class:`CachingScanFeed` and the dependent
+#: join's cached probes so the same simulated work costs the same everywhere.
+CACHE_SERVE_CPU_MS = 0.001
+
 
 @dataclass
 class CacheEntry:
@@ -131,7 +136,9 @@ class CachingScanFeed:
     no network latency, which is what makes cached re-reads cheap.
     """
 
-    def __init__(self, entry: CacheEntry, clock, per_tuple_cpu_ms: float = 0.001) -> None:
+    def __init__(
+        self, entry: CacheEntry, clock, per_tuple_cpu_ms: float = CACHE_SERVE_CPU_MS
+    ) -> None:
         self._entry = entry
         self._clock = clock
         self._per_tuple_cpu_ms = per_tuple_cpu_ms

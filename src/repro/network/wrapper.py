@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.errors import SourceTimeoutError, SourceUnavailableError
 from repro.network.simclock import SimClock
 from repro.network.source import DataSource, SourceConnection
+from repro.storage.batch import transpose_rows
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -191,6 +192,46 @@ class Wrapper:
             stats.time_of_first_tuple = out[0].arrival
         stats.time_of_last_tuple = now
         return out
+
+    def fetch_columns(
+        self, max_rows: int, arrival_bound: float | None = None
+    ) -> tuple[list[list], list[float]] | None:
+        """Columnar bulk fetch: ``(columns, arrival_stamps)`` or ``None``.
+
+        The block semantics, clock accounting, and arrival stamps are
+        identical to :meth:`fetch_batch`; the difference is pure
+        representation — values are transposed into one list per attribute
+        and no :class:`Row` objects are created.  ``None`` (the empty block)
+        means end of stream, bound reached, or a tuple that would fail or
+        time out; callers fall back to :meth:`fetch` for exact semantics.
+        """
+        if self._connection is None or self._connection.closed:
+            return None
+        now = self.clock.now
+        limit = now + self.timeout_ms if self.timeout_ms is not None else None
+        rows, arrivals = self._connection.fetch_block(
+            max_rows, arrival_bound=arrival_bound, arrival_limit=limit
+        )
+        if not rows:
+            return None
+        cpu = self.per_tuple_cpu_ms
+        wait_total = 0.0
+        stamped: list[float] = []
+        append = stamped.append
+        for arrival in arrivals:
+            if arrival > now:
+                wait_total += arrival - now
+                now = arrival
+            now += cpu
+            append(now)
+        self.clock.charge(wait_total, cpu * len(rows))
+        columns = transpose_rows(rows)
+        stats = self.stats
+        stats.tuples_fetched += len(rows)
+        if stats.time_of_first_tuple is None:
+            stats.time_of_first_tuple = stamped[0]
+        stats.time_of_last_tuple = now
+        return columns, stamped
 
     def fetch_available(self) -> Row | None:
         """Fetch the next tuple only if it has already arrived; else ``None``.

@@ -4,6 +4,7 @@ This package provides the storage primitives the Tukwila engine is built on:
 
 * :class:`~repro.storage.schema.Schema` / :class:`~repro.storage.schema.Attribute`
 * :class:`~repro.storage.tuples.Row`
+* :class:`~repro.storage.batch.Batch` — columnar (struct-of-arrays) batches
 * :class:`~repro.storage.relation.Relation`
 * :class:`~repro.storage.hash_table.BucketedHashTable` with spill-to-disk
 * :class:`~repro.storage.disk.SimulatedDisk` with tuple/page I/O accounting
@@ -11,6 +12,7 @@ This package provides the storage primitives the Tukwila engine is built on:
 * :class:`~repro.storage.table_store.LocalStore` for fragment materialization
 """
 
+from repro.storage.batch import Batch, BatchCursor, gather_join, transpose_rows
 from repro.storage.disk import DiskStats, OverflowFile, SimulatedDisk, PAGE_SIZE_BYTES
 from repro.storage.hash_table import BucketedHashTable, Bucket, DEFAULT_BUCKET_COUNT
 from repro.storage.memory import MB, MemoryBudget, MemoryPool, MemoryStats
@@ -21,6 +23,8 @@ from repro.storage.tuples import Row, rows_from_dicts
 
 __all__ = [
     "Attribute",
+    "Batch",
+    "BatchCursor",
     "Bucket",
     "BucketedHashTable",
     "DEFAULT_BUCKET_COUNT",
@@ -38,6 +42,8 @@ __all__ = [
     "Schema",
     "SimulatedDisk",
     "TYPE_SIZES",
+    "gather_join",
     "merge_union_schema",
     "rows_from_dicts",
+    "transpose_rows",
 ]

@@ -1,0 +1,315 @@
+"""Columnar batches: the struct-of-arrays unit of vectorized execution.
+
+A :class:`Batch` carries up to a few hundred tuples as one Python list per
+column (plus a parallel list of arrival stamps), all sharing one
+:class:`~repro.storage.schema.Schema`.  Keeping values in column lists lets
+operators work on whole batches with C-speed primitives — ``zip`` transposes,
+list-comprehension gathers, slice copies — instead of creating one boxed
+:class:`~repro.storage.tuples.Row` object per tuple.  Rows are only
+materialized lazily at the boundaries that genuinely need them (the
+tuple-at-a-time drive, hash-table build sides, tests).
+
+A batch may be *column-backed* or *row-backed*.  Operators with native
+columnar paths (scans, select, project, the hash-join probe) produce and
+consume column-backed batches; operators that are inherently tuple-driven
+(the dynamic collector's per-arrival child picking, the double pipelined
+join's output) produce row-backed batches.  Either representation converts
+to the other lazily and caches the result, so mixed pipelines compose
+without sprinkling conversions through operator code.
+
+Batches are immutable by contract: once a column list is handed to
+``from_columns`` (or obtained from ``.columns``) it must not be mutated —
+``select_columns`` and schema re-stamping alias column lists rather than
+copying them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+
+def transpose_rows(rows: Sequence[Row]) -> list[list[Any]]:
+    """Column lists for ``rows`` (empty when ``rows`` is empty)."""
+    if not rows:
+        return []
+    return [list(column) for column in zip(*(row.values for row in rows))]
+
+
+def collect_matches(
+    found_lists: "Sequence[Sequence[Row] | None] | Any",
+) -> tuple[list[int], list[Row], bool]:
+    """Accumulate probe results into ``(take, matches, aligned)``.
+
+    ``found_lists`` yields, per probed key (in key order), the matching rows
+    (empty/None for a miss).  ``take[i]`` names the probed position that
+    produced ``matches[i]``; ``aligned`` is true when every key matched
+    exactly once, i.e. ``take`` is the identity permutation and
+    :func:`gather_join` may alias the left columns instead of gathering.
+    Shared by the columnar probe loops of the hybrid-hash, dependent, and
+    nested-loops joins.
+    """
+    take: list[int] = []
+    matches: list[Row] = []
+    aligned = True
+    for position, found in enumerate(found_lists):
+        if found:
+            if len(found) == 1:
+                take.append(position)
+                matches.append(found[0])
+            else:
+                aligned = False
+                take.extend([position] * len(found))
+                matches.extend(found)
+        else:
+            aligned = False
+    return take, matches, aligned
+
+
+class Batch:
+    """An ordered collection of tuples sharing one schema (see module docs)."""
+
+    __slots__ = ("schema", "arrivals", "_columns", "_rows")
+
+    def __init__(
+        self,
+        schema: Schema,
+        arrivals: list[float],
+        columns: list[list[Any]] | None = None,
+        rows: list[Row] | None = None,
+    ) -> None:
+        if columns is None and rows is None:
+            raise ValueError("a Batch needs columns, rows, or both")
+        self.schema = schema
+        self.arrivals = arrivals
+        self._columns = columns
+        self._rows = rows
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: list[Row]) -> "Batch":
+        """Row-backed batch; arrival stamps are taken from the rows."""
+        return cls(schema, [row.arrival for row in rows], rows=rows)
+
+    @classmethod
+    def from_columns(
+        cls, schema: Schema, columns: list[list[Any]], arrivals: list[float]
+    ) -> "Batch":
+        """Column-backed batch over ``columns`` (one list per attribute)."""
+        return cls(schema, arrivals, columns=columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Batch":
+        """The end-of-stream sentinel: zero rows (falsy)."""
+        return cls(schema, [], columns=[[] for _ in range(len(schema))])
+
+    @classmethod
+    def concat(cls, schema: Schema, parts: Sequence["Batch"]) -> "Batch":
+        """Concatenation of ``parts`` in order (columnar when all parts are)."""
+        if not parts:
+            return cls.empty(schema)
+        if len(parts) == 1:
+            return parts[0]
+        if all(part._columns is not None for part in parts):
+            width = len(parts[0]._columns)
+            columns: list[list[Any]] = [[] for _ in range(width)]
+            arrivals: list[float] = []
+            for part in parts:
+                for acc, column in zip(columns, part._columns):
+                    acc.extend(column)
+                arrivals.extend(part.arrivals)
+            return cls.from_columns(schema, columns, arrivals)
+        rows: list[Row] = []
+        for part in parts:
+            rows.extend(part.rows())
+        return cls.from_rows(schema, rows)
+
+    # -- sizing / truthiness ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def __bool__(self) -> bool:
+        return bool(self.arrivals)
+
+    @property
+    def is_columnar(self) -> bool:
+        """True when column lists are already materialized (native columnar path)."""
+        return self._columns is not None
+
+    # -- representation conversion (lazy, cached) ------------------------------
+
+    @property
+    def columns(self) -> list[list[Any]]:
+        """Column lists, transposing from rows on first access."""
+        columns = self._columns
+        if columns is None:
+            rows = self._rows
+            columns = transpose_rows(rows) if rows else [[] for _ in range(len(self.schema))]
+            self._columns = columns
+        return columns
+
+    def column(self, index: int) -> list[Any]:
+        """One column's values, in row order."""
+        return self.columns[index]
+
+    def rows(self) -> list[Row]:
+        """Row objects, materializing from columns on first access."""
+        rows = self._rows
+        if rows is None:
+            schema = self.schema
+            make = Row.make
+            columns = self._columns
+            if columns:
+                rows = [
+                    make(schema, values, arrival)
+                    for values, arrival in zip(zip(*columns), self.arrivals)
+                ]
+            else:
+                rows = [make(schema, (), arrival) for arrival in self.arrivals]
+            self._rows = rows
+        return rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows())
+
+    def __getitem__(self, index: int) -> Row:
+        if self._rows is not None:
+            return self._rows[index]
+        values = tuple(column[index] for column in self._columns)
+        return Row.make(self.schema, values, self.arrivals[index])
+
+    # -- vectorized derivation --------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "Batch":
+        """New batch holding the rows at ``indices`` (one gather per column)."""
+        arrivals = self.arrivals
+        taken_arrivals = [arrivals[i] for i in indices]
+        if self._columns is not None:
+            columns = [[column[i] for i in indices] for column in self._columns]
+            return Batch.from_columns(self.schema, columns, taken_arrivals)
+        rows = self._rows
+        return Batch.from_rows(self.schema, [rows[i] for i in indices])
+
+    def slice(self, start: int, stop: int) -> "Batch":
+        """Contiguous sub-batch ``[start:stop)`` (slice copies per column)."""
+        if self._columns is not None:
+            columns = [column[start:stop] for column in self._columns]
+            return Batch.from_columns(self.schema, columns, self.arrivals[start:stop])
+        return Batch.from_rows(self.schema, self._rows[start:stop])
+
+    def select_columns(self, indices: Sequence[int], schema: Schema) -> "Batch":
+        """Projection onto ``indices``: pure column-list reuse, no value copies."""
+        columns = self.columns
+        return Batch.from_columns(
+            schema, [columns[i] for i in indices], self.arrivals
+        )
+
+    def with_schema(self, schema: Schema) -> "Batch":
+        """Re-stamp onto ``schema`` (same arity); columns are aliased, not copied."""
+        if self._columns is not None:
+            return Batch.from_columns(schema, self._columns, self.arrivals)
+        make = Row.make
+        return Batch.from_rows(
+            schema, [make(schema, row.values, row.arrival) for row in self._rows]
+        )
+
+    def key_tuples(self, indices: Sequence[int]) -> list[tuple[Any, ...]]:
+        """Join/grouping keys for every row, extracted from column slices."""
+        if self._columns is not None:
+            columns = self._columns
+            if len(indices) == 1:
+                return [(value,) for value in columns[indices[0]]]
+            return list(zip(*(columns[i] for i in indices)))
+        rows = self._rows
+        if len(indices) == 1:
+            first = indices[0]
+            return [(row.values[first],) for row in rows]
+        return [tuple(row.values[i] for i in indices) for row in rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "columnar" if self._columns is not None else "rows"
+        return f"Batch({len(self)} rows, {kind}, {self.schema.names})"
+
+
+def gather_join(
+    left: Batch,
+    take: Sequence[int],
+    right_rows: Sequence[Row],
+    schema: Schema,
+    aligned: bool = False,
+) -> Batch:
+    """Join-output batch: left rows at ``take`` concatenated with ``right_rows``.
+
+    ``take[i]`` names the left row matched by ``right_rows[i]`` (indices repeat
+    when a left row has several matches).  Left values are gathered column by
+    column; right values are transposed from the matched rows; each output
+    arrival is the later of the two input stamps — exactly what
+    :meth:`Row.concat` produces tuple-at-a-time.
+
+    ``aligned=True`` asserts that ``take`` is the identity permutation (every
+    left row matched exactly once, the common case for foreign-key joins);
+    the left columns are then aliased outright instead of gathered.
+    """
+    if aligned:
+        columns = list(left.columns)
+        columns.extend(transpose_rows(right_rows))
+        left_arrivals = left.arrivals
+        arrivals = [
+            a if a >= (b := row.arrival) else b
+            for a, row in zip(left_arrivals, right_rows)
+        ]
+        return Batch.from_columns(schema, columns, arrivals)
+    columns = [[column[i] for i in take] for column in left.columns]
+    columns.extend(transpose_rows(right_rows))
+    left_arrivals = left.arrivals
+    arrivals = []
+    append = arrivals.append
+    for index, row in zip(take, right_rows):
+        a = left_arrivals[index]
+        b = row.arrival
+        append(a if a >= b else b)
+    return Batch.from_columns(schema, columns, arrivals)
+
+
+class BatchCursor:
+    """Pending-output helper: serves a batch in caller-sized pieces.
+
+    Join operators produce one output batch per probed input batch, which may
+    exceed the consumer's requested ``max_rows``; a cursor hands out slices
+    (or single rows, for tuple-at-a-time callers) until the batch is drained.
+    """
+
+    __slots__ = ("batch", "position")
+
+    def __init__(self, batch: Batch) -> None:
+        self.batch = batch
+        self.position = 0
+
+    def __bool__(self) -> bool:
+        return self.position < len(self.batch)
+
+    def __len__(self) -> int:
+        return len(self.batch) - self.position
+
+    def take(self, max_rows: int) -> Batch:
+        """Up to ``max_rows`` rows as a batch (empty when drained)."""
+        position = self.position
+        stop = min(position + max_rows, len(self.batch))
+        if stop <= position:
+            return Batch.empty(self.batch.schema)
+        self.position = stop
+        if position == 0 and stop == len(self.batch):
+            return self.batch
+        return self.batch.slice(position, stop)
+
+    def next_row(self) -> Row | None:
+        """One row at a time (for tuple-at-a-time consumers); ``None`` when drained."""
+        if self.position >= len(self.batch):
+            return None
+        row = self.batch[self.position]
+        self.position += 1
+        return row

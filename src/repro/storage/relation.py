@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError, StorageError
+from repro.storage.batch import Batch, transpose_rows
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row, rows_from_dicts
 
@@ -16,14 +17,31 @@ class Relation:
     store, and materialization points between plan fragments.  They support
     the small relational algebra needed by tests and by the reference
     (non-adaptive) evaluator used to cross-check operator results.
+
+    Columnar batches appended via :meth:`extend_batch` are kept in their
+    struct-of-arrays form and only converted into :class:`Row` objects when
+    something actually reads rows — callers that just need the cardinality
+    (benchmark drivers, materialization metadata) never pay for boxing.
+    Pending batches always sit logically *after* ``_rows``; every row-level
+    accessor and mutator materializes them first to preserve order.
     """
 
     def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()) -> None:
         self.name = name
         self.schema = schema
         self._rows: list[Row] = []
+        self._pending: list[Batch] = []
+        self._pending_count = 0
         if rows:
             self.extend(rows)
+
+    def _materialize_pending(self) -> None:
+        """Convert any buffered columnar batches into rows (order-preserving)."""
+        if self._pending:
+            for batch in self._pending:
+                self._rows.extend(batch.rows())
+            self._pending = []
+            self._pending_count = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -47,6 +65,7 @@ class Relation:
         make = Row.make
         relation = Relation(self.name, schema)
         # Qualification renames attributes 1:1, so the rows transfer as-is.
+        self._materialize_pending()
         relation._rows = [make(schema, r.values, r.arrival) for r in self._rows]
         return relation
 
@@ -59,6 +78,7 @@ class Relation:
                 f"row arity {len(row.values)} does not match relation "
                 f"{self.name!r} arity {len(self.schema)}"
             )
+        self._materialize_pending()
         self._rows.append(row)
 
     def extend(self, rows: Iterable[Row]) -> None:
@@ -71,38 +91,92 @@ class Relation:
                     f"row arity {len(row.values)} does not match relation "
                     f"{self.name!r} arity {arity}"
                 )
+        self._materialize_pending()
         self._rows.extend(rows)
+
+    def extend_batch(self, batch: Batch) -> None:
+        """Append a whole batch; columnar batches are buffered without boxing."""
+        if len(batch.schema) != len(self.schema):
+            raise SchemaError(
+                f"batch arity {len(batch.schema)} does not match relation "
+                f"{self.name!r} arity {len(self.schema)}"
+            )
+        if batch.is_columnar:
+            self._pending.append(batch)
+            self._pending_count += len(batch)
+        else:
+            self._materialize_pending()
+            self._rows.extend(batch.rows())
 
     # -- access -----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._rows) + self._pending_count
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __getitem__(self, index: int) -> Row:
-        return self._rows[index]
+        return self.rows[index]
 
     @property
     def rows(self) -> list[Row]:
         """The row list (not a copy; treat as read-only)."""
+        self._materialize_pending()
         return self._rows
 
     @property
     def cardinality(self) -> int:
         """Number of rows."""
-        return len(self._rows)
+        return len(self)
 
     @property
     def size_bytes(self) -> int:
         """Estimated total size, used to express scale factors in bytes."""
-        return self.schema.tuple_size * len(self._rows)
+        return self.schema.tuple_size * len(self)
+
+    def column_block(self, start: int, max_rows: int) -> tuple[list[list[Any]], int]:
+        """Columnar block read: ``(columns, count)`` for rows ``[start, start+max_rows)``.
+
+        When the relation still holds only buffered columnar batches (a
+        fragment result that nothing has read row-wise yet), the block is
+        sliced straight from their column lists — no :class:`Row` objects are
+        created.  Otherwise the row list is transposed, which materializes
+        pending batches first.
+        """
+        if self._pending and not self._rows:
+            columns: list[list[Any]] = [[] for _ in range(len(self.schema))]
+            count = 0
+            offset = 0
+            end = start + max_rows
+            for batch in self._pending:
+                batch_start = offset
+                offset += len(batch)
+                if offset <= start:
+                    continue
+                if batch_start >= end:
+                    break
+                lo = max(start, batch_start) - batch_start
+                hi = min(end, offset) - batch_start
+                for acc, column in zip(columns, batch.columns):
+                    acc.extend(column[lo:hi])
+                count += hi - lo
+            return columns, count
+        block = self.rows[start : start + max_rows]
+        if not block:
+            return [[] for _ in range(len(self.schema))], 0
+        return transpose_rows(block), len(block)
 
     def column(self, name: str) -> list[Any]:
         """All values of attribute ``name``, in row order."""
         idx = self.schema.index_of(name)
-        return [row.values[idx] for row in self._rows]
+        if not self._rows and self._pending:
+            # Fast path: serve straight from the buffered column lists.
+            out: list[Any] = []
+            for batch in self._pending:
+                out.extend(batch.column(idx))
+            return out
+        return [row.values[idx] for row in self.rows]
 
     def distinct_count(self, name: str) -> int:
         """Number of distinct values of attribute ``name``."""
@@ -113,14 +187,14 @@ class Relation:
     def select(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Relation":
         """Rows satisfying ``predicate``."""
         out = Relation(name or self.name, self.schema)
-        out.extend(row for row in self._rows if predicate(row))
+        out.extend(row for row in self.rows if predicate(row))
         return out
 
     def project(self, names: Sequence[str], name: str | None = None) -> "Relation":
         """Projection onto ``names`` (a bag projection: duplicates retained)."""
         schema = self.schema.project(names)
         out = Relation(name or self.name, schema)
-        out.extend(row.project(names, schema) for row in self._rows)
+        out.extend(row.project(names, schema) for row in self.rows)
         return out
 
     def join(
@@ -150,7 +224,7 @@ class Relation:
                 f"cannot union {self.name!r} and {other.name!r}: incompatible schemas"
             )
         out = Relation(name or f"{self.name}_union_{other.name}", self.schema)
-        out.extend(self._rows)
+        out.extend(self.rows)
         out.extend(Row(self.schema, r.values, r.arrival) for r in other)
         return out
 
@@ -158,7 +232,7 @@ class Relation:
         """Set-semantics copy (first occurrence of each value vector kept)."""
         seen: set[tuple[Any, ...]] = set()
         out = Relation(name or self.name, self.schema)
-        for row in self._rows:
+        for row in self.rows:
             if row.values not in seen:
                 seen.add(row.values)
                 out.append(row)
@@ -167,9 +241,9 @@ class Relation:
     def multiset(self) -> dict[tuple[Any, ...], int]:
         """Value-vector multiset, for order-insensitive result comparison."""
         counts: dict[tuple[Any, ...], int] = {}
-        for row in self._rows:
+        for row in self.rows:
             counts[row.values] = counts.get(row.values, 0) + 1
         return counts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Relation({self.name!r}, {len(self._rows)} rows, {self.schema.names})"
+        return f"Relation({self.name!r}, {len(self)} rows, {self.schema.names})"

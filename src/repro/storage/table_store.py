@@ -55,6 +55,15 @@ class LocalStore:
         """Batch read: a slice of a stored relation's rows (batch scan support)."""
         return self.get(name).rows[start : start + max_rows]
 
+    def column_block(self, name: str, start: int, max_rows: int):
+        """Columnar batch read: ``(columns, count)`` without boxing rows.
+
+        Serves straight from a relation still held as buffered columnar
+        batches (see :meth:`Relation.column_block`), so a fragment result
+        materialized columnar can be scanned columnar by a later fragment.
+        """
+        return self.get(name).column_block(start, max_rows)
+
     def info(self, name: str) -> MaterializationInfo:
         """Materialization metadata for ``name``."""
         try:

@@ -131,12 +131,19 @@ class KeyBinder:
         self._schema: Schema | None = None
         self._indices: tuple[int, ...] = ()
 
-    def key(self, row: Row) -> tuple[Any, ...]:
-        schema = row.schema
+    def indices_in(self, schema: Schema) -> tuple[int, ...]:
+        """Value indices of the key attributes in ``schema`` (cached per schema).
+
+        Exposed for the columnar batch paths, which extract whole key columns
+        by position instead of calling :meth:`key` per row.
+        """
         if schema is not self._schema:
             self._indices = tuple(schema.index_of(name) for name in self.names)
             self._schema = schema
-        indices = self._indices
+        return self._indices
+
+    def key(self, row: Row) -> tuple[Any, ...]:
+        indices = self.indices_in(row.schema)
         values = row.values
         if len(indices) == 1:
             return (values[indices[0]],)

@@ -1,10 +1,17 @@
-"""Batch/tuple parity: every operator yields the same rows either way.
+"""Batch/tuple parity: every operator yields the same rows in every drive.
 
 Property-style tests asserting that each operator produces an identical
-multiset of rows when driven batch-at-a-time (``next_batch``) and
-tuple-at-a-time (repeated ``next``), across several batch sizes and both the
-tiny joinable catalog and the TPC-D catalog — including the memory-overflow
-paths of both hash joins and the rule-driven collector-switch path.
+multiset of rows across the three drive modes — columnar batches
+(``next_batch`` with struct-of-arrays :class:`Batch` objects, the default),
+row-backed batches (``columnar_batches=False``, PR 1's drive), and
+tuple-at-a-time (repeated ``next``) — across several batch sizes and both the
+tiny joinable catalog and the TPC-D catalog, including the memory-overflow
+paths of both hash joins, the dependent and nested-loops joins (duplicate-key
+and empty-probe paths), and the rule-driven collector-switch path.
+
+The two batch drives must also agree on the virtual clock *exactly* (they
+differ only in data representation); the tuple drive is held to a tolerance,
+since batching coarsens the CPU/wait interleave by a few percent.
 """
 
 from __future__ import annotations
@@ -13,9 +20,10 @@ import pytest
 
 from repro.catalog.catalog import DataSourceCatalog
 from repro.core.policies import apply_policy, race_policy
-from repro.engine.context import ExecutionContext
+from repro.engine.context import EngineConfig, ExecutionContext
 from repro.engine.executor import ExecutionStatus, QueryExecutor
 from repro.engine.operators.collector import DynamicCollector
+from repro.engine.operators.joins.dependent import DependentJoin
 from repro.engine.operators.joins.double_pipelined import DoublePipelinedJoin
 from repro.engine.operators.joins.hybrid_hash import HybridHashJoin
 from repro.engine.operators.joins.nested_loops import NestedLoopsJoin
@@ -33,6 +41,9 @@ from repro.query.conjunctive import SelectionPredicate
 from helpers import make_relation, multiset
 
 BATCH_SIZES = [1, 3, 7, 64, 512]
+
+#: Relative tolerance for tuple-drive vs batch-drive completion times.
+TUPLE_TIME_TOLERANCE = 0.10
 
 
 def drain_tuple(operator):
@@ -56,10 +67,31 @@ def drain_batch(operator, batch_size):
 
 
 def assert_parity(build_tree, catalog, batch_size):
-    """Drive two identical trees (fresh contexts) and compare row multisets."""
-    reference = drain_tuple(build_tree(ExecutionContext(catalog)))
-    batched = drain_batch(build_tree(ExecutionContext(catalog)), batch_size)
-    assert multiset(batched) == multiset(reference)
+    """Drive three identical trees (fresh contexts per mode) and compare.
+
+    Asserts identical row multisets for the tuple, row-batch, and columnar
+    drives, identical clocks for the two batch drives, and clocks within
+    :data:`TUPLE_TIME_TOLERANCE` of the tuple drive.
+    """
+    tuple_context = ExecutionContext(catalog)
+    reference = drain_tuple(build_tree(tuple_context))
+
+    rows_context = ExecutionContext(catalog, config=EngineConfig(columnar_batches=False))
+    row_batched = drain_batch(build_tree(rows_context), batch_size)
+
+    columnar_context = ExecutionContext(catalog)
+    assert columnar_context.columnar
+    columnar = drain_batch(build_tree(columnar_context), batch_size)
+
+    assert multiset(row_batched) == multiset(reference)
+    assert multiset(columnar) == multiset(reference)
+    assert columnar_context.clock.now == pytest.approx(
+        rows_context.clock.now, rel=1e-9
+    ), "columnar drive changed the virtual-time accounting"
+    if tuple_context.clock.now > 0:
+        assert columnar_context.clock.now == pytest.approx(
+            tuple_context.clock.now, rel=TUPLE_TIME_TOLERANCE
+        )
 
 
 # -- operator trees over the tiny joinable catalog ----------------------------------------
@@ -119,7 +151,6 @@ def tree_hybrid(context):
 
 
 def tree_nested_loops(context):
-    # No native batch path: exercises the default next_batch fallback.
     return NestedLoopsJoin(
         "nl",
         context,
@@ -127,6 +158,58 @@ def tree_nested_loops(context):
         WrapperScan("scan_item", context, "item"),
         ["ord.o_id"],
         ["item.i_order"],
+    )
+
+
+def tree_nested_loops_dup_keys(context):
+    # Outer side with duplicate keys and keys missing from the inner: the
+    # items' i_order values repeat (i % 180 over 300 rows) and values 150-179
+    # have no matching order — both the multi-match and no-match paths.
+    return NestedLoopsJoin(
+        "nl2",
+        context,
+        WrapperScan("scan_item", context, "item"),
+        WrapperScan("scan_ord", context, "ord"),
+        ["item.i_order"],
+        ["ord.o_id"],
+    )
+
+
+def tree_dependent(context):
+    # Unique bind keys: one probe per left tuple, all keys match.
+    return DependentJoin(
+        "dj",
+        context,
+        WrapperScan("scan_ord", context, "ord"),
+        "item",
+        ["ord.o_id"],
+        ["item.i_order"],
+    )
+
+
+def tree_dependent_dup_keys(context):
+    # Duplicate bind keys (memoized probes) and empty probes (i_order 150-179
+    # have no matching o_id).
+    return DependentJoin(
+        "dj2",
+        context,
+        WrapperScan("scan_item", context, "item"),
+        "ord",
+        ["item.i_order"],
+        ["ord.o_id"],
+    )
+
+
+def tree_dependent_no_memo(context):
+    # Same shape with the probe memo disabled: every duplicate key re-probes.
+    return DependentJoin(
+        "dj3",
+        context,
+        WrapperScan("scan_item", context, "item"),
+        "ord",
+        ["item.i_order"],
+        ["ord.o_id"],
+        probe_cache=False,
     )
 
 
@@ -155,6 +238,10 @@ JOINABLE_TREES = {
     "union": tree_union,
     "hybrid_hash": tree_hybrid,
     "nested_loops": tree_nested_loops,
+    "nested_loops_dup_keys": tree_nested_loops_dup_keys,
+    "dependent": tree_dependent,
+    "dependent_dup_keys": tree_dependent_dup_keys,
+    "dependent_no_memo": tree_dependent_no_memo,
     "materialize": tree_materialize,
     "double_pipelined": tree_dpj,
 }

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.catalog.catalog import DataSourceCatalog
-from repro.engine.context import ExecutionContext
+from repro.engine.context import EngineConfig, ExecutionContext
 from repro.engine.operators.joins.dependent import DependentJoin
 from repro.engine.operators.joins.hybrid_hash import HybridHashJoin
 from repro.engine.operators.joins.nested_loops import NestedLoopsJoin
@@ -12,7 +12,7 @@ from repro.network.profiles import lan, wide_area
 from repro.network.source import DataSource
 from repro.storage.memory import MB
 
-from helpers import multiset, reference_join
+from helpers import make_relation, multiset, reference_join
 
 
 def expected_join(catalog):
@@ -137,3 +137,97 @@ class TestDependentJoin:
         left = WrapperScan("scan_ord", context, "ord")
         with pytest.raises(Exception):
             DependentJoin("dj", context, left, "item", ["ord.o_id"], [])
+
+
+class TestDependentJoinProbeCache:
+    """The §8 caching extension: duplicate bind keys pay source latency once."""
+
+    @pytest.fixture
+    def dup_key_catalog(self):
+        """Left input with heavily duplicated bind keys over a slow lookup source."""
+        items = make_relation(
+            "item",
+            ["i_order:int", "i_sku:str"],
+            [(i % 3, f"sku{i}") for i in range(12)],  # keys 0,1,2 repeated 4x
+        )
+        orders = make_relation(
+            "ord", ["o_id:int", "o_cust:str"], [(0, "ada"), (1, "bob"), (5, "eve")]
+        )
+        catalog = DataSourceCatalog()
+        catalog.register_source(DataSource("item", items, lan()))
+        catalog.register_source(DataSource("ord", orders, wide_area()))
+        return catalog
+
+    def _run(self, catalog, probe_cache, batch_size=None, context=None):
+        context = context or ExecutionContext(catalog)
+        left = WrapperScan("scan_item", context, "item")
+        join = DependentJoin(
+            "dj", context, left, "ord", ["item.i_order"], ["ord.o_id"],
+            probe_cache=probe_cache,
+        )
+        join.open()
+        if batch_size is None:
+            rows = list(join.iterate())
+        else:
+            rows = []
+            while True:
+                batch = join.next_batch(batch_size)
+                if not batch:
+                    break
+                rows.extend(batch)
+        join.close()
+        return join, rows, context
+
+    def test_duplicate_keys_probe_once(self, dup_key_catalog):
+        join, rows, context = self._run(dup_key_catalog, probe_cache=True)
+        # 12 left tuples but only 3 distinct bind keys (one of them empty).
+        assert join.probes == 3
+        assert join.cache_hits == 9
+        assert context.stats.operator("dj").cache_hits == 9
+        # key 0 and 1 match one order each (4 duplicates each); key 2 matches none.
+        assert len(rows) == 8
+
+    def test_memoized_probes_save_latency(self, dup_key_catalog):
+        cached_join, cached_rows, cached_context = self._run(
+            dup_key_catalog, probe_cache=True
+        )
+        uncached_join, uncached_rows, uncached_context = self._run(
+            dup_key_catalog, probe_cache=False
+        )
+        assert multiset(cached_rows) == multiset(uncached_rows)
+        assert uncached_join.probes == 12
+        assert uncached_join.cache_hits == 0
+        # Nine deduplicated probes at wide-area initial latency each.
+        latency = wide_area().initial_latency_ms
+        saved = uncached_context.clock.now - cached_context.clock.now
+        assert saved >= 9 * latency * 0.9
+        assert uncached_context.clock.now >= 12 * latency
+        assert cached_context.clock.now < 4 * latency
+
+    @pytest.mark.parametrize("batch_size", [1, 4, 64])
+    def test_batch_drive_hits_the_memo_identically(self, dup_key_catalog, batch_size):
+        tuple_join, tuple_rows, _ = self._run(dup_key_catalog, probe_cache=True)
+        batch_join, batch_rows, _ = self._run(
+            dup_key_catalog, probe_cache=True, batch_size=batch_size
+        )
+        assert multiset(batch_rows) == multiset(tuple_rows)
+        assert batch_join.probes == tuple_join.probes == 3
+        assert batch_join.cache_hits == tuple_join.cache_hits == 9
+
+    def test_full_extent_source_cache_skips_probe_latency(self, dup_key_catalog):
+        """A source read to completion earlier serves probes at local speed."""
+        config = EngineConfig(enable_source_caching=True)
+        context = ExecutionContext(dup_key_catalog, config=config)
+        # A prior scan reads "ord" to completion, depositing it in the cache.
+        scan = WrapperScan("warm", context, "ord")
+        scan.open()
+        while scan.next() is not None:
+            pass
+        scan.close()
+        assert "ord" in context.source_cache
+        warm_time = context.clock.now
+        join, rows, _ = self._run(dup_key_catalog, probe_cache=True, context=context)
+        assert join._cached_extent
+        assert len(rows) == 8
+        # All probes are local: no wide-area initial latency is paid at all.
+        assert context.clock.now - warm_time < wide_area().initial_latency_ms
