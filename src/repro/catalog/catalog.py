@@ -77,6 +77,7 @@ class DataSourceCatalog:
                     tuple_size_bytes=source.relation.schema.tuple_size,
                     access_cost_ms=source.profile.initial_latency_ms,
                     transfer_rate_kbps=source.profile.bandwidth_kbps,
+                    columnar_tuple_size_bytes=source.relation.schema.columnar_row_size,
                 ),
             )
 

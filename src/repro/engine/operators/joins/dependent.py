@@ -28,7 +28,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
 from repro.errors import ExecutionError
 from repro.network.cache import CACHE_SERVE_CPU_MS
-from repro.storage.batch import Batch, BatchCursor, collect_matches, gather_join
+from repro.storage.batch import Batch, BatchCursor, gather_join_columns
 from repro.storage.schema import Schema
 from repro.storage.tuples import KeyBinder, Row
 
@@ -63,6 +63,13 @@ class DependentJoin(Operator):
         self._pending_out: BatchCursor | None = None
         self._left_binder = KeyBinder(left_keys)
         self._memo: dict[tuple[Any, ...], list[Row]] | None = {} if probe_cache else None
+        #: Per-key transposed match columns ``(columns, arrivals)``, so the
+        #: columnar probe path assembles output with per-column extends and a
+        #: duplicate bind key never pays the row->column transpose twice.
+        #: The column lists alias the same value objects the memo's rows
+        #: hold (Python containers store references), so the overhead is the
+        #: per-value pointer, not a second copy of the payload.
+        self._match_columns: dict[tuple[Any, ...], tuple[list, list[float]]] = {}
         self._cached_extent = False
         self.probes = 0
         self.cache_hits = 0
@@ -147,21 +154,71 @@ class DependentJoin(Operator):
             for match in self._probe_source(key):
                 self._pending.append(left_row.concat(match, self.output_schema))
 
+    def _probe_source_columns(self, key: tuple[Any, ...]) -> tuple[list, list[float]]:
+        """One probe's matches as transposed ``(columns, arrivals)``.
+
+        Wraps :meth:`_probe_source` (which owns all clock accounting and the
+        probe memo) and — only while the probe memo is enabled — caches the
+        transposed column view per bind key, so repeated keys feed the
+        columnar output assembly without re-transposing the same match rows.
+        With ``probe_cache=False`` nothing is retained, honouring the
+        no-caching opt-out.
+        """
+        matches = self._probe_source(key)
+        if self._memo is None:
+            width = len(self._right_schema)
+            return (
+                [[row.values[j] for row in matches] for j in range(width)],
+                [row.arrival for row in matches],
+            )
+        cached = self._match_columns.get(key)
+        if cached is None:
+            width = len(self._right_schema)
+            cached = (
+                [[row.values[j] for row in matches] for j in range(width)],
+                [row.arrival for row in matches],
+            )
+            self._match_columns[key] = cached
+        return cached
+
     def _probe_left_batch(self, left_batch: Batch) -> Batch | None:
         """All matches for one left batch; ``None`` when nothing matched.
 
         Keys come from the batch's key columns when it is columnar; the
         probes themselves stay per-key (each is a parameterized source fetch,
-        memo-deduplicated), and the output batch is assembled with one gather
-        per column.
+        memo-deduplicated), and the output batch is assembled from cached
+        per-key match columns with one gather per column.
         """
         if left_batch.is_columnar:
             keys = left_batch.key_tuples(self._left_binder.indices_in(left_batch.schema))
-            take, matches, aligned = collect_matches(map(self._probe_source, keys))
-            if not matches:
+            width = len(self._right_schema)
+            take: list[int] = []
+            match_columns: list[list[Any]] = [[] for _ in range(width)]
+            match_arrivals: list[float] = []
+            aligned = True
+            for position, key in enumerate(keys):
+                columns, arrivals = self._probe_source_columns(key)
+                found = len(arrivals)
+                if not found:
+                    aligned = False
+                    continue
+                if found == 1:
+                    take.append(position)
+                else:
+                    aligned = False
+                    take.extend([position] * found)
+                for acc, column in zip(match_columns, columns):
+                    acc.extend(column)
+                match_arrivals.extend(arrivals)
+            if not take:
                 return None
-            return gather_join(
-                left_batch, take, matches, self.output_schema, aligned=aligned
+            return gather_join_columns(
+                left_batch,
+                take,
+                match_columns,
+                match_arrivals,
+                self.output_schema,
+                aligned,
             )
         out: list[Row] = []
         schema = self.output_schema

@@ -22,6 +22,14 @@ while resident are written *unmarked*; tuples that arrive after their bucket
 was flushed are written *marked* and are not probed live.  During the final
 overflow resolution, every pair is emitted except unmarked-with-unmarked —
 those pairs were already produced while both tuples were resident.
+
+Both hash tables store columnar partitions in every drive mode.  Under the
+columnar drive the whole pipeline is positional: input runs arrive as
+struct-of-arrays batches, arriving tuples probe and insert by column
+position, matches are emitted straight into output columns, spills move
+column values, and the final overflow resolution joins spill chunks
+positionally — no :class:`Row` boxing anywhere.  The row-batch and tuple
+drives feed the same tables row by row (the row-spill baseline).
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from repro.errors import MemoryOverflowError
 from repro.plan.physical import OverflowMethod
 from repro.plan.rules import EventType
 from repro.storage.batch import Batch
+from repro.storage.columns import extend_column
 from repro.storage.hash_table import BucketedHashTable, DEFAULT_BUCKET_COUNT, bucket_of
 from repro.storage.memory import MemoryBudget
 from repro.storage.tuples import Row
@@ -51,6 +60,55 @@ RUN_LENGTH = 128
 #: that queueing while keeping consumption deterministic and (at run
 #: granularity) data-driven.
 RUN_SLACK_MS = 5.0
+
+
+class _Run:
+    """One consumed input run: a batch plus its bulk-extracted join keys."""
+
+    __slots__ = ("batch", "keys", "cursor")
+
+    def __init__(self, batch: Batch, keys: list[tuple[Any, ...]]) -> None:
+        self.batch = batch
+        self.keys = keys
+        self.cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+class _OutputColumns:
+    """Pending columnar join output: per-column accumulators plus arrivals."""
+
+    __slots__ = ("columns", "arrivals", "cursor")
+
+    def __init__(self, width: int) -> None:
+        self.columns: list[list[Any]] = [[] for _ in range(width)]
+        self.arrivals: list[float] = []
+        self.cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.arrivals) - self.cursor
+
+    def take_batch(self, schema, max_rows: int) -> Batch:
+        """Up to ``max_rows`` pending rows as a columnar batch."""
+        start = self.cursor
+        stop = min(start + max_rows, len(self.arrivals))
+        self.cursor = stop
+        if start == 0 and stop == len(self.arrivals):
+            batch = Batch.from_columns(schema, self.columns, self.arrivals)
+            width = len(self.columns)
+            self.columns = [[] for _ in range(width)]
+            self.arrivals = []
+            self.cursor = 0
+            return batch
+        columns = [column[start:stop] for column in self.columns]
+        batch = Batch.from_columns(schema, columns, self.arrivals[start:stop])
+        if self.cursor >= len(self.arrivals):
+            width = len(self.columns)
+            self.columns = [[] for _ in range(width)]
+            self.arrivals = []
+            self.cursor = 0
+        return batch
 
 
 class DoublePipelinedJoin(JoinOperator):
@@ -80,13 +138,13 @@ class DoublePipelinedJoin(JoinOperator):
         self._drain_right_first = False
         self._pending: list[Row] = []
         self._cleanup: Iterator[Row] | None = None
+        self._cleanup_batches: Iterator[Batch] | None = None
         # Batch path only: per-side run buffers (rows already consumed from a
         # child in bulk because they all arrive before the other side's next).
-        # When a run arrives as a columnar batch, its join keys are extracted
-        # in bulk from the key columns and consumed alongside the rows.
-        self._input_buffers: list[list[Row]] = [[], []]
-        self._buffer_keys: list[list[tuple[Any, ...]] | None] = [None, None]
-        self._buffer_cursors = [0, 0]
+        # Join keys are bulk-extracted from the run's key columns; the run
+        # batch itself stays in whatever representation the child produced.
+        self._runs: list[_Run | None] = [None, None]
+        self._out: _OutputColumns | None = None
         self._popped_key: tuple[Any, ...] | None = None
         self._emitted_output = False
         self.overflow_count = 0
@@ -107,6 +165,7 @@ class DoublePipelinedJoin(JoinOperator):
                 self.context.disk,
                 bucket_count=self.bucket_count,
                 name=f"{self.operator_id}-left",
+                schema=self.left.output_schema,
             ),
             BucketedHashTable(
                 self.right_keys,
@@ -114,8 +173,12 @@ class DoublePipelinedJoin(JoinOperator):
                 self.context.disk,
                 bucket_count=self.bucket_count,
                 name=f"{self.operator_id}-right",
+                schema=self.right.output_schema,
             ),
         ]
+        self._left_width = len(self.left.output_schema)
+        self._right_width = len(self.right.output_schema)
+        self._out = _OutputColumns(self._left_width + self._right_width)
 
     def _do_close(self) -> None:
         for table in self._tables:
@@ -162,45 +225,47 @@ class DoublePipelinedJoin(JoinOperator):
     # -- batch-path input runs -----------------------------------------------------------------------
 
     def _side_has_buffer(self, side: int) -> bool:
-        return self._buffer_cursors[side] < len(self._input_buffers[side])
+        run = self._runs[side]
+        return run is not None and run.cursor < len(run.batch)
 
     def _peek_side(self, side: int) -> float | None:
         """Arrival of side's next row, looking at its run buffer first."""
-        if self._side_has_buffer(side):
-            return self._input_buffers[side][self._buffer_cursors[side]].arrival
+        run = self._runs[side]
+        if run is not None and run.cursor < len(run.batch):
+            return run.batch.arrivals[run.cursor]
         return self._child(side).peek_arrival()
 
     def _pop_buffered(self, side: int) -> Row | None:
         """Next already-buffered row of ``side``, or ``None`` when none is held.
 
-        Sets :attr:`_popped_key` to the row's precomputed join key when the
-        run arrived columnar (``None`` otherwise — the caller computes it).
+        Sets :attr:`_popped_key` to the row's precomputed join key (``None``
+        when nothing was buffered — the caller computes it).
         """
-        cursor = self._buffer_cursors[side]
-        buffer = self._input_buffers[side]
-        if cursor >= len(buffer):
+        run = self._runs[side]
+        if run is None or run.cursor >= len(run.batch):
             self._popped_key = None
             return None
-        self._buffer_cursors[side] = cursor + 1
-        keys = self._buffer_keys[side]
-        self._popped_key = keys[cursor] if keys is not None else None
-        return buffer[cursor]
+        cursor = run.cursor
+        run.cursor = cursor + 1
+        self._popped_key = run.keys[cursor]
+        return run.batch[cursor]
 
-    def _pull_buffered(self, side: int) -> Row | None:
-        """Next row of ``side``: run buffer first, then a bulk run, then one step.
+    def _pull_run(self, side: int) -> _Run | None:
+        """Consume the next bulk run of ``side``; ``None`` when the run is empty.
 
         A *run* consumes every row arriving before the other side's next
         arrival plus a small lookahead window (:data:`RUN_SLACK_MS`) — the
         rows the original engine's per-child reader thread would have had
-        queued.  When the run comes back empty (an operator without arrival
-        knowledge whose next row is past the window), a single
-        :meth:`Operator.next` keeps progress exact.
+        queued.  The run batch keeps the representation the child produced:
+        columnar runs drive the positional pipeline, row-backed runs the
+        row-at-a-time one.
         """
-        row = self._pop_buffered(side)
-        if row is not None:
-            return row
         other = 1 - side
-        if self._exhausted[other]:
+        if self._exhausted[other] or (side == RIGHT and self._drain_right_first):
+            # No interleaving constraint: the other side is done, or paused by
+            # Incremental Left Flush — the tuple drive consumes this side
+            # back to back regardless of the other side's arrivals, so an
+            # unbounded run matches its consumption order exactly.
             bound = float("inf")
         else:
             other_arrival = self._peek_side(other)
@@ -213,23 +278,14 @@ class DoublePipelinedJoin(JoinOperator):
                 # time-to-first-tuple matches the tuple-at-a-time drive exactly
                 # (the paper's headline DPJ metric).
                 bound = other_arrival
-        # The symmetric pipeline boxes every run row anyway (hash-table
-        # inserts), so pull the run row-backed.
-        with self.context.row_backed_pulls():
-            run = self._child(side).next_batch_bounded(RUN_LENGTH, bound)
-        if not run:
-            self._popped_key = None
-            return self._child(side).next()
-        rows = run.rows()
-        self._input_buffers[side] = rows
-        # Bulk key extraction for the whole run — the per-row KeyBinder
-        # lookup is the probe loop's hottest scalar cost.
+        run_batch = self._child(side).next_batch_bounded(RUN_LENGTH, bound)
+        if not run_batch:
+            return None
         binder = self._left_binder if side == LEFT else self._right_binder
-        keys = run.key_tuples(binder.indices_in(run.schema))
-        self._buffer_keys[side] = keys
-        self._buffer_cursors[side] = 1
-        self._popped_key = keys[0]
-        return rows[0]
+        keys = run_batch.key_tuples(binder.indices_in(run_batch.schema))
+        run = _Run(run_batch, keys)
+        self._runs[side] = run
+        return run
 
     # -- tuple processing ----------------------------------------------------------------------------
 
@@ -251,7 +307,11 @@ class DoublePipelinedJoin(JoinOperator):
         self._charge_disk_time()
 
     def _process(self, side: int, row: Row, key: tuple[Any, ...] | None = None) -> None:
-        """Probe, emit, and insert one arriving tuple (key may be precomputed)."""
+        """Probe, emit, and insert one arriving tuple (key may be precomputed).
+
+        The row-at-a-time pipeline, serving the tuple drive and row-backed
+        runs; matches are boxed into output rows on :attr:`_pending`.
+        """
         other = 1 - side
         if key is None:
             key = self.left_key(row) if side == LEFT else self.right_key(row)
@@ -262,23 +322,29 @@ class DoublePipelinedJoin(JoinOperator):
             return
         # Probe the opposite side's resident rows (both tables share the
         # bucket count, so the bucket index computed above is reusable).
-        matches = tables[other].buckets[index].rows.get(key)
+        other_bucket = tables[other].buckets[index]
+        partition = other_bucket.partition
+        matches = partition.positions.get(key) if partition is not None else None
         if matches:
             self._emitted_output = True
             schema = self.output_schema
             pending = self._pending
             values = row.values
             arrival = row.arrival
+            arrivals = partition.arrivals
+            value_tuple = partition.value_tuple
             make = Row.make
-            for match in matches:
+            for position in matches:
+                match_values = value_tuple(position)
                 joined_values = (
-                    values + match.values if side == LEFT else match.values + values
+                    values + match_values if side == LEFT else match_values + values
                 )
+                match_arrival = arrivals[position]
                 pending.append(
                     make(
                         schema,
                         joined_values,
-                        arrival if arrival >= match.arrival else match.arrival,
+                        arrival if arrival >= match_arrival else match_arrival,
                     )
                 )
         # Once the opposite input is exhausted there is no need to retain this
@@ -304,6 +370,60 @@ class DoublePipelinedJoin(JoinOperator):
                 return
             self._resolve_overflow()
 
+    def _process_position(self, side: int, run: _Run, position: int) -> None:
+        """Probe, emit, and insert one arriving tuple by run position.
+
+        The positional twin of :meth:`_process` for columnar runs: the
+        arriving tuple is never boxed — its values move from the run's
+        columns into hash-table partitions, output columns, or spill files.
+        """
+        other = 1 - side
+        key = run.keys[position]
+        index = bucket_of(key, self.bucket_count)
+        tables = self._tables
+        batch = run.batch
+        columns = batch.columns
+        arrival = batch.arrivals[position]
+        if tables[LEFT].buckets[index].flushed or tables[RIGHT].buckets[index].flushed:
+            tables[side].spill_position(index, columns, position, arrival, marked=True)
+            self._charge_disk_time()
+            return
+        other_bucket = tables[other].buckets[index]
+        partition = other_bucket.partition
+        matches = partition.positions.get(key) if partition is not None else None
+        if matches:
+            self._emitted_output = True
+            out = self._out
+            out_columns = out.columns
+            out_arrivals = out.arrivals
+            match_columns = partition.columns
+            match_arrivals = partition.arrivals
+            own_width = len(columns)
+            own_offset = 0 if side == LEFT else self._left_width
+            match_offset = self._left_width if side == LEFT else 0
+            for match_position in matches:
+                for j in range(own_width):
+                    out_columns[own_offset + j].append(columns[j][position])
+                for j, match_column in enumerate(match_columns):
+                    out_columns[match_offset + j].append(match_column[match_position])
+                match_arrival = match_arrivals[match_position]
+                out_arrivals.append(
+                    arrival if arrival >= match_arrival else match_arrival
+                )
+        if self._exhausted[other]:
+            return
+        table = tables[side]
+        while True:
+            if table.buckets[index].flushed:
+                # Spilled by the overflow strategy mid-insert: unmarked, as in
+                # :meth:`_insert_with_overflow`.
+                table.spill_position(index, columns, position, arrival, marked=False)
+                self._charge_disk_time()
+                return
+            if table.insert_position(index, key, columns, position, arrival):
+                return
+            self._resolve_overflow()
+
     # -- overflow resolution -------------------------------------------------------------------------------
 
     def _resolve_overflow(self) -> None:
@@ -323,11 +443,12 @@ class DoublePipelinedJoin(JoinOperator):
 
     def _symmetric_flush(self) -> None:
         """Flush the bucket with the most combined resident bytes from both tables."""
+        left_table, right_table = self._tables
         best_index, best_bytes = None, -1
         for index in range(self.bucket_count):
             combined = (
-                self._tables[LEFT].buckets[index].resident_bytes
-                + self._tables[RIGHT].buckets[index].resident_bytes
+                left_table.buckets[index].resident_count * left_table.row_bytes
+                + right_table.buckets[index].resident_count * right_table.row_bytes
             )
             if combined > best_bytes and not self._bucket_spilled(index):
                 best_index, best_bytes = index, combined
@@ -335,8 +456,8 @@ class DoublePipelinedJoin(JoinOperator):
             raise MemoryOverflowError(
                 f"{self.operator_id}: no resident bucket left to flush symmetrically"
             )
-        self._tables[LEFT].flush_bucket(best_index)
-        self._tables[RIGHT].flush_bucket(best_index)
+        left_table.flush_bucket(best_index)
+        right_table.flush_bucket(best_index)
 
     def _left_flush(self) -> None:
         """Flush a left-side bucket (falling back to the right side), pause the left input."""
@@ -352,14 +473,110 @@ class DoublePipelinedJoin(JoinOperator):
 
     # -- overflow resolution output (the final phase) ---------------------------------------------------------
 
-    def _cleanup_pairs(self) -> Iterator[Row]:
-        """Join the spilled buckets, skipping pairs already produced live."""
+    def _spilled_entries(self, side: int, index: int) -> list | None:
+        """One bucket side's spilled + resident entries as positional views.
+
+        Returns a list of ``(columns, arrivals, marked_list_or_None, count)``
+        quadruples — disk chunks carry their marked column, resident remnants
+        are implicitly unmarked (``None``) and charge no read I/O.  ``None``
+        when the side holds nothing for this bucket.
+        """
+        bucket = self._tables[side].buckets[index]
+        entries: list = []
+        if bucket.overflow is not None and len(bucket.overflow) > 0:
+            for chunk in bucket.overflow.read_chunks():
+                if len(chunk):
+                    entries.append((chunk.columns, chunk.arrivals, chunk.marked, len(chunk)))
+        partition = bucket.partition
+        if partition is not None and partition.arrivals:
+            entries.append(
+                (partition.columns, partition.arrivals, None, len(partition.arrivals))
+            )
+        return entries or None
+
+    def _cleanup_batches_iter(self) -> Iterator[Batch]:
+        """Join the spilled buckets positionally, one output batch per bucket.
+
+        Skips unmarked-with-unmarked pairs (already produced live).  Spilled
+        tuples are never boxed: keys come from chunk key columns, matches are
+        located through a positional map, and output values move column to
+        column.
+        """
+        left_schema = self._tables[LEFT].schema
+        right_schema = self._tables[RIGHT].schema
+        left_key_at = self._left_binder.indices_in(left_schema)
+        right_key_at = self._right_binder.indices_in(right_schema)
+        left_width = self._left_width
+        right_width = self._right_width
+        schema = self.output_schema
         for index in range(self.bucket_count):
             left_bucket = self._tables[LEFT].buckets[index]
             right_bucket = self._tables[RIGHT].buckets[index]
-            has_disk = (left_bucket.overflow is not None and len(left_bucket.overflow) > 0) or (
-                right_bucket.overflow is not None and len(right_bucket.overflow) > 0
-            )
+            has_disk = (
+                left_bucket.overflow is not None and len(left_bucket.overflow) > 0
+            ) or (right_bucket.overflow is not None and len(right_bucket.overflow) > 0)
+            if not has_disk:
+                continue
+            left_entries = self._spilled_entries(LEFT, index)
+            right_entries = self._spilled_entries(RIGHT, index)
+            self._charge_disk_time()
+            if not left_entries or not right_entries:
+                continue
+            # Positional map over the right side: key -> (entry columns,
+            # arrivals, marked flag, position) per spilled/resident row.
+            right_by_key: dict[tuple, list] = {}
+            for columns, arrivals, marked, count in right_entries:
+                key_columns = [columns[i] for i in right_key_at]
+                for position in range(count):
+                    key = tuple(column[position] for column in key_columns)
+                    is_marked = marked[position] if marked is not None else False
+                    right_by_key.setdefault(key, []).append(
+                        (columns, arrivals, is_marked, position)
+                    )
+            out_columns: list[list[Any]] = [[] for _ in range(left_width + right_width)]
+            out_arrivals: list[float] = []
+            for columns, arrivals, marked, count in left_entries:
+                key_columns = [columns[i] for i in left_key_at]
+                for position in range(count):
+                    key = tuple(column[position] for column in key_columns)
+                    found = right_by_key.get(key)
+                    if not found:
+                        continue
+                    left_marked = marked[position] if marked is not None else False
+                    left_arrival = arrivals[position]
+                    for right_columns, right_arrivals, right_marked, right_position in found:
+                        if not left_marked and not right_marked:
+                            continue  # both were resident when they met: already emitted
+                        for j in range(left_width):
+                            out_columns[j].append(columns[j][position])
+                        for j in range(right_width):
+                            out_columns[left_width + j].append(
+                                right_columns[j][right_position]
+                            )
+                        right_arrival = right_arrivals[right_position]
+                        out_arrivals.append(
+                            left_arrival
+                            if left_arrival >= right_arrival
+                            else right_arrival
+                        )
+            if out_arrivals:
+                yield Batch.from_columns(schema, out_columns, out_arrivals)
+
+    def _cleanup_pairs(self) -> Iterator[Row]:
+        """Row-at-a-time overflow resolution (tuple and row-batch drives).
+
+        Same pair discipline and identical I/O accounting as
+        :meth:`_cleanup_batches_iter`, but every spilled tuple read back from
+        disk is boxed into a :class:`Row` and joined tuple-at-a-time — the
+        re-boxing cost that makes this the *row-spill baseline* the spill
+        benchmark measures the columnar resolution against.
+        """
+        for index in range(self.bucket_count):
+            left_bucket = self._tables[LEFT].buckets[index]
+            right_bucket = self._tables[RIGHT].buckets[index]
+            has_disk = (
+                left_bucket.overflow is not None and len(left_bucket.overflow) > 0
+            ) or (right_bucket.overflow is not None and len(right_bucket.overflow) > 0)
             if not has_disk:
                 continue
             left_entries: list[tuple[Row, bool]] = []
@@ -370,15 +587,19 @@ class DoublePipelinedJoin(JoinOperator):
                 right_entries.extend(right_bucket.overflow.read())
             self._charge_disk_time()
             # Resident remnants participate as unmarked entries (no read cost).
-            for rows in left_bucket.rows.values():
-                left_entries.extend((row, False) for row in rows)
-            for rows in right_bucket.rows.values():
-                right_entries.extend((row, False) for row in rows)
+            if left_bucket.partition is not None:
+                left_entries.extend((row, False) for row in left_bucket.partition.rows())
+            if right_bucket.partition is not None:
+                right_entries.extend(
+                    (row, False) for row in right_bucket.partition.rows()
+                )
             right_by_key: dict[tuple[Any, ...], list[tuple[Row, bool]]] = {}
             for row, marked in right_entries:
                 right_by_key.setdefault(self.right_key(row), []).append((row, marked))
             for left_row, left_marked in left_entries:
-                for right_row, right_marked in right_by_key.get(self.left_key(left_row), ()):
+                for right_row, right_marked in right_by_key.get(
+                    self.left_key(left_row), ()
+                ):
                     if not left_marked and not right_marked:
                         continue  # both were resident when they met: already emitted
                     yield self.join_rows(left_row, right_row)
@@ -389,6 +610,17 @@ class DoublePipelinedJoin(JoinOperator):
         while True:
             if self._pending:
                 return self._pending.pop(0)
+            out = self._out
+            if out is not None and len(out):
+                batch = out.take_batch(self.output_schema, 1)
+                return batch[0]
+            if self._cleanup_batches is not None:
+                # A batch caller started the columnar cleanup; keep draining it.
+                batch = next(self._cleanup_batches, None)
+                if batch is None:
+                    return None
+                self._pending.extend(batch.rows())
+                continue
             if self._cleanup is not None:
                 row = next(self._cleanup, None)
                 if row is None:
@@ -423,58 +655,103 @@ class DoublePipelinedJoin(JoinOperator):
         """Batch iteration around the symmetric per-tuple pipeline.
 
         Inputs are consumed in arrival-ordered *runs* (see
-        :meth:`_pull_buffered`): which side to service next is still decided
-        by arrival, and every arriving tuple still probes before the next is
-        consumed, but consecutive same-side tuples are pulled in bulk (with
-        their join keys extracted from the run's key columns when the run is
-        columnar) and output rows accumulate into a batch, amortizing the
-        per-row driver overhead.  The output batch is row-backed: the
-        symmetric pipeline materializes rows anyway to insert them into the
-        hash tables.  The batch is cut short when a watched event (e.g.
-        ``out_of_memory`` with an overflow-method rule attached) fires, so
-        rule actions land at the tuple-accurate point.
+        :meth:`_pull_run`): which side to service next is still decided by
+        arrival, and every arriving tuple still probes before the next is
+        consumed, but consecutive same-side tuples are pulled in bulk with
+        their join keys extracted from the run's key columns.  Columnar runs
+        go through the positional pipeline (:meth:`_process_position`), which
+        accumulates output directly into column lists; row-backed runs go
+        through the row pipeline.  The batch is cut short when a watched
+        event (e.g. ``out_of_memory`` with an overflow-method rule attached)
+        fires, so rule actions land at the tuple-accurate point.
         """
         context = self.context
         clock = context.clock
-        out: list[Row] = []
-        while len(out) < max_rows:
+        schema = self.output_schema
+        out = self._out
+        parts: list[Batch] = []
+        count = 0
+        # Rows emitted into ``out`` (and leftovers on ``_pending``) count
+        # toward the batch but are only sliced into an actual Batch once, on
+        # the way out — draining them eagerly would shred the output into
+        # per-row parts and pay a concat per column per row.
+        while count + len(out) < max_rows:
             if arrival_bound is not None and clock.now >= arrival_bound:
                 break
             if self._pending:
-                needed = max_rows - len(out)
-                out.extend(self._pending[:needed])
+                # Leftovers from a tuple-at-a-time caller on the same
+                # operator: flush any columnar output first to keep order.
+                if len(out):
+                    part = out.take_batch(schema, max_rows - count)
+                    parts.append(part)
+                    count += len(part)
+                    if count >= max_rows:
+                        break
+                needed = max_rows - count
+                rows = self._pending[:needed]
                 del self._pending[:needed]
+                parts.append(Batch.from_rows(schema, rows))
+                count += len(rows)
                 if context.batch_interrupt:
                     break
                 continue
+            if self._cleanup_batches is not None:
+                batch = next(self._cleanup_batches, None)
+                if batch is None:
+                    break
+                base = len(out.arrivals)
+                for position, column in enumerate(batch.columns):
+                    extend_column(out.columns, position, column, base)
+                out.arrivals.extend(batch.arrivals)
+                continue
             if self._cleanup is not None:
+                # A tuple-at-a-time caller already started the row-based
+                # cleanup; keep draining it row by row.
                 row = next(self._cleanup, None)
                 if row is None:
                     break
-                out.append(row)
+                self._pending.append(row)
                 continue
             side = self._choose_side()
             if side is None:
-                self._cleanup = self._cleanup_pairs()
+                if context.columnar:
+                    self._cleanup_batches = self._cleanup_batches_iter()
+                else:
+                    self._cleanup = self._cleanup_pairs()
                 continue
-            # Fast path over _pull_buffered: pop straight from the run buffer.
-            cursor = self._buffer_cursors[side]
-            buffer = self._input_buffers[side]
-            if cursor < len(buffer):
-                self._buffer_cursors[side] = cursor + 1
-                keys = self._buffer_keys[side]
-                key = keys[cursor] if keys is not None else None
-                row = buffer[cursor]
+            run = self._runs[side]
+            if run is None or run.cursor >= len(run.batch):
+                run = self._pull_run(side)
+                if run is None:
+                    row = self._child(side).next()
+                    if row is None:
+                        self._exhausted[side] = True
+                        if side == RIGHT and self._drain_right_first:
+                            # Right side drained: resume the paused left input.
+                            self._drain_right_first = False
+                        continue
+                    self._process(side, row, None)
+                    if context.batch_interrupt and (count or len(out)):
+                        break
+                    continue
+            position = run.cursor
+            run.cursor = position + 1
+            if run.batch.is_columnar:
+                self._process_position(side, run, position)
             else:
-                row = self._pull_buffered(side)
-                key = self._popped_key
-            if row is None:
-                self._exhausted[side] = True
-                if side == RIGHT and self._drain_right_first:
-                    # Right side drained: resume reading the paused left input.
-                    self._drain_right_first = False
-                continue
-            self._process(side, row, key)
-            if context.batch_interrupt and out:
+                self._process(side, run.batch[position], run.keys[position])
+            # Cut the batch at a watched event — but only once some output is
+            # actually collectable; rows sitting on ``_pending`` are moved
+            # into the batch by the next loop iteration first (an empty
+            # return here would read as a spurious end-of-stream).
+            if context.batch_interrupt and (count or len(out)):
                 break
-        return Batch.from_rows(self.output_schema, out)
+        if len(out) and count < max_rows:
+            part = out.take_batch(schema, max_rows - count)
+            parts.append(part)
+            count += len(part)
+        if not parts:
+            return Batch.empty(schema)
+        if len(parts) == 1:
+            return parts[0]
+        return Batch.concat(schema, parts)

@@ -6,6 +6,15 @@ allotment, buckets are lazily flushed to disk (hybrid hashing); probe tuples
 that hash to a flushed bucket are spilled to matching outer overflow files,
 and the overflow pairs are joined in a final pass.
 
+The hash table stores columnar partitions in every drive mode; what changes
+with the drive is how data reaches and leaves it.  Under the columnar drive
+builds append column slices from batch columns, probes return gathered match
+columns, outer tuples of flushed buckets spill as column gathers, and the
+final overflow pass joins spill chunks positionally — no :class:`Row`
+objects anywhere on those paths.  Under the row-batch and tuple drives the
+same machinery is fed row by row (boxing at the boundary), which is the
+row-spill baseline the spill benchmark measures against.
+
 Because the build phase must consume the *entire* inner input before the
 first output tuple, this operator exhibits exactly the delayed
 time-to-first-tuple the paper contrasts with the double pipelined join.
@@ -13,13 +22,13 @@ time-to-first-tuple the paper contrasts with the double pipelined join.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
 from repro.engine.operators.joins.base import JoinOperator
 from repro.plan.rules import EventType
-from repro.storage.batch import Batch, BatchCursor, collect_matches, gather_join
+from repro.storage.batch import Batch, BatchCursor, gather_join_columns
 from repro.storage.disk import OverflowFile
 from repro.storage.hash_table import BucketedHashTable, DEFAULT_BUCKET_COUNT, bucket_of
 from repro.storage.memory import MemoryBudget
@@ -52,6 +61,7 @@ class HybridHashJoin(JoinOperator):
         self._probe_matches: list[Row] = []
         self._pending_out: BatchCursor | None = None
         self._overflow_output: Iterator[Row] | None = None
+        self._overflow_batches: Iterator[Batch] | None = None
 
     # -- build phase --------------------------------------------------------------------
 
@@ -62,6 +72,7 @@ class HybridHashJoin(JoinOperator):
             self.context.disk,
             bucket_count=self.bucket_count,
             name=f"{self.operator_id}-inner",
+            schema=self.right.output_schema,
         )
 
     def _build_inner(self) -> None:
@@ -83,32 +94,55 @@ class HybridHashJoin(JoinOperator):
         self._built = True
 
     def _build_inner_batched(self) -> None:
-        """Batch-at-a-time build: bulk inserts with the tuple path's overflow recovery."""
+        """Batch-at-a-time build: bulk columnar inserts with the tuple path's
+        overflow recovery.
+
+        ``insert_batch`` moves whole per-bucket column gathers while memory
+        lasts and stops at exactly the row where the tuple-at-a-time build
+        would have overflowed; the refused suffix is retried after flushing
+        the largest bucket, so overflow events and bucket states match the
+        tuple drive one for one.
+        """
         assert self._inner_table is not None
         table = self._inner_table
         right = self.right
-        # The build side is buffered as Row objects either way (the hash
-        # table stores and memory-accounts rows), so ask the subtree for
-        # row-backed batches.
-        with self.context.row_backed_pulls():
-            while True:
-                batch = right.next_batch(DEFAULT_BATCH_SIZE)
-                if not batch:
-                    break
-                rows = batch.rows()
-                while rows:
-                    rows = table.insert_batch(rows)
-                    if rows:
-                        # Memory pressure: flush the largest bucket and retry
-                        # the refused suffix (rows whose bucket got flushed
-                        # spill on the retry, as in the tuple path).
-                        self._raise_out_of_memory()
-                        if table.flush_largest_bucket() is None:
-                            # Nothing resident to flush; the tuple path's
-                            # single retry gives up on such a row, so route it
-                            # through one plain insert and move on.
-                            table.insert(rows[0])
-                            rows = rows[1:]
+        while True:
+            batch = right.next_batch(DEFAULT_BATCH_SIZE)
+            if not batch:
+                break
+            keys = batch.key_tuples(table.key_indices_in(batch.schema))
+            position = 0
+            n = len(batch)
+            while position < n:
+                position = table.insert_batch(batch, keys=keys, start=position)
+                if position < n:
+                    # Memory pressure: flush the largest bucket and retry the
+                    # refused suffix (rows whose bucket got flushed spill on
+                    # the retry, as in the tuple path).
+                    self._raise_out_of_memory()
+                    if table.flush_largest_bucket() is None:
+                        # Nothing resident to flush; the tuple path's single
+                        # retry gives up on such a row, so take one plain
+                        # per-row step and move on.
+                        key = keys[position]
+                        index = bucket_of(key, table.bucket_count)
+                        if table.buckets[index].flushed:
+                            table.spill_position(
+                                index,
+                                batch.columns,
+                                position,
+                                batch.arrivals[position],
+                                marked=False,
+                            )
+                        else:
+                            table.insert_position(
+                                index,
+                                key,
+                                batch.columns,
+                                position,
+                                batch.arrivals[position],
+                            )
+                        position += 1
         self._charge_disk_time()
         self._built = True
 
@@ -121,7 +155,8 @@ class HybridHashJoin(JoinOperator):
     def _outer_overflow_file(self, bucket_index: int) -> OverflowFile:
         if bucket_index not in self._outer_overflow:
             self._outer_overflow[bucket_index] = self.context.disk.create_file(
-                f"{self.operator_id}-outer-b{bucket_index}"
+                f"{self.operator_id}-outer-b{bucket_index}",
+                schema=self.left.output_schema,
             )
         return self._outer_overflow[bucket_index]
 
@@ -133,13 +168,33 @@ class HybridHashJoin(JoinOperator):
             self._outer_overflow_file(bucket_index).write(outer_row)
             self._charge_disk_time()
             return []
-        return [
-            self.join_rows(outer_row, inner_row)
-            for inner_row in self._inner_table.probe(key)
-        ]
+        schema = self.output_schema
+        values = outer_row.values
+        arrival = outer_row.arrival
+        make = Row.make
+        matched = self._inner_table.match_positions(key)
+        if matched is None:
+            return []
+        partition, positions = matched
+        out: list[Row] = []
+        arrivals = partition.arrivals
+        for position in positions:
+            inner_arrival = arrivals[position]
+            out.append(
+                make(
+                    schema,
+                    values + partition.value_tuple(position),
+                    arrival if arrival >= inner_arrival else inner_arrival,
+                )
+            )
+        return out
 
     def _overflow_pairs(self) -> Iterator[Row]:
-        """Join the spilled inner buckets against the matching outer spill files."""
+        """Row-at-a-time overflow pass: joins spilled pairs, boxing each tuple.
+
+        Serves the tuple and row-batch drives; the columnar drive uses
+        :meth:`_overflow_pair_batches` instead and never boxes spilled rows.
+        """
         assert self._inner_table is not None
         for bucket_index in self._inner_table.flushed_buckets:
             outer_file = self._outer_overflow.get(bucket_index)
@@ -155,6 +210,63 @@ class HybridHashJoin(JoinOperator):
                     yield self.join_rows(outer_row, inner_row)
             self._charge_disk_time()
 
+    def _overflow_pair_batches(self) -> Iterator[Batch]:
+        """Columnar overflow pass: joins spill chunks positionally, no boxing."""
+        assert self._inner_table is not None
+        table = self._inner_table
+        inner_schema = table.schema
+        inner_key_at = self._right_binder.indices_in(inner_schema)
+        outer_schema = self.left.output_schema
+        outer_key_at = self._left_binder.indices_in(outer_schema)
+        schema = self.output_schema
+        outer_width = len(outer_schema)
+        inner_width = len(inner_schema)
+        for bucket_index in table.flushed_buckets:
+            outer_file = self._outer_overflow.get(bucket_index)
+            if outer_file is None:
+                continue
+            # Reload the inner bucket into a positional map: key -> list of
+            # (chunk columns, chunk arrivals, position).
+            inner_by_key: dict[tuple, list] = {}
+            for chunk in table.overflow_chunks(bucket_index):
+                columns = chunk.columns
+                arrivals = chunk.arrivals
+                key_columns = [columns[i] for i in inner_key_at]
+                for position in range(len(chunk)):
+                    key = tuple(column[position] for column in key_columns)
+                    inner_by_key.setdefault(key, []).append(
+                        (columns, arrivals, position)
+                    )
+            self._charge_disk_time()
+            out_columns: list[list[Any]] = [[] for _ in range(outer_width + inner_width)]
+            out_arrivals: list[float] = []
+            for chunk in outer_file.read_chunks():
+                columns = chunk.columns
+                arrivals = chunk.arrivals
+                key_columns = [columns[i] for i in outer_key_at]
+                for position in range(len(chunk)):
+                    key = tuple(column[position] for column in key_columns)
+                    matches = inner_by_key.get(key)
+                    if not matches:
+                        continue
+                    outer_arrival = arrivals[position]
+                    for inner_columns, inner_arrivals, inner_position in matches:
+                        for j in range(outer_width):
+                            out_columns[j].append(columns[j][position])
+                        for j in range(inner_width):
+                            out_columns[outer_width + j].append(
+                                inner_columns[j][inner_position]
+                            )
+                        inner_arrival = inner_arrivals[inner_position]
+                        out_arrivals.append(
+                            outer_arrival
+                            if outer_arrival >= inner_arrival
+                            else inner_arrival
+                        )
+            self._charge_disk_time()
+            if out_arrivals:
+                yield Batch.from_columns(schema, out_columns, out_arrivals)
+
     # -- iterator ----------------------------------------------------------------------------------
 
     def _next(self) -> Row | None:
@@ -168,6 +280,15 @@ class HybridHashJoin(JoinOperator):
                 self._pending_out = None
             if self._probe_matches:
                 return self._probe_matches.pop()
+            if self._overflow_batches is not None:
+                # A batch caller already started the columnar overflow pass;
+                # keep draining it (restarting the row pass would re-read the
+                # spill files and duplicate the already-emitted pairs).
+                batch = next(self._overflow_batches, None)
+                if batch is None:
+                    return None
+                self._pending_out = BatchCursor(batch)
+                continue
             if self._overflow_output is not None:
                 return next(self._overflow_output, None)
             outer_row = self.left.next()
@@ -180,15 +301,15 @@ class HybridHashJoin(JoinOperator):
         """Probe one outer batch in bulk; ``None`` when nothing matched.
 
         On the columnar path the probe keys are extracted as column slices
-        (one ``zip`` over the key columns) and the output batch is assembled
-        with per-column gathers — no per-row key tuples via attribute lookup
-        and no per-match :class:`Row` construction.  Once any bucket has
-        spilled, probing falls back to the per-row path, which routes outer
-        tuples of flushed buckets to their overflow files.
+        (one ``zip`` over the key columns), outer tuples of flushed buckets
+        are spilled as per-file column gathers, and the output batch is
+        assembled from gathered match columns — no per-row key tuples via
+        attribute lookup, no :class:`Row` construction, and no per-tuple
+        spill writes.  Row-backed outer batches take the per-row path.
         """
         assert self._inner_table is not None
         table = self._inner_table
-        if table.flushed_buckets or not outer.is_columnar:
+        if not outer.is_columnar:
             matches: list[Row] = []
             for outer_row in outer.rows():
                 matches.extend(self._probe_one(outer_row))
@@ -196,10 +317,38 @@ class HybridHashJoin(JoinOperator):
                 return None
             return Batch.from_rows(self.output_schema, matches)
         keys = outer.key_tuples(self._left_binder.indices_in(outer.schema))
-        take, inner_rows, aligned = collect_matches(table.probe_batch(keys))
-        if not inner_rows:
+        positions: list[int] | None = None
+        if table.flushed_count:
+            # Split probed positions into live probes and per-bucket spills.
+            buckets = table.buckets
+            count = table.bucket_count
+            positions = []
+            spills: dict[int, list[int]] = {}
+            for position, key in enumerate(keys):
+                index = hash(key) % count
+                if buckets[index].flushed:
+                    found = spills.get(index)
+                    if found is None:
+                        spills[index] = [position]
+                    else:
+                        found.append(position)
+                else:
+                    positions.append(position)
+            if spills:
+                columns = outer.columns
+                arrivals = outer.arrivals
+                for index, spill_positions in spills.items():
+                    self._outer_overflow_file(index).write_gather(
+                        columns, arrivals, spill_positions
+                    )
+                self._charge_disk_time()
+        result = table.gather_matches(keys, positions)
+        if result is None:
             return None
-        return gather_join(outer, take, inner_rows, self.output_schema, aligned=aligned)
+        take, match_columns, match_arrivals, aligned = result
+        return gather_join_columns(
+            outer, take, match_columns, match_arrivals, self.output_schema, aligned
+        )
 
     def _next_batch(self, max_rows: int) -> Batch:
         if not self._built:
@@ -225,6 +374,12 @@ class HybridHashJoin(JoinOperator):
                 parts.append(Batch.from_rows(schema, rows))
                 count += len(rows)
                 continue
+            if self._overflow_batches is not None:
+                batch = next(self._overflow_batches, None)
+                if batch is None:
+                    break
+                self._pending_out = BatchCursor(batch)
+                continue
             if self._overflow_output is not None:
                 rows = []
                 needed = max_rows - count
@@ -239,7 +394,10 @@ class HybridHashJoin(JoinOperator):
                 continue
             outer = self.left.next_batch(max_rows)
             if not outer:
-                self._overflow_output = self._overflow_pairs()
+                if context.columnar:
+                    self._overflow_batches = self._overflow_pair_batches()
+                else:
+                    self._overflow_output = self._overflow_pairs()
                 continue
             result = self._probe_outer_batch(outer)
             if result is not None:

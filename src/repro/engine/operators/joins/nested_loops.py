@@ -24,7 +24,8 @@ from typing import Any
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
 from repro.engine.operators.joins.base import JoinOperator
-from repro.storage.batch import Batch, BatchCursor, collect_matches, gather_join
+from repro.storage.batch import Batch, BatchCursor, gather_join_columns
+from repro.storage.columns import ColumnarPartition
 from repro.storage.tuples import Row
 
 #: Fraction of the per-tuple CPU cost charged for one inner-row comparison.
@@ -49,36 +50,43 @@ class NestedLoopsJoin(JoinOperator):
         super().__init__(
             operator_id, context, left, right, left_keys, right_keys, estimated_cardinality
         )
-        self._inner_rows: list[Row] = []
-        self._inner_index: dict[tuple[Any, ...], list[Row]] = {}
+        self._inner: ColumnarPartition | None = None
+        self._inner_row_cache: list[Row] | None = None
         self._inner_loaded = False
         self._current_outer: Row | None = None
         self._inner_cursor = 0
         self._pending_out: BatchCursor | None = None
 
     def _load_inner(self) -> None:
-        """Buffer the entire inner input, draining it at block granularity."""
+        """Buffer the entire inner input as a columnar partition.
+
+        Blocks are drained at batch granularity and land in a
+        :class:`ColumnarPartition` (typed columns + key index, insertion
+        order = scan order, so per-outer-row match order equals the
+        sequential scan).  Columnar blocks move as per-column extends with no
+        row boxing; the tuple-at-a-time drive boxes the buffer lazily on
+        first use (see :attr:`_inner_rows`).
+        """
         right = self.right
-        rows = self._inner_rows
-        # The inner buffer holds Row objects; pull row-backed blocks.
-        with self.context.row_backed_pulls():
-            while True:
-                block = right.next_batch(DEFAULT_BATCH_SIZE)
-                if not block:
-                    break
-                rows.extend(block.rows())
-        # Group inner rows by key for the batch paths (insertion order is the
-        # scan order, so per-outer-row match order equals the sequential scan).
-        index = self._inner_index
-        right_key = self.right_key
-        for row in rows:
-            key = right_key(row)
-            found = index.get(key)
-            if found is None:
-                index[key] = [row]
-            else:
-                found.append(row)
+        partition = ColumnarPartition(right.output_schema)
+        binder = self._right_binder
+        while True:
+            block = right.next_batch(DEFAULT_BATCH_SIZE)
+            if not block:
+                break
+            keys = block.key_tuples(binder.indices_in(block.schema))
+            partition.extend_gather(
+                block.columns, block.arrivals, keys, range(len(block))
+            )
+        self._inner = partition
         self._inner_loaded = True
+
+    @property
+    def _inner_rows(self) -> list[Row]:
+        """The inner buffer boxed as rows (tuple-at-a-time path only; cached)."""
+        if self._inner_row_cache is None:
+            self._inner_row_cache = self._inner.rows() if self._inner else []
+        return self._inner_row_cache
 
     def peek_arrival(self) -> float | None:
         if self.state in ("closed", "deactivated"):
@@ -90,7 +98,7 @@ class NestedLoopsJoin(JoinOperator):
             # arrival is a (conservative) lower bound on our first output.
             # ``None`` here means an empty inner — the join produces nothing.
             return self.right.peek_arrival()
-        if not self._inner_rows:
+        if not self._inner or not len(self._inner):
             return None
         return self.left.peek_arrival()
 
@@ -124,23 +132,44 @@ class NestedLoopsJoin(JoinOperator):
     # -- batch paths -------------------------------------------------------------
 
     def _join_outer_batch(self, outer: Batch) -> Batch | None:
-        """All matches for one outer batch; ``None`` when nothing matched."""
-        index = self._inner_index
-        if not index:
+        """All matches for one outer batch; ``None`` when nothing matched.
+
+        Columnar outer batches assemble output from gathered partition
+        columns (no row boxing); row-backed batches box each matched inner
+        row at the boundary.
+        """
+        partition = self._inner
+        if partition is None or not len(partition):
             return None
+        positions_by_key = partition.positions
         if outer.is_columnar:
             keys = outer.key_tuples(self._left_binder.indices_in(outer.schema))
-            take, matches, aligned = collect_matches(map(index.get, keys))
-            if not matches:
+            result = partition.gather_matches(keys)
+            if result is None:
                 return None
-            return gather_join(outer, take, matches, self.output_schema, aligned=aligned)
+            take, match_columns, match_arrivals, aligned = result
+            return gather_join_columns(
+                outer, take, match_columns, match_arrivals, self.output_schema, aligned
+            )
         out: list[Row] = []
         left_key = self.left_key
-        join_rows = self.join_rows
+        schema = self.output_schema
+        make = Row.make
+        arrivals = partition.arrivals
         for outer_row in outer.rows():
-            found = index.get(left_key(outer_row))
+            found = positions_by_key.get(left_key(outer_row))
             if found:
-                out.extend(join_rows(outer_row, inner_row) for inner_row in found)
+                values = outer_row.values
+                arrival = outer_row.arrival
+                for p in found:
+                    inner_arrival = arrivals[p]
+                    out.append(
+                        make(
+                            schema,
+                            values + partition.value_tuple(p),
+                            arrival if arrival >= inner_arrival else inner_arrival,
+                        )
+                    )
         if not out:
             return None
         return Batch.from_rows(self.output_schema, out)
@@ -157,7 +186,7 @@ class NestedLoopsJoin(JoinOperator):
         schema = self.output_schema
         clock = self.context.clock
         cpu_per_compare = self.context.config.per_tuple_cpu_ms * COMPARE_CPU_FACTOR
-        inner_count = len(self._inner_rows)
+        inner_count = len(self._inner) if self._inner else 0
         while True:
             if self._pending_out is not None:
                 part = self._pending_out.take(max_rows)

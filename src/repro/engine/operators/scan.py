@@ -7,6 +7,7 @@ from repro.engine.iterators import Operator
 from repro.errors import SourceTimeoutError, SourceUnavailableError
 from repro.plan.rules import EventType
 from repro.storage.batch import Batch
+from repro.storage.columns import append_value, empty_columns, extend_column
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -211,8 +212,9 @@ class WrapperScan(Operator):
                 if columns is None:
                     columns, arrivals = block_columns, block_arrivals
                 else:
-                    for acc, column in zip(columns, block_columns):
-                        acc.extend(column)
+                    base = len(arrivals)
+                    for position, column in enumerate(block_columns):
+                        extend_column(columns, position, column, base)
                     arrivals.extend(block_arrivals)
                 continue
             # Empty block: end of stream, bound reached, or a tuple that
@@ -243,10 +245,12 @@ class WrapperScan(Operator):
                 break
             self._threshold_counter += 1
             if columns is None:
-                columns = [[value] for value in row.values]
-            else:
-                for acc, value in zip(columns, row.values):
-                    acc.append(value)
+                # Seed typed accumulators so a batch that starts on the
+                # per-tuple fallback still carries packed numeric columns
+                # (and keeps downstream concats type-stable).
+                columns = empty_columns(self.output_schema)
+            for position, value in enumerate(row.values):
+                append_value(columns, position, value)
             arrivals.append(row.arrival)
         schema = self.output_schema
         if columns is None:

@@ -15,9 +15,23 @@ from repro.storage.tuples import Row
 #: A compiled predicate: (column index or None, comparator, constant).
 CompiledPredicate = tuple[int | None, Callable[[Any, Any], bool], Any]
 
+#: Batches between adaptive re-sorts of the compiled predicate order.
+REORDER_INTERVAL_BATCHES = 16
+
 
 class Select(Operator):
-    """Passes through rows satisfying every predicate."""
+    """Passes through rows satisfying every predicate.
+
+    The batch evaluator is *adaptive*: it tracks each predicate's observed
+    selectivity (rows passed / rows tested) and every
+    :data:`REORDER_INTERVAL_BATCHES` batches re-sorts the compiled
+    conjunction most-selective-first, so cheap, highly selective predicates
+    shrink the selection vector before the others run.  Conjunctions are
+    commutative and predicate evaluation is side-effect free, so reordering
+    never changes results — only the number of comparator calls
+    (:attr:`comparator_calls`, tracked for the benchmark/test harness).
+    Pass ``adaptive=False`` to pin the written order (the static baseline).
+    """
 
     def __init__(
         self,
@@ -26,12 +40,20 @@ class Select(Operator):
         child: Operator,
         predicates: list[SelectionPredicate],
         estimated_cardinality: int | None = None,
+        adaptive: bool = True,
     ) -> None:
         super().__init__(
             operator_id, context, children=[child], estimated_cardinality=estimated_cardinality
         )
         self.predicates = list(predicates)
+        self.adaptive = adaptive
         self._compiled: list[CompiledPredicate] | None = None
+        #: Per compiled predicate, [rows tested, rows passed] — observed
+        #: selectivity counters, kept aligned with ``_compiled`` on re-sort.
+        self._observed: list[list[int]] = []
+        self._batches_seen = 0
+        self.comparator_calls = 0
+        self.reorder_count = 0
 
     @property
     def child(self) -> Operator:
@@ -86,6 +108,32 @@ class Select(Operator):
             compiled.append((index, COMPARATORS[predicate.op], predicate.value))
         return compiled
 
+    def _maybe_reorder(self) -> None:
+        """Re-sort the compiled conjunction by observed selectivity.
+
+        Runs every :data:`REORDER_INTERVAL_BATCHES` filtered batches.  The
+        sort key is the observed pass rate (ascending — most selective
+        first); predicates not yet exercised (zero rows tested) keep a
+        neutral 1.0 so they stay behind proven selective ones.  Counters
+        travel with their predicates, so selectivity estimates keep
+        accumulating across re-sorts.
+        """
+        self._batches_seen += 1
+        if not self.adaptive or self._batches_seen % REORDER_INTERVAL_BATCHES:
+            return
+        observed = self._observed
+        if len(observed) < 2:
+            return
+        order = sorted(
+            range(len(observed)),
+            key=lambda i: (observed[i][1] / observed[i][0]) if observed[i][0] else 1.0,
+        )
+        if order == list(range(len(order))):
+            return
+        self._compiled = [self._compiled[i] for i in order]
+        self._observed = [observed[i] for i in order]
+        self.reorder_count += 1
+
     def _filter_columnar(self, batch: Batch) -> Batch:
         """Filter a whole columnar batch: per-column passes, one index-take.
 
@@ -97,11 +145,13 @@ class Select(Operator):
         assert self._compiled is not None
         columns = batch.columns
         count = len(batch)
+        observed = self._observed
         selected: list[int] | None = None
-        for index, comparator, constant in self._compiled:
+        for position, (index, comparator, constant) in enumerate(self._compiled):
             if index is None:
                 return Batch.empty(batch.schema)
             column = columns[index]
+            tested = count if selected is None else len(selected)
             if selected is None:
                 selected = [
                     i
@@ -114,32 +164,52 @@ class Select(Operator):
                     for i in selected
                     if (v := column[i]) is not None and comparator(v, constant)
                 ]
+            self.comparator_calls += tested
+            counters = observed[position]
+            counters[0] += tested
+            counters[1] += len(selected)
             if not selected:
+                self._maybe_reorder()
                 return Batch.empty(batch.schema)
+        self._maybe_reorder()
         if selected is None or len(selected) == count:
             return batch
         return batch.take(selected)
 
     def _filter_rows(self, batch: Batch) -> Batch:
-        """Row-backed filtering with the same compiled predicates."""
+        """Row-backed filtering with the same compiled predicates.
+
+        Short-circuits per row, so the same selectivity counters feed the
+        adaptive re-sort: a predicate is "tested" each time it runs and
+        "passes" each row it lets through to the next conjunct.
+        """
         assert self._compiled is not None
         compiled = self._compiled
+        observed = self._observed
         out: list[Row] = []
+        calls = 0
         for row in batch.rows():
             values = row.values
-            for index, comparator, constant in compiled:
+            for position, (index, comparator, constant) in enumerate(compiled):
                 if index is None:
                     break
                 value = values[index]
+                calls += 1
+                counters = observed[position]
+                counters[0] += 1
                 if value is None or not comparator(value, constant):
                     break
+                counters[1] += 1
             else:
                 out.append(row)
+        self.comparator_calls += calls
+        self._maybe_reorder()
         return Batch.from_rows(batch.schema, out)
 
     def _next_batch(self, max_rows: int) -> Batch:
         if self._compiled is None:
             self._compiled = self._compile_predicates()
+            self._observed = [[0, 0] for _ in self._compiled]
         child = self.child
         while True:
             batch = child.next_batch(max_rows)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.errors import SourceTimeoutError, SourceUnavailableError
 from repro.network.simclock import SimClock
 from repro.network.source import DataSource, SourceConnection
-from repro.storage.batch import transpose_rows
+from repro.storage.batch import typed_transpose
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -225,7 +225,9 @@ class Wrapper:
             now += cpu
             append(now)
         self.clock.charge(wait_total, cpu * len(rows))
-        columns = transpose_rows(rows)
+        # Typed struct-of-arrays build: numeric attributes land in packed
+        # array('q')/array('d') buffers straight off the fetched block.
+        columns = typed_transpose(self.schema, rows)
         stats = self.stats
         stats.tuples_fetched += len(rows)
         if stats.time_of_first_tuple is None:

@@ -9,6 +9,7 @@ paper takes from Bouganim et al. and Nag & DeWitt.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import OptimizationError
 
@@ -18,10 +19,45 @@ MIN_JOIN_ALLOTMENT_BYTES = 64 * 1024
 
 @dataclass(frozen=True)
 class JoinMemoryRequest:
-    """One join operator's demand for memory."""
+    """One join operator's demand for memory.
+
+    ``estimated_build_bytes`` is expressed in *columnar* byte estimates —
+    the unit the hash tables actually charge against their budgets — so the
+    allotment that comes back is directly comparable to the runtime overflow
+    threshold (a join overflows exactly when its columnar resident bytes
+    exceed its allotment).
+    """
 
     operator_id: str
     estimated_build_bytes: int
+
+
+def columnar_build_row_bytes(
+    leaf_sources: Iterable[str], statistics, assumed_bytes: int
+) -> int:
+    """Estimated columnar bytes of one build-side tuple over ``leaf_sources``.
+
+    Restates the optimizer's per-tuple memory unit in the byte units the
+    columnar hash tables actually charge at runtime: the mean of the leaves'
+    published columnar tuple sizes
+    (:attr:`SourceStatistics.columnar_tuple_size_bytes`), with
+    ``assumed_bytes`` standing in for any leaf the catalog knows nothing
+    about.  The mean (not the concatenated width) is deliberate — memory
+    division across a plan's joins is driven by the *cardinality* estimates
+    (the quantity the paper's interleaving experiment shows to be unreliable,
+    and the one replanning corrects); width-weighting the demands would let a
+    deep join's concatenated schema crowd out upstream joins whenever the
+    selectivity estimates are bad, which is exactly when allocation matters
+    most.
+    """
+    sizes = []
+    for name in leaf_sources:
+        stats = statistics.source(name)
+        size = getattr(stats, "columnar_tuple_size_bytes", None)
+        sizes.append(size if size is not None else assumed_bytes)
+    if not sizes:
+        return assumed_bytes
+    return max(1, sum(sizes) // len(sizes))
 
 
 def allocate_memory(

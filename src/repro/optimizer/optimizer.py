@@ -21,7 +21,11 @@ from repro.catalog.catalog import DataSourceCatalog
 from repro.errors import OptimizationError
 from repro.optimizer.cost_model import CostModel, CostParameters
 from repro.optimizer.enumeration import DPEntry, JoinEnumerator, OptimizerState
-from repro.optimizer.memory_alloc import JoinMemoryRequest, allocate_memory
+from repro.optimizer.memory_alloc import (
+    JoinMemoryRequest,
+    allocate_memory,
+    columnar_build_row_bytes,
+)
 from repro.optimizer.rulegen import rules_for_fragment
 from repro.plan.fragments import Fragment, QueryPlan
 from repro.plan.physical import (
@@ -300,13 +304,25 @@ class Optimizer:
         re-optimization later corrects.
         """
         requests = []
+        statistics = self.catalog.statistics
+        assumed = self.config.assumed_tuple_size_bytes
         for fragment in fragments:
+            # Demands are stated in columnar bytes — the unit the hash tables
+            # charge at runtime, so an allotment is directly an overflow
+            # threshold.  The per-tuple unit is one fragment-wide estimate
+            # (the mean columnar size of the scanned sources): the *division*
+            # of memory between joins stays driven by the cardinality
+            # estimates, which is the quantity this experiment-bearing code
+            # path knows to be unreliable and that replanning corrects.
+            unit = columnar_build_row_bytes(
+                fragment.root.leaf_sources(), statistics, assumed
+            )
             for node in fragment.root.walk():
                 if node.operator_type == OperatorType.JOIN:
                     child_estimates = [
                         child.estimated_cardinality
                         if child.estimated_cardinality is not None
-                        else self.catalog.statistics.default_cardinality
+                        else statistics.default_cardinality
                         for child in node.children
                     ]
                     if node.implementation == JoinImplementation.HYBRID_HASH.value:
@@ -316,8 +332,7 @@ class Optimizer:
                     requests.append(
                         JoinMemoryRequest(
                             node.operator_id,
-                            estimated_build_bytes=build_tuples
-                            * self.config.assumed_tuple_size_bytes,
+                            estimated_build_bytes=build_tuples * unit,
                         )
                     )
         allocations = allocate_memory(requests, self.config.memory_pool_bytes)

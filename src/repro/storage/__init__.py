@@ -12,14 +12,28 @@ This package provides the storage primitives the Tukwila engine is built on:
 * :class:`~repro.storage.table_store.LocalStore` for fragment materialization
 """
 
-from repro.storage.batch import Batch, BatchCursor, gather_join, transpose_rows
-from repro.storage.disk import DiskStats, OverflowFile, SimulatedDisk, PAGE_SIZE_BYTES
+from repro.storage.batch import (
+    Batch,
+    BatchCursor,
+    gather_join,
+    gather_join_columns,
+    transpose_rows,
+    typed_transpose,
+)
+from repro.storage.columns import ColumnarPartition, build_columns, empty_columns
+from repro.storage.disk import (
+    DiskStats,
+    OverflowFile,
+    SimulatedDisk,
+    SpillChunk,
+    PAGE_SIZE_BYTES,
+)
 from repro.storage.hash_table import BucketedHashTable, Bucket, DEFAULT_BUCKET_COUNT
 from repro.storage.memory import MB, MemoryBudget, MemoryPool, MemoryStats
 from repro.storage.relation import Relation
 from repro.storage.schema import Attribute, Schema, TYPE_SIZES, merge_union_schema
 from repro.storage.table_store import LocalStore, MaterializationInfo
-from repro.storage.tuples import Row, rows_from_dicts
+from repro.storage.tuples import Row, counting_row_constructions, rows_from_dicts
 
 __all__ = [
     "Attribute",
@@ -27,6 +41,7 @@ __all__ = [
     "BatchCursor",
     "Bucket",
     "BucketedHashTable",
+    "ColumnarPartition",
     "DEFAULT_BUCKET_COUNT",
     "DiskStats",
     "LocalStore",
@@ -41,9 +56,15 @@ __all__ = [
     "Row",
     "Schema",
     "SimulatedDisk",
+    "SpillChunk",
     "TYPE_SIZES",
+    "build_columns",
+    "counting_row_constructions",
+    "empty_columns",
     "gather_join",
+    "gather_join_columns",
     "merge_union_schema",
     "rows_from_dicts",
     "transpose_rows",
+    "typed_transpose",
 ]

@@ -27,6 +27,12 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
+from repro.storage.columns import (
+    build_columns,
+    empty_like,
+    extend_column,
+    gather as gather_column,
+)
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -38,34 +44,11 @@ def transpose_rows(rows: Sequence[Row]) -> list[list[Any]]:
     return [list(column) for column in zip(*(row.values for row in rows))]
 
 
-def collect_matches(
-    found_lists: "Sequence[Sequence[Row] | None] | Any",
-) -> tuple[list[int], list[Row], bool]:
-    """Accumulate probe results into ``(take, matches, aligned)``.
-
-    ``found_lists`` yields, per probed key (in key order), the matching rows
-    (empty/None for a miss).  ``take[i]`` names the probed position that
-    produced ``matches[i]``; ``aligned`` is true when every key matched
-    exactly once, i.e. ``take`` is the identity permutation and
-    :func:`gather_join` may alias the left columns instead of gathering.
-    Shared by the columnar probe loops of the hybrid-hash, dependent, and
-    nested-loops joins.
-    """
-    take: list[int] = []
-    matches: list[Row] = []
-    aligned = True
-    for position, found in enumerate(found_lists):
-        if found:
-            if len(found) == 1:
-                take.append(position)
-                matches.append(found[0])
-            else:
-                aligned = False
-                take.extend([position] * len(found))
-                matches.extend(found)
-        else:
-            aligned = False
-    return take, matches, aligned
+def typed_transpose(schema: Schema, rows: Sequence[Row]) -> list:
+    """Typed columns for ``rows``: numeric attributes land in packed arrays."""
+    if not rows:
+        return [[] for _ in range(len(schema))]
+    return build_columns(schema, zip(*(row.values for row in rows)))
 
 
 class Batch:
@@ -114,12 +97,16 @@ class Batch:
         if len(parts) == 1:
             return parts[0]
         if all(part._columns is not None for part in parts):
-            width = len(parts[0]._columns)
-            columns: list[list[Any]] = [[] for _ in range(width)]
+            # Accumulators clone the first non-empty part's storage classes so
+            # typed (array-backed) columns stay typed through concatenation;
+            # a value that does not fit degrades that column to a list.
+            first = next((p for p in parts if p.arrivals), parts[0])
+            columns: list[list[Any]] = [empty_like(c) for c in first._columns]
             arrivals: list[float] = []
             for part in parts:
-                for acc, column in zip(columns, part._columns):
-                    acc.extend(column)
+                base = len(arrivals)
+                for position, column in enumerate(part._columns):
+                    extend_column(columns, position, column, base)
                 arrivals.extend(part.arrivals)
             return cls.from_columns(schema, columns, arrivals)
         rows: list[Row] = []
@@ -189,7 +176,7 @@ class Batch:
         arrivals = self.arrivals
         taken_arrivals = [arrivals[i] for i in indices]
         if self._columns is not None:
-            columns = [[column[i] for i in indices] for column in self._columns]
+            columns = [gather_column(column, indices) for column in self._columns]
             return Batch.from_columns(self.schema, columns, taken_arrivals)
         rows = self._rows
         return Batch.from_rows(self.schema, [rows[i] for i in indices])
@@ -271,6 +258,42 @@ def gather_join(
     for index, row in zip(take, right_rows):
         a = left_arrivals[index]
         b = row.arrival
+        append(a if a >= b else b)
+    return Batch.from_columns(schema, columns, arrivals)
+
+
+def gather_join_columns(
+    left: Batch,
+    take: Sequence[int],
+    right_columns: Sequence[Sequence[Any]],
+    right_arrivals: Sequence[float],
+    schema: Schema,
+    aligned: bool = False,
+) -> Batch:
+    """Join-output batch from already-gathered *columnar* right-side matches.
+
+    The columnar twin of :func:`gather_join`: the matched build/probe values
+    arrive as column lists (gathered straight out of hash-bucket partitions
+    or spill chunks) instead of as :class:`Row` objects, so assembling the
+    output is pure per-column work — no row boxing anywhere.  ``take[i]``
+    names the left row matched by right position ``i``; ``aligned=True``
+    asserts ``take`` is the identity permutation, letting the left columns
+    alias instead of gather.
+    """
+    if aligned:
+        columns = list(left.columns)
+        columns.extend(right_columns)
+        arrivals = [
+            a if a >= b else b for a, b in zip(left.arrivals, right_arrivals)
+        ]
+        return Batch.from_columns(schema, columns, arrivals)
+    columns = [gather_column(column, take) for column in left.columns]
+    columns.extend(right_columns)
+    left_arrivals = left.arrivals
+    arrivals = []
+    append = arrivals.append
+    for index, b in zip(take, right_arrivals):
+        a = left_arrivals[index]
         append(a if a >= b else b)
     return Batch.from_columns(schema, columns, arrivals)
 

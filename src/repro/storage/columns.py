@@ -1,0 +1,279 @@
+"""Typed column storage: the struct-of-arrays substrate under batches and buckets.
+
+Columns holding ``int`` or ``float`` attributes are stored in compact
+``array('q')`` / ``array('d')`` buffers (8 bytes per value, no per-value
+Python object retained by the container); every other type — and any column
+that turns out to hold mixed or out-of-range values — falls back to a plain
+object list.  The helpers here keep that dual representation invisible to
+the rest of the engine: appends and bulk extends degrade a typed column to a
+list the first time a value does not fit, gathers and slices preserve the
+storage class, and byte accounting (:meth:`Schema.columnar_row_size`) matches
+what the chosen representation actually costs.
+
+:class:`ColumnarPartition` is the shared "columnar bag of rows with a key
+index" used by hash-table buckets and the nested-loops inner: one typed
+column per attribute, a parallel arrival list, and a ``key -> row positions``
+map, so join operators can insert from batch columns and assemble output with
+per-column gathers without ever materializing :class:`~repro.storage.tuples.Row`
+objects.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Sequence
+
+from repro.storage.schema import Schema
+from repro.storage.tuples import Row
+
+#: array typecodes for the attribute types stored packed.
+NUMERIC_TYPECODES = {"int": "q", "float": "d"}
+
+#: Exceptions that signal "this value does not fit the typed buffer".
+_DEGRADE_ERRORS = (TypeError, ValueError, OverflowError)
+
+
+def empty_column(type_name: str) -> "array | list":
+    """A fresh, empty column for one attribute type (typed when numeric)."""
+    code = NUMERIC_TYPECODES.get(type_name)
+    return array(code) if code else []
+
+
+def empty_columns(schema: Schema) -> list:
+    """One fresh empty column per attribute of ``schema``."""
+    return [empty_column(attribute.type_name) for attribute in schema]
+
+
+def empty_like(column) -> "array | list":
+    """A fresh, empty column with the same storage class as ``column``."""
+    if type(column) is array:
+        return array(column.typecode)
+    return []
+
+
+def build_column(type_name: str, values: Sequence[Any]) -> "array | list":
+    """A column over ``values``; object-list fallback on mixed/unfit values."""
+    code = NUMERIC_TYPECODES.get(type_name)
+    if code is not None:
+        try:
+            return array(code, values)
+        except _DEGRADE_ERRORS:
+            pass
+    return list(values)
+
+
+def build_columns(schema: Schema, columns: Sequence[Sequence[Any]]) -> list:
+    """Typed copies of ``columns`` as dictated by ``schema`` (see module docs)."""
+    return [
+        build_column(attribute.type_name, column)
+        for attribute, column in zip(schema, columns)
+    ]
+
+
+def gather(column, indices: Sequence[int]):
+    """Values of ``column`` at ``indices``, preserving the storage class."""
+    if type(column) is array:
+        return array(column.typecode, [column[i] for i in indices])
+    return [column[i] for i in indices]
+
+
+def extend_column(columns: list, position: int, values, base_length: int) -> None:
+    """Extend ``columns[position]`` with ``values``, degrading to a list on misfit.
+
+    ``base_length`` is the column's length before the extend; a typed buffer
+    that rejects a value mid-extend may have been partially extended, so the
+    repair truncates back to ``base_length`` before re-running on a list.
+    """
+    column = columns[position]
+    try:
+        column.extend(values)
+    except _DEGRADE_ERRORS:
+        del column[base_length:]
+        column = list(column)
+        column.extend(values)
+        columns[position] = column
+
+
+def append_value(columns: list, position: int, value) -> None:
+    """Append one value to ``columns[position]``, degrading to a list on misfit."""
+    try:
+        columns[position].append(value)
+    except _DEGRADE_ERRORS:
+        column = list(columns[position])
+        column.append(value)
+        columns[position] = column
+
+
+class ColumnarPartition:
+    """A columnar row store with a ``key -> row positions`` index.
+
+    The unit of storage inside hash-table buckets (one partition per bucket)
+    and the nested-loops join's inner buffer.  Rows live as per-attribute
+    column entries plus an arrival stamp; the positions index maps each join
+    key to the row positions holding it, in insertion order, so probes return
+    gather indices instead of row objects.
+    """
+
+    __slots__ = ("schema", "columns", "arrivals", "positions")
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.columns = empty_columns(schema)
+        self.arrivals: list[float] = []
+        self.positions: dict[tuple[Any, ...], list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def count(self) -> int:
+        return len(self.arrivals)
+
+    # -- insertion ------------------------------------------------------------
+
+    def append_values(self, key: tuple[Any, ...], values: Sequence[Any], arrival: float) -> None:
+        """Insert one row given as a value vector (the tuple-at-a-time path)."""
+        columns = self.columns
+        for j, value in enumerate(values):
+            append_value(columns, j, value)
+        position = len(self.arrivals)
+        self.arrivals.append(arrival)
+        found = self.positions.get(key)
+        if found is None:
+            self.positions[key] = [position]
+        else:
+            found.append(position)
+
+    def append_position(
+        self,
+        key: tuple[Any, ...],
+        source_columns: Sequence[Sequence[Any]],
+        index: int,
+        arrival: float,
+    ) -> None:
+        """Insert one row by position from another column set — no row boxing."""
+        columns = self.columns
+        for j, source in enumerate(source_columns):
+            append_value(columns, j, source[index])
+        position = len(self.arrivals)
+        self.arrivals.append(arrival)
+        found = self.positions.get(key)
+        if found is None:
+            self.positions[key] = [position]
+        else:
+            found.append(position)
+
+    def extend_gather(
+        self,
+        source_columns: Sequence[Sequence[Any]],
+        source_arrivals: Sequence[float],
+        keys: Sequence[tuple[Any, ...]],
+        indices: Sequence[int],
+    ) -> None:
+        """Bulk-insert the rows of ``source_columns`` at ``indices``.
+
+        Column payloads move as per-column gathers (one slice-style pass per
+        attribute); only the key index is maintained per row.
+        """
+        base = len(self.arrivals)
+        columns = self.columns
+        for j in range(len(columns)):
+            source = source_columns[j]
+            extend_column(columns, j, [source[i] for i in indices], base)
+        arrivals = self.arrivals
+        positions = self.positions
+        for offset, i in enumerate(indices):
+            arrivals.append(source_arrivals[i])
+            key = keys[i]
+            found = positions.get(key)
+            if found is None:
+                positions[key] = [base + offset]
+            else:
+                found.append(base + offset)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def match(self, key: tuple[Any, ...]) -> list[int] | None:
+        """Row positions holding ``key`` (insertion order), or ``None``."""
+        return self.positions.get(key)
+
+    def gather_matches(
+        self, keys: Sequence[tuple[Any, ...]]
+    ) -> tuple[list[int], list[list[Any]], list[float], bool] | None:
+        """Bulk probe against this partition: gathered match columns.
+
+        Returns ``(take, match_columns, match_arrivals, aligned)`` — the
+        contract shared with ``BucketedHashTable.gather_matches`` and
+        consumed by :func:`repro.storage.batch.gather_join_columns`:
+        ``take[i]`` is the probed position whose key produced match ``i``,
+        matches arrive as already-gathered column lists, and ``aligned`` is
+        true only when every key matched exactly once.  ``None`` when
+        nothing matched.
+        """
+        width = len(self.columns)
+        columns = self.columns
+        arrivals = self.arrivals
+        positions_by_key = self.positions
+        take: list[int] = []
+        match_columns: list[list[Any]] = [[] for _ in range(width)]
+        match_arrivals: list[float] = []
+        aligned = True
+        for position, key in enumerate(keys):
+            found = positions_by_key.get(key)
+            if not found:
+                aligned = False
+                continue
+            if len(found) == 1:
+                take.append(position)
+            else:
+                aligned = False
+                take.extend([position] * len(found))
+            for j in range(width):
+                source = columns[j]
+                acc = match_columns[j]
+                for p in found:
+                    acc.append(source[p])
+            for p in found:
+                match_arrivals.append(arrivals[p])
+        if not take:
+            return None
+        return take, match_columns, match_arrivals, aligned
+
+    def value_tuple(self, index: int) -> tuple[Any, ...]:
+        """The value vector of one row (boxes a tuple, not a Row)."""
+        return tuple(column[index] for column in self.columns)
+
+    def row_at(self, index: int) -> Row:
+        """One row boxed as a :class:`Row` (compatibility/tuple-path accessor)."""
+        return Row.make(self.schema, self.value_tuple(index), self.arrivals[index])
+
+    def rows(self) -> list[Row]:
+        """All rows boxed (compatibility/tuple-path accessor)."""
+        schema = self.schema
+        make = Row.make
+        if not self.arrivals:
+            return []
+        return [
+            make(schema, values, arrival)
+            for values, arrival in zip(zip(*self.columns), self.arrivals)
+        ]
+
+    # -- teardown ----------------------------------------------------------------
+
+    def take_data(self) -> tuple[list, list[float]]:
+        """Remove and return ``(columns, arrivals)``, resetting the partition.
+
+        The counters, columns, and key index all reset in one step *before*
+        the data is handed to the caller, so an interrupted consumer (a spill
+        write that raises) can never observe — or double-release — a
+        half-drained partition.
+        """
+        columns, arrivals = self.columns, self.arrivals
+        self.columns = empty_columns(self.schema)
+        self.arrivals = []
+        self.positions = {}
+        return columns, arrivals
+
+    def clear(self) -> None:
+        """Drop all rows."""
+        self.take_data()

@@ -1,21 +1,31 @@
-"""Bucketed, spillable hash tables.
+"""Bucketed, spillable hash tables over columnar partitions.
 
 Both the hybrid hash join and the double pipelined join build their inputs
-into a :class:`BucketedHashTable`: a fixed number of buckets, each holding
-rows in memory until its owner decides to flush it to a
-:class:`~repro.storage.disk.OverflowFile`.  The table charges every resident
-row against a :class:`~repro.storage.memory.MemoryBudget`, so the join
-operators discover memory pressure exactly when the paper's engine would.
+into a :class:`BucketedHashTable`: a fixed number of buckets, each holding a
+columnar partition (:class:`~repro.storage.columns.ColumnarPartition` — one
+typed column per attribute, a parallel arrival list, and a ``key -> row
+positions`` index) in memory until its owner decides to flush it to a
+:class:`~repro.storage.disk.OverflowFile`.  Inserts append column values and
+probes return gather positions, so neither direction materializes
+:class:`~repro.storage.tuples.Row` objects; flushes move whole column sets to
+disk as one spill chunk.  The table charges every resident row's *columnar*
+byte estimate (:meth:`Schema.columnar_row_size`) against a
+:class:`~repro.storage.memory.MemoryBudget`, so the join operators discover
+memory pressure exactly when the paper's engine would — identically in all
+three drive modes, because the table's representation never changes with the
+drive.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
 from repro.errors import StorageError
-from repro.storage.disk import OverflowFile, SimulatedDisk
+from repro.storage.batch import Batch
+from repro.storage.columns import ColumnarPartition
+from repro.storage.disk import OverflowFile, SimulatedDisk, SpillChunk
 from repro.storage.memory import MemoryBudget
+from repro.storage.schema import Schema
 from repro.storage.tuples import KeyBinder, Row
 
 #: Default bucket count; the paper's engine sized this from optimizer hints.
@@ -27,33 +37,26 @@ def bucket_of(key: tuple[Any, ...], bucket_count: int) -> int:
     return hash(key) % bucket_count
 
 
-@dataclass
 class Bucket:
-    """One hash bucket: resident rows plus an optional overflow file."""
+    """One hash bucket: a resident columnar partition plus optional overflow."""
 
-    index: int
-    rows: dict[tuple[Any, ...], list[Row]] = field(default_factory=dict)
-    resident_count: int = 0
-    resident_bytes: int = 0
-    overflow: OverflowFile | None = None
-    flushed: bool = False
+    __slots__ = ("index", "partition", "overflow", "flushed")
 
-    def add(self, key: tuple[Any, ...], row: Row) -> None:
-        self.rows.setdefault(key, []).append(row)
-        self.resident_count += 1
-        self.resident_bytes += row.size_bytes
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.partition: ColumnarPartition | None = None
+        self.overflow: OverflowFile | None = None
+        self.flushed = False
 
-    def matches(self, key: tuple[Any, ...]) -> list[Row]:
-        return self.rows.get(key, [])
+    @property
+    def resident_count(self) -> int:
+        return len(self.partition.arrivals) if self.partition is not None else 0
 
-    def drain(self) -> Iterator[tuple[tuple[Any, ...], Row]]:
-        """Yield and remove all resident rows."""
-        for key, rows in self.rows.items():
-            for row in rows:
-                yield key, row
-        self.rows = {}
-        self.resident_count = 0
-        self.resident_bytes = 0
+    def match(self, key: tuple[Any, ...]) -> list[int] | None:
+        """Resident row positions holding ``key`` (None for a miss)."""
+        if self.partition is None:
+            return None
+        return self.partition.positions.get(key)
 
 
 class BucketedHashTable:
@@ -64,13 +67,17 @@ class BucketedHashTable:
     key_names:
         Attribute names forming the hash key.
     budget:
-        Memory budget charged for resident rows.
+        Memory budget charged for resident rows (columnar byte estimates).
     disk:
         Destination for flushed buckets.
     bucket_count:
         Number of hash buckets.
     name:
         Used in overflow file names and error messages.
+    schema:
+        Schema of the stored rows; fixes the partitions' typed column layout
+        and the per-row byte charge.  When omitted it is adopted from the
+        first inserted row or batch.
     """
 
     def __init__(
@@ -80,6 +87,7 @@ class BucketedHashTable:
         disk: SimulatedDisk,
         bucket_count: int = DEFAULT_BUCKET_COUNT,
         name: str = "hash",
+        schema: Schema | None = None,
     ) -> None:
         if bucket_count <= 0:
             raise StorageError(f"bucket count must be positive, got {bucket_count}")
@@ -88,17 +96,39 @@ class BucketedHashTable:
         self.disk = disk
         self.bucket_count = bucket_count
         self.name = name
+        self.schema = schema
+        self.row_bytes = schema.columnar_row_size if schema is not None else 0
         self.buckets = [Bucket(i) for i in range(bucket_count)]
         self.total_inserted = 0
+        self.flushed_count = 0
         self._binder = KeyBinder(self.key_names)
+
+    # -- schema / partition plumbing ----------------------------------------------
+
+    def _adopt_schema(self, schema: Schema) -> None:
+        if self.schema is None:
+            self.schema = schema
+            self.row_bytes = schema.columnar_row_size
+
+    def _partition(self, bucket: Bucket) -> ColumnarPartition:
+        partition = bucket.partition
+        if partition is None:
+            if self.schema is None:
+                raise StorageError(f"{self.name}: schema unknown before first insert")
+            partition = bucket.partition = ColumnarPartition(self.schema)
+        return partition
 
     # -- basic operations --------------------------------------------------------
 
     def key_for(self, row: Row) -> tuple[Any, ...]:
         return self._binder.key(row)
 
+    def key_indices_in(self, schema: Schema) -> tuple[int, ...]:
+        """Positions of the key attributes in ``schema`` (for bulk extraction)."""
+        return self._binder.indices_in(schema)
+
     def bucket_for_key(self, key: tuple[Any, ...]) -> Bucket:
-        return self.buckets[bucket_of(key, self.bucket_count)]
+        return self.buckets[hash(key) % self.bucket_count]
 
     def insert(self, row: Row, marked: bool = False, key: tuple[Any, ...] | None = None) -> bool:
         """Insert ``row``.
@@ -110,44 +140,105 @@ class BucketedHashTable:
         its overflow strategy must run before retrying.  Callers that already
         computed the row's join key may pass it to skip recomputation.
         """
+        self._adopt_schema(row.schema)
         if key is None:
-            key = self.key_for(row)
-        bucket = self.bucket_for_key(key)
+            key = self._binder.key(row)
+        bucket = self.buckets[hash(key) % self.bucket_count]
         self.total_inserted += 1
         if bucket.flushed:
             self._ensure_overflow(bucket).write(row, marked)
             return False
-        if not self.budget.try_reserve(row.size_bytes):
+        if not self.budget.try_reserve(self.row_bytes):
             self.total_inserted -= 1
             return False
-        bucket.add(key, row)
+        self._partition(bucket).append_values(key, row.values, row.arrival)
         return True
 
-    def insert_batch(self, rows: Sequence[Row], marked: bool = False) -> list[Row]:
-        """Bulk-insert ``rows``; returns the suffix that could not be inserted.
+    def insert_position(
+        self,
+        bucket_index: int,
+        key: tuple[Any, ...],
+        source_columns: Sequence[Sequence[Any]],
+        position: int,
+        arrival: float,
+    ) -> bool:
+        """Insert one row by position from batch/run columns — no row boxing.
 
-        Rows whose bucket is already flushed are written straight to that
-        bucket's overflow file (they count as handled, exactly as in
-        :meth:`insert`).  On the first memory refusal for a resident insert,
-        the refused row and every row after it are returned unchanged so the
-        caller can run its overflow strategy and retry the remainder.
+        Returns ``False`` when the memory budget refuses (the caller runs its
+        overflow strategy and retries); the bucket must not be flushed.
         """
-        key_for = self.key_for
-        buckets = self.buckets
+        if not self.budget.try_reserve(self.row_bytes):
+            return False
+        bucket = self.buckets[bucket_index]
+        self._partition(bucket).append_position(key, source_columns, position, arrival)
+        self.total_inserted += 1
+        return True
+
+    def insert_batch(
+        self,
+        batch: Batch,
+        marked: bool = False,
+        keys: Sequence[tuple[Any, ...]] | None = None,
+        start: int = 0,
+    ) -> int:
+        """Bulk-insert ``batch`` rows from ``start``; returns the stop position.
+
+        A return equal to ``len(batch)`` means every row was handled.  Rows
+        whose bucket is already flushed are written straight to that bucket's
+        overflow file (they count as handled, exactly as in :meth:`insert`).
+        On the first memory refusal for a resident insert, the refused row's
+        position is returned so the caller can run its overflow strategy and
+        retry from there — the refusal lands on exactly the row where the
+        tuple-at-a-time path would have overflowed.
+
+        When no bucket has flushed and the whole remainder fits the budget,
+        the rows move as per-bucket column gathers (the bulk fast path).
+        """
+        self._adopt_schema(batch.schema)
+        if keys is None:
+            keys = batch.key_tuples(self._binder.indices_in(batch.schema))
+        n = len(batch)
+        if start >= n:
+            return n
         count = self.bucket_count
+        buckets = self.buckets
+        columns = batch.columns
+        arrivals = batch.arrivals
+        remaining = n - start
+        if not self.flushed_count and not self.budget.would_overflow(
+            remaining * self.row_bytes
+        ):
+            self.budget.reserve(remaining * self.row_bytes)
+            grouped: dict[int, list[int]] = {}
+            for i in range(start, n):
+                index = hash(keys[i]) % count
+                found = grouped.get(index)
+                if found is None:
+                    grouped[index] = [i]
+                else:
+                    found.append(i)
+            for index, positions in grouped.items():
+                self._partition(buckets[index]).extend_gather(
+                    columns, arrivals, keys, positions
+                )
+            self.total_inserted += remaining
+            return n
+        row_bytes = self.row_bytes
         budget = self.budget
-        for position, row in enumerate(rows):
-            key = key_for(row)
+        for i in range(start, n):
+            key = keys[i]
             bucket = buckets[hash(key) % count]
             if bucket.flushed:
                 self.total_inserted += 1
-                self._ensure_overflow(bucket).write(row, marked)
+                self._ensure_overflow(bucket).write_position(
+                    columns, i, arrivals[i], marked
+                )
                 continue
-            if not budget.try_reserve(row.size_bytes):
-                return list(rows[position:])
+            if not budget.try_reserve(row_bytes):
+                return i
             self.total_inserted += 1
-            bucket.add(key, row)
-        return []
+            self._partition(bucket).append_position(key, columns, i, arrivals[i])
+        return n
 
     def insert_resident(self, row: Row) -> None:
         """Insert assuming memory is available; raises if the budget refuses."""
@@ -157,19 +248,83 @@ class BucketedHashTable:
                 f"or bucket flushed)"
             )
 
+    # -- probing -------------------------------------------------------------------
+
     def probe(self, key: tuple[Any, ...]) -> list[Row]:
-        """Resident rows matching ``key`` (flushed rows are not visible here)."""
-        return self.bucket_for_key(key).matches(key)
+        """Resident rows matching ``key``, boxed (the tuple-at-a-time view)."""
+        bucket = self.bucket_for_key(key)
+        positions = bucket.match(key)
+        if not positions:
+            return []
+        partition = bucket.partition
+        return [partition.row_at(i) for i in positions]
 
     def probe_row(self, row: Row, key_names: Sequence[str]) -> list[Row]:
         """Probe using ``row``'s values of ``key_names`` as the key."""
         return self.probe(row.key(key_names))
 
-    def probe_batch(self, keys: Sequence[tuple[Any, ...]]) -> list[list[Row]]:
-        """Resident matches for each key in ``keys`` (one result list per key)."""
-        buckets = self.buckets
+    def match_positions(
+        self, key: tuple[Any, ...]
+    ) -> tuple[ColumnarPartition, list[int]] | None:
+        """Resident matches as ``(partition, positions)`` — no row boxing."""
+        bucket = self.buckets[hash(key) % self.bucket_count]
+        positions = bucket.match(key)
+        if not positions:
+            return None
+        return bucket.partition, positions
+
+    def gather_matches(
+        self,
+        keys: Sequence[tuple[Any, ...]],
+        positions: Sequence[int] | None = None,
+    ) -> tuple[list[int], list[list[Any]], list[float], bool] | None:
+        """Bulk probe: gathered match columns for the joins' output assembly.
+
+        Probes ``keys`` (restricted to the probed ``positions`` when given)
+        and returns ``(take, match_columns, match_arrivals, aligned)`` —
+        ``take[i]`` is the probed position whose key produced match ``i``,
+        and the matched build rows arrive as already-gathered column lists.
+        ``aligned`` is true when every key matched exactly once (``take`` is
+        the identity permutation).  ``None`` when nothing matched.
+        """
+        if self.schema is None:
+            return None
+        width = len(self.schema)
         count = self.bucket_count
-        return [buckets[hash(key) % count].matches(key) for key in keys]
+        buckets = self.buckets
+        take: list[int] = []
+        match_columns: list[list[Any]] = [[] for _ in range(width)]
+        match_arrivals: list[float] = []
+        aligned = True
+        probe_range = range(len(keys)) if positions is None else positions
+        probed = 0
+        for position in probe_range:
+            probed += 1
+            key = keys[position]
+            bucket = buckets[hash(key) % count]
+            partition = bucket.partition
+            found = partition.positions.get(key) if partition is not None else None
+            if not found:
+                aligned = False
+                continue
+            if len(found) == 1:
+                take.append(position)
+            else:
+                aligned = False
+                take.extend([position] * len(found))
+            columns = partition.columns
+            arrivals = partition.arrivals
+            for j in range(width):
+                source = columns[j]
+                acc = match_columns[j]
+                for p in found:
+                    acc.append(source[p])
+            for p in found:
+                match_arrivals.append(arrivals[p])
+        if not take:
+            return None
+        aligned = aligned and probed == len(keys)
+        return take, match_columns, match_arrivals, aligned
 
     def is_bucket_flushed_for(self, key: tuple[Any, ...]) -> bool:
         return self.bucket_for_key(key).flushed
@@ -178,32 +333,60 @@ class BucketedHashTable:
 
     def _ensure_overflow(self, bucket: Bucket) -> OverflowFile:
         if bucket.overflow is None:
-            bucket.overflow = self.disk.create_file(f"{self.name}-b{bucket.index}")
+            bucket.overflow = self.disk.create_file(
+                f"{self.name}-b{bucket.index}", schema=self.schema
+            )
         return bucket.overflow
+
+    def spill_position(
+        self,
+        bucket_index: int,
+        source_columns: Sequence[Sequence[Any]],
+        position: int,
+        arrival: float,
+        marked: bool,
+    ) -> None:
+        """Write one arriving row straight to a bucket's overflow file."""
+        bucket = self.buckets[bucket_index]
+        self._ensure_overflow(bucket).write_position(
+            source_columns, position, arrival, marked
+        )
 
     def flush_bucket(self, index: int, mark_rows: bool = False) -> int:
         """Write bucket ``index`` to disk, releasing its memory.
 
         Returns the number of rows flushed.  Subsequent inserts into this
-        bucket go directly to its overflow file.
+        bucket go directly to its overflow file.  The partition's counters
+        and the budget move in one atomic step — the columns are detached
+        (and the resident bytes released) *before* the spill write, so no
+        observer can see a half-drained bucket or double-release its bytes.
         """
         bucket = self.buckets[index]
         overflow = self._ensure_overflow(bucket)
         flushed = 0
-        released = bucket.resident_bytes
-        for _, row in bucket.drain():
-            overflow.write(row, mark_rows)
-            flushed += 1
-        bucket.flushed = True
-        self.budget.release(released)
+        partition = bucket.partition
+        if partition is not None and partition.arrivals:
+            flushed = len(partition.arrivals)
+            columns, arrivals = partition.take_data()
+            self.budget.release(flushed * self.row_bytes)
+            overflow.write_columns(columns, arrivals, mark_rows)
+        if not bucket.flushed:
+            bucket.flushed = True
+            self.flushed_count += 1
         return flushed
 
     def flush_largest_bucket(self, mark_rows: bool = False) -> int | None:
         """Flush the resident bucket holding the most bytes; returns its index."""
-        candidates = [b for b in self.buckets if not b.flushed and b.resident_count > 0]
-        if not candidates:
+        victim: Bucket | None = None
+        victim_count = 0
+        for bucket in self.buckets:
+            if bucket.flushed:
+                continue
+            count = bucket.resident_count
+            if count > victim_count:
+                victim, victim_count = bucket, count
+        if victim is None:
             return None
-        victim = max(candidates, key=lambda b: b.resident_bytes)
         self.flush_bucket(victim.index, mark_rows)
         return victim.index
 
@@ -223,10 +406,12 @@ class BucketedHashTable:
 
     @property
     def resident_bytes(self) -> int:
-        return sum(b.resident_bytes for b in self.buckets)
+        return self.resident_rows * self.row_bytes
 
     @property
     def flushed_buckets(self) -> list[int]:
+        if not self.flushed_count:
+            return []
         return [b.index for b in self.buckets if b.flushed]
 
     @property
@@ -234,10 +419,17 @@ class BucketedHashTable:
         return any(b.resident_count > 0 for b in self.buckets)
 
     def resident_items(self) -> Iterator[Row]:
-        """All resident rows, bucket by bucket."""
+        """All resident rows, bucket by bucket (boxed; tests and debugging)."""
         for bucket in self.buckets:
-            for rows in bucket.rows.values():
-                yield from rows
+            if bucket.partition is not None:
+                yield from bucket.partition.rows()
+
+    def overflow_chunks(self, index: int) -> Iterator[SpillChunk]:
+        """Read back bucket ``index``'s overflow file as columnar chunks."""
+        bucket = self.buckets[index]
+        if bucket.overflow is None:
+            return iter(())
+        return bucket.overflow.read_chunks()
 
     def overflow_rows(self, index: int) -> Iterator[tuple[Row, bool]]:
         """Read back bucket ``index``'s overflow file (charging read I/O)."""
@@ -246,10 +438,28 @@ class BucketedHashTable:
             return iter(())
         return bucket.overflow.read()
 
+    def check_accounting(self) -> None:
+        """Raise unless the budget's usage covers this table's resident bytes.
+
+        The invariant asserted by the overflow tests: resident bytes are an
+        exact multiple of the columnar row estimate, and never exceed what
+        the budget believes is reserved (for a budget shared across tables,
+        the *sum* of the tables' resident bytes must equal the reservation —
+        callers with sole ownership can assert equality).
+        """
+        resident = self.resident_bytes
+        if resident > self.budget.used_bytes:
+            raise StorageError(
+                f"{self.name}: accounting drift — resident {resident}B exceeds "
+                f"budget reservation {self.budget.used_bytes}B"
+            )
+
     def release_all(self) -> None:
         """Drop all resident rows and return their memory to the budget."""
         for bucket in self.buckets:
-            self.budget.release(bucket.resident_bytes)
-            bucket.rows = {}
-            bucket.resident_count = 0
-            bucket.resident_bytes = 0
+            partition = bucket.partition
+            if partition is not None:
+                count = len(partition.arrivals)
+                if count:
+                    partition.take_data()
+                    self.budget.release(count * self.row_bytes)

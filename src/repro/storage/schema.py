@@ -26,6 +26,22 @@ TYPE_SIZES = {
     "bool": 1,
 }
 
+#: Per-value footprint in *columnar* storage for the types the column layer
+#: actually packs (``array('q')``/``array('d')`` — 8 bytes, no per-value
+#: object; must mirror ``columns.NUMERIC_TYPECODES``).  Every other type —
+#: including ``date`` and ``bool``, which live in object lists — charges its
+#: estimated payload plus one column-slot pointer.
+COLUMNAR_VALUE_SIZES = {
+    "int": 8,
+    "float": 8,
+}
+
+#: Bytes charged per row for the parallel arrival-stamp column.
+ARRIVAL_STAMP_BYTES = 8
+
+#: Pointer overhead per value for columns stored as object lists.
+COLUMN_SLOT_BYTES = 8
+
 
 @dataclass(frozen=True)
 class Attribute:
@@ -72,6 +88,14 @@ class Attribute:
         """Return a copy qualified with ``relation_name`` (replacing any prior one)."""
         return Attribute(f"{relation_name}.{self.base_name}", self.type_name, self.avg_size)
 
+    @property
+    def column_size(self) -> int:
+        """Estimated per-value bytes in columnar (struct-of-arrays) storage."""
+        fixed = COLUMNAR_VALUE_SIZES.get(self.type_name)
+        if fixed is not None:
+            return fixed
+        return self.avg_size + COLUMN_SLOT_BYTES
+
     def renamed(self, new_name: str) -> "Attribute":
         """Return a copy with a different (possibly qualified) name."""
         return Attribute(new_name, self.type_name, self.avg_size)
@@ -98,6 +122,7 @@ class Schema:
         # construction.  Neither cache participates in equality or hashing.
         object.__setattr__(self, "_index_cache", {})
         object.__setattr__(self, "_tuple_size", None)
+        object.__setattr__(self, "_columnar_row_size", None)
 
     # -- construction helpers -------------------------------------------------
 
@@ -214,6 +239,22 @@ class Schema:
             overhead = 16
             size = overhead + sum(a.avg_size for a in self.attributes)
             object.__setattr__(self, "_tuple_size", size)
+        return size
+
+    @property
+    def columnar_row_size(self) -> int:
+        """Estimated bytes one row occupies in columnar storage.
+
+        The sum of the per-column value footprints plus the parallel arrival
+        stamp; there is no per-tuple object header because columnar storage
+        holds no per-row objects.  This is the unit the memory budgets and
+        the spill files charge — hash tables and overflow files store columns,
+        so their accounting must match what columns actually cost.
+        """
+        size = self._columnar_row_size
+        if size is None:
+            size = ARRIVAL_STAMP_BYTES + sum(a.column_size for a in self.attributes)
+            object.__setattr__(self, "_columnar_row_size", size)
         return size
 
     def compatible_with(self, other: "Schema") -> bool:

@@ -8,11 +8,46 @@ can report tuples-vs-time series (the x/y axes of the paper's figures).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 from repro.errors import SchemaError
 from repro.storage.schema import Schema
+
+
+class RowConstructionCounter:
+    """Counts every :class:`Row` constructed while enabled.
+
+    The columnar storage layer promises that hash-table insert/probe and
+    spill write/read hot paths never box rows; tests enable this counter
+    around those operations to assert the promise holds.  Disabled (the
+    default) the per-construction cost is a single predicate check.
+    """
+
+    __slots__ = ("enabled", "count")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.count = 0
+
+
+#: Module-wide counter consulted by both Row constructors.
+ROW_CONSTRUCTIONS = RowConstructionCounter()
+
+
+@contextmanager
+def counting_row_constructions():
+    """Enable :data:`ROW_CONSTRUCTIONS` for a scope; yields the counter."""
+    counter = ROW_CONSTRUCTIONS
+    saved_enabled, saved_count = counter.enabled, counter.count
+    counter.enabled = True
+    counter.count = 0
+    try:
+        yield counter
+    finally:
+        counter.enabled = saved_enabled
+        counter.count = saved_count
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,6 +69,8 @@ class Row:
     arrival: float = 0.0
 
     def __post_init__(self) -> None:
+        if ROW_CONSTRUCTIONS.enabled:
+            ROW_CONSTRUCTIONS.count += 1
         if len(self.values) != len(self.schema):
             raise SchemaError(
                 f"value arity {len(self.values)} does not match schema arity "
@@ -75,6 +112,8 @@ class Row:
         derivation helpers below (plus the batch operator paths) build values
         directly from a schema they also produce.
         """
+        if ROW_CONSTRUCTIONS.enabled:
+            ROW_CONSTRUCTIONS.count += 1
         row = object.__new__(cls)
         object.__setattr__(row, "schema", schema)
         object.__setattr__(row, "values", values)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import array as array_module
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -229,3 +231,96 @@ def test_take_matches_row_selection(pairs, data):
     taken = columnar.take(indices)
     assert [row.values for row in taken] == [rows[i].values for i in indices]
     assert taken.arrivals == pytest.approx([rows[i].arrival for i in indices])
+
+
+class TestTypedColumns:
+    """Typed (array-backed) columns: construction, stability, fallback."""
+
+    def setup_method(self):
+        self.schema = Schema.of("id:int", "score:float", "name:str")
+
+    def test_build_columns_types_numeric_attributes(self):
+        from repro.storage.columns import build_columns
+
+        columns = build_columns(
+            self.schema, [[1, 2, 3], [0.5, 1.5, 2.5], ["a", "b", "c"]]
+        )
+        assert isinstance(columns[0], array_module.array)
+        assert columns[0].typecode == "q"
+        assert columns[1].typecode == "d"
+        assert isinstance(columns[2], list)
+
+    def test_typed_transpose_from_rows(self):
+        from repro.storage.batch import typed_transpose
+
+        rows = [Row(self.schema, (i, i * 0.5, f"n{i}")) for i in range(4)]
+        columns = typed_transpose(self.schema, rows)
+        assert columns[0].typecode == "q"
+        assert list(columns[0]) == [0, 1, 2, 3]
+        assert list(columns[1]) == [0.0, 0.5, 1.0, 1.5]
+
+    def test_build_column_falls_back_on_mixed_types(self):
+        from repro.storage.columns import build_column
+
+        column = build_column("int", [1, 2, "oops", 4])
+        assert isinstance(column, list)
+        assert column == [1, 2, "oops", 4]
+
+    def test_take_and_slice_preserve_storage_class(self):
+        from repro.storage.batch import typed_transpose
+
+        rows = [Row(self.schema, (i, float(i), f"n{i}")) for i in range(6)]
+        batch = Batch.from_columns(
+            self.schema, typed_transpose(self.schema, rows), [0.0] * 6
+        )
+        taken = batch.take([1, 3, 5])
+        assert isinstance(taken.columns[0], array_module.array)
+        assert list(taken.columns[0]) == [1, 3, 5]
+        sliced = batch.slice(2, 4)
+        assert isinstance(sliced.columns[1], array_module.array)
+        assert list(sliced.columns[1]) == [2.0, 3.0]
+        assert [row.values for row in sliced] == [(2, 2.0, "n2"), (3, 3.0, "n3")]
+
+    def test_concat_preserves_storage_class(self):
+        from repro.storage.batch import typed_transpose
+
+        def typed_batch(lo, hi):
+            rows = [Row(self.schema, (i, float(i), f"n{i}")) for i in range(lo, hi)]
+            return Batch.from_columns(
+                self.schema, typed_transpose(self.schema, rows), [0.0] * (hi - lo)
+            )
+
+        merged = Batch.concat(self.schema, [typed_batch(0, 3), typed_batch(3, 5)])
+        assert isinstance(merged.columns[0], array_module.array)
+        assert list(merged.columns[0]) == [0, 1, 2, 3, 4]
+
+    def test_concat_degrades_on_misfit_values(self):
+        from repro.storage.batch import typed_transpose
+
+        rows = [Row(self.schema, (i, float(i), f"n{i}")) for i in range(3)]
+        typed = Batch.from_columns(
+            self.schema, typed_transpose(self.schema, rows), [0.0] * 3
+        )
+        # A later part carrying a non-int id must degrade the column, not raise.
+        loose = Batch.from_columns(self.schema, [["x"], [9.0], ["z"]], [0.0])
+        merged = Batch.concat(self.schema, [typed, loose])
+        assert isinstance(merged.columns[0], list)
+        assert merged.columns[0] == [0, 1, 2, "x"]
+        assert len(merged) == 4
+
+    def test_append_value_degrades_typed_column(self):
+        from repro.storage.columns import append_value, empty_columns
+
+        columns = empty_columns(self.schema)
+        append_value(columns, 0, 7)
+        append_value(columns, 0, "mixed")
+        assert columns[0] == [7, "mixed"]
+
+    def test_extend_column_repairs_partial_extension(self):
+        from repro.storage.columns import empty_columns, extend_column
+
+        columns = empty_columns(self.schema)
+        columns[0].extend([1, 2])
+        extend_column(columns, 0, [3, "bad", 5], base_length=2)
+        assert columns[0] == [1, 2, 3, "bad", 5]
+

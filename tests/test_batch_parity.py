@@ -116,6 +116,21 @@ def tree_select(context):
     )
 
 
+def tree_select_multi_predicate(context):
+    # Two predicates with very different selectivities: the adaptive batch
+    # evaluator may reorder them mid-stream, which must never change results.
+    scan = WrapperScan("scan_item", context, "item")
+    return Select(
+        "sel_multi",
+        context,
+        scan,
+        [
+            SelectionPredicate("item", "i_qty", ">=", 1),
+            SelectionPredicate("item", "i_order", "<", 10),
+        ],
+    )
+
+
 def tree_select_unsatisfiable(context):
     scan = WrapperScan("scan_item", context, "item")
     return Select(
@@ -233,6 +248,7 @@ JOINABLE_TREES = {
     "wrapper_scan": tree_wrapper_scan,
     "table_scan": tree_table_scan,
     "select": tree_select,
+    "select_multi_predicate": tree_select_multi_predicate,
     "select_unsatisfiable": tree_select_unsatisfiable,
     "project": tree_project,
     "union": tree_union,
@@ -277,11 +293,36 @@ def test_operator_parity_on_joinable_catalog(parity_catalog, tree_name, batch_si
 # -- overflow paths (tiny memory budgets force bucket spills) -------------------------------
 
 
+def assert_budget_invariant(join_operator) -> None:
+    """budget.used must equal the sum of the operator's tables' resident bytes."""
+    tables = (
+        join_operator._tables
+        if hasattr(join_operator, "_tables") and join_operator._tables
+        else [join_operator._inner_table]
+    )
+    resident = sum(table.resident_bytes for table in tables if table is not None)
+    assert join_operator.budget.used_bytes == resident, (
+        f"accounting drift: budget says {join_operator.budget.used_bytes}B, "
+        f"tables hold {resident}B"
+    )
+
+
+def watch_overflow_resolutions(monkeypatch, check):
+    """Assert ``check`` after every DPJ overflow resolution (mid-batch flushes)."""
+    original = DoublePipelinedJoin._resolve_overflow
+
+    def checked(self):
+        original(self)
+        check(self)
+
+    monkeypatch.setattr(DoublePipelinedJoin, "_resolve_overflow", checked)
+
+
 @pytest.mark.parametrize("batch_size", [1, 7, 64])
 @pytest.mark.parametrize(
     "method", [OverflowMethod.LEFT_FLUSH, OverflowMethod.SYMMETRIC_FLUSH]
 )
-def test_dpj_overflow_parity(tpcd_catalog, tiny_tpcd, method, batch_size):
+def test_dpj_overflow_parity(tpcd_catalog, tiny_tpcd, method, batch_size, monkeypatch):
     def build(context):
         return DoublePipelinedJoin(
             "dpj",
@@ -295,6 +336,7 @@ def test_dpj_overflow_parity(tpcd_catalog, tiny_tpcd, method, batch_size):
             overflow_method=method,
         )
 
+    watch_overflow_resolutions(monkeypatch, assert_budget_invariant)
     reference = drain_tuple(build(ExecutionContext(tpcd_catalog)))
 
     context = ExecutionContext(tpcd_catalog)
@@ -302,6 +344,7 @@ def test_dpj_overflow_parity(tpcd_catalog, tiny_tpcd, method, batch_size):
     rows = drain_batch(joined, batch_size)
     assert joined.overflow_count > 0, "memory budget was meant to force spills"
     assert multiset(rows) == multiset(reference)
+    assert_budget_invariant(joined)
 
 
 @pytest.mark.parametrize("batch_size", [1, 7, 64])
@@ -324,6 +367,144 @@ def test_hybrid_overflow_parity(tpcd_catalog, tiny_tpcd, batch_size):
     joined = build(context)
     rows = drain_batch(joined, batch_size)
     assert context.stats.operator("hh").overflow_events > 0
+    assert multiset(rows) == multiset(reference)
+    assert_budget_invariant(joined)
+
+
+# -- spill parity: columnar vs row-batch drives under memory pressure ----------------------
+#
+# The hash tables, memory accounting, and spill files are columnar in every
+# drive; the two batch drives differ only in how tuples reach them, so their
+# result multisets, overflow events, spilled-tuple counts, and virtual clocks
+# must all agree *exactly* (and match the tuple drive's result multiset).
+
+
+def drain_batch_with_context(build_tree, catalog, batch_size, columnar):
+    config = EngineConfig(columnar_batches=columnar)
+    context = ExecutionContext(catalog, config=config)
+    operator = build_tree(context)
+    rows = drain_batch(operator, batch_size)
+    return rows, context, operator
+
+
+@pytest.mark.parametrize("batch_size", [7, 64])
+@pytest.mark.parametrize(
+    "method", [OverflowMethod.LEFT_FLUSH, OverflowMethod.SYMMETRIC_FLUSH]
+)
+def test_dpj_spill_drive_parity(tpcd_catalog, tiny_tpcd, method, batch_size, monkeypatch):
+    def build(context):
+        return DoublePipelinedJoin(
+            "dpj",
+            context,
+            WrapperScan("scan_ps", context, "partsupp"),
+            WrapperScan("scan_p", context, "part"),
+            ["partsupp.ps_partkey"],
+            ["part.p_partkey"],
+            memory_limit_bytes=len(tiny_tpcd["partsupp"]) * 20,
+            bucket_count=8,
+            overflow_method=method,
+        )
+
+    watch_overflow_resolutions(monkeypatch, assert_budget_invariant)
+    reference = drain_tuple(build(ExecutionContext(tpcd_catalog)))
+
+    row_rows, row_ctx, row_join = drain_batch_with_context(
+        build, tpcd_catalog, batch_size, columnar=False
+    )
+    col_rows, col_ctx, col_join = drain_batch_with_context(
+        build, tpcd_catalog, batch_size, columnar=True
+    )
+    assert multiset(row_rows) == multiset(reference)
+    assert multiset(col_rows) == multiset(reference)
+    assert row_join.overflow_count == col_join.overflow_count > 0
+    assert row_ctx.disk.stats.tuples_written == col_ctx.disk.stats.tuples_written
+    assert row_ctx.disk.stats.bytes_written == col_ctx.disk.stats.bytes_written
+    assert row_ctx.disk.stats.tuples_read == col_ctx.disk.stats.tuples_read
+    assert col_ctx.clock.now == pytest.approx(row_ctx.clock.now, rel=1e-9), (
+        "columnar spill changed the virtual-time accounting"
+    )
+
+
+@pytest.mark.parametrize("batch_size", [7, 64])
+def test_hybrid_spill_drive_parity(tpcd_catalog, tiny_tpcd, batch_size):
+    def build(context):
+        return HybridHashJoin(
+            "hh",
+            context,
+            WrapperScan("scan_ps", context, "partsupp"),
+            WrapperScan("scan_p", context, "part"),
+            ["partsupp.ps_partkey"],
+            ["part.p_partkey"],
+            memory_limit_bytes=len(tiny_tpcd["part"]) * 20,
+            bucket_count=8,
+        )
+
+    reference = drain_tuple(build(ExecutionContext(tpcd_catalog)))
+
+    row_rows, row_ctx, _ = drain_batch_with_context(
+        build, tpcd_catalog, batch_size, columnar=False
+    )
+    col_rows, col_ctx, _ = drain_batch_with_context(
+        build, tpcd_catalog, batch_size, columnar=True
+    )
+    assert multiset(row_rows) == multiset(reference)
+    assert multiset(col_rows) == multiset(reference)
+    assert (
+        row_ctx.stats.operator("hh").overflow_events
+        == col_ctx.stats.operator("hh").overflow_events
+        > 0
+    )
+    assert row_ctx.disk.stats.tuples_written == col_ctx.disk.stats.tuples_written
+    assert row_ctx.disk.stats.bytes_written == col_ctx.disk.stats.bytes_written
+    assert row_ctx.disk.stats.tuples_read == col_ctx.disk.stats.tuples_read
+    assert col_ctx.clock.now == pytest.approx(row_ctx.clock.now, rel=1e-9), (
+        "columnar spill changed the virtual-time accounting"
+    )
+
+
+def test_hybrid_mixed_callers_mid_overflow_pass(tpcd_catalog, tiny_tpcd):
+    """Switching from batch to tuple pulls mid-overflow-pass must not duplicate.
+
+    A batch caller can start the columnar overflow pass; a tuple caller on
+    the same operator must drain that iterator rather than restart the row
+    pass (which would re-read the spill files and re-emit pairs).
+    """
+    def build(context):
+        return HybridHashJoin(
+            "hh",
+            context,
+            WrapperScan("scan_ps", context, "partsupp"),
+            WrapperScan("scan_p", context, "part"),
+            ["partsupp.ps_partkey"],
+            ["part.p_partkey"],
+            memory_limit_bytes=len(tiny_tpcd["part"]) * 20,
+            bucket_count=8,
+        )
+
+    reference = drain_tuple(build(ExecutionContext(tpcd_catalog)))
+
+    context = ExecutionContext(tpcd_catalog)
+    joined = build(context)
+    joined.open()
+    rows = []
+    switched = False
+    while True:
+        if not switched:
+            batch = joined.next_batch(64)
+            if not batch:
+                break
+            rows.extend(batch)
+            # As soon as the columnar overflow pass has begun, switch to
+            # tuple-at-a-time pulls for the remainder.
+            if joined._overflow_batches is not None:
+                switched = True
+        else:
+            row = joined.next()
+            if row is None:
+                break
+            rows.append(row)
+    joined.close()
+    assert switched, "memory budget was meant to force an overflow pass"
     assert multiset(rows) == multiset(reference)
 
 

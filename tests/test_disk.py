@@ -3,9 +3,15 @@
 import pytest
 
 from repro.errors import StorageError
-from repro.storage.disk import PAGE_SIZE_BYTES, SimulatedDisk
+from repro.storage.disk import MARK_BIT_BYTES, PAGE_SIZE_BYTES, SimulatedDisk
 from repro.storage.schema import Schema
-from repro.storage.tuples import Row
+from repro.storage.tuples import Row, counting_row_constructions
+
+SCHEMA = Schema.of("a:str", "b:str", "c:str")
+
+#: Bytes charged per spilled row: the columnar row estimate plus the marked
+#: bit carried as one more column.
+SPILL_ROW_BYTES = SCHEMA.columnar_row_size + MARK_BIT_BYTES
 
 
 @pytest.fixture
@@ -15,8 +21,7 @@ def disk():
 
 @pytest.fixture
 def row():
-    schema = Schema.of("a:str", "b:str", "c:str")
-    return Row(schema, ("x", "y", "z"))
+    return Row(SCHEMA, ("x", "y", "z"))
 
 
 class TestOverflowFile:
@@ -63,20 +68,20 @@ class TestSimulatedDisk:
         list(handle.read())
         assert disk.stats.tuples_written == 1
         assert disk.stats.tuples_read == 1
-        assert disk.stats.bytes_written == row.size_bytes
-        assert disk.stats.bytes_read == row.size_bytes
+        assert disk.stats.bytes_written == SPILL_ROW_BYTES
+        assert disk.stats.bytes_read == SPILL_ROW_BYTES
         assert disk.stats.total_tuple_ios == 2
 
     def test_pages_accumulate_across_tuples(self, disk, row):
         handle = disk.create_file()
-        tuples_per_page = PAGE_SIZE_BYTES // row.size_bytes + 1
+        tuples_per_page = PAGE_SIZE_BYTES // SPILL_ROW_BYTES + 1
         for _ in range(tuples_per_page):
             handle.write(row)
         assert disk.stats.pages_written >= 1
 
     def test_io_time_since_snapshot(self, disk, row):
         handle = disk.create_file()
-        tuples_per_page = PAGE_SIZE_BYTES // row.size_bytes + 1
+        tuples_per_page = PAGE_SIZE_BYTES // SPILL_ROW_BYTES + 1
         for _ in range(tuples_per_page):
             handle.write(row)
         snapshot = disk.stats.snapshot()
@@ -85,3 +90,66 @@ class TestSimulatedDisk:
             handle.write(row)
         assert disk.io_time_ms(snapshot) > 0.0
         assert disk.io_time_ms() >= disk.io_time_ms(snapshot)
+
+
+class TestColumnarSpill:
+    """The batch-granular (chunk) spill format: marked bit as a column."""
+
+    def test_write_columns_seals_one_chunk(self, disk):
+        handle = disk.create_file("chunk", schema=SCHEMA)
+        handle.write_columns([["x", "y"], ["a", "b"], ["p", "q"]], [1.0, 2.0], True)
+        assert len(handle) == 2
+        assert disk.stats.chunks_written == 1
+        assert disk.stats.tuples_written == 2
+        assert disk.stats.bytes_written == 2 * SPILL_ROW_BYTES
+        chunks = list(handle.read_chunks())
+        assert len(chunks) == 1
+        assert chunks[0].marked == [True, True]
+        assert chunks[0].arrivals == [1.0, 2.0]
+        assert disk.stats.chunks_read == 1
+        assert disk.stats.bytes_read == 2 * SPILL_ROW_BYTES
+
+    def test_write_gather_selects_positions(self, disk):
+        handle = disk.create_file("gather", schema=SCHEMA)
+        columns = [["x0", "x1", "x2"], ["y0", "y1", "y2"], ["z0", "z1", "z2"]]
+        handle.write_gather(columns, [1.0, 2.0, 3.0], [0, 2])
+        (chunk,) = handle.read_chunks()
+        assert chunk.columns[0] == ["x0", "x2"]
+        assert chunk.arrivals == [1.0, 3.0]
+        assert chunk.marked == [False, False]
+
+    def test_row_and_chunk_writes_charge_identical_bytes(self, disk):
+        """The row-spill baseline and the columnar spill agree on bytes."""
+        row_file = disk.create_file("rows", schema=SCHEMA)
+        for values in [("x", "y", "z"), ("u", "v", "w")]:
+            row_file.write(Row(SCHEMA, values), marked=True)
+        per_row = disk.stats.bytes_written
+        chunk_file = disk.create_file("chunks", schema=SCHEMA)
+        chunk_file.write_columns([["x", "u"], ["y", "v"], ["z", "w"]], [0.0, 0.0], True)
+        assert disk.stats.bytes_written == 2 * per_row
+        assert [r.values for r, _ in row_file.peek()] == [
+            r.values for r, _ in chunk_file.peek()
+        ]
+
+    def test_chunk_paths_box_no_rows(self, disk):
+        """Spill write/read hot paths must not construct Row objects."""
+        handle = disk.create_file("boxfree", schema=SCHEMA)
+        columns = [["x0", "x1"], ["y0", "y1"], ["z0", "z1"]]
+        with counting_row_constructions() as counter:
+            handle.write_columns([c[:] for c in columns], [1.0, 2.0], False)
+            handle.write_gather(columns, [1.0, 2.0], [0, 1], marked=True)
+            handle.write_position(columns, 1, 2.0, marked=True)
+            for chunk in handle.read_chunks():
+                assert len(chunk) > 0
+            assert counter.count == 0
+        # The row-at-a-time view boxes (that is its job).
+        with counting_row_constructions() as counter:
+            assert len(list(handle.read())) == 5
+            assert counter.count == 5
+
+    def test_read_preserves_marked_bits_across_mixed_writes(self, disk, row):
+        handle = disk.create_file("mixed", schema=SCHEMA)
+        handle.write(row, marked=False)
+        handle.write_columns([["x"], ["y"], ["z"]], [0.0], True)
+        handle.write(row, marked=True)
+        assert [marked for _, marked in handle.read()] == [False, True, True]

@@ -1,15 +1,21 @@
 """Unit tests for repro.storage.hash_table."""
 
+from array import array
+
 import pytest
 
 from repro.errors import StorageError
+from repro.storage.batch import Batch
 from repro.storage.disk import SimulatedDisk
 from repro.storage.hash_table import BucketedHashTable, bucket_of
 from repro.storage.memory import MemoryBudget
 from repro.storage.schema import Schema
-from repro.storage.tuples import Row
+from repro.storage.tuples import Row, counting_row_constructions
 
 SCHEMA = Schema.of("k:int", "v:str")
+
+#: Bytes one resident row charges against the budget (columnar estimate).
+ROW_BYTES = SCHEMA.columnar_row_size
 
 
 def make_row(key: int, value: str = "x") -> Row:
@@ -18,7 +24,14 @@ def make_row(key: int, value: str = "x") -> Row:
 
 def make_table(limit_bytes=None, buckets=8, name="t") -> BucketedHashTable:
     return BucketedHashTable(
-        ["k"], MemoryBudget(limit_bytes), SimulatedDisk(), bucket_count=buckets, name=name
+        ["k"], MemoryBudget(limit_bytes), SimulatedDisk(), bucket_count=buckets, name=name,
+        schema=SCHEMA,
+    )
+
+
+def make_batch(keys, value="x") -> Batch:
+    return Batch.from_columns(
+        SCHEMA, [array("q", keys), [value] * len(keys)], [0.0] * len(keys)
     )
 
 
@@ -39,20 +52,20 @@ class TestBasicOperations:
         probe = Row(other_schema, (5,))
         assert len(table.probe_row(probe, ["fk"])) == 1
 
-    def test_budget_charged_per_row(self):
+    def test_budget_charged_per_row_in_columnar_bytes(self):
         budget = MemoryBudget(10_000)
         table = BucketedHashTable(["k"], budget, SimulatedDisk())
         table.insert(make_row(1))
-        assert budget.used_bytes == SCHEMA.tuple_size
+        assert budget.used_bytes == ROW_BYTES
 
     def test_insert_refused_when_budget_full(self):
-        table = make_table(limit_bytes=SCHEMA.tuple_size)
+        table = make_table(limit_bytes=ROW_BYTES)
         assert table.insert(make_row(1))
         assert not table.insert(make_row(2))
         assert table.resident_rows == 1
 
     def test_insert_resident_raises_when_full(self):
-        table = make_table(limit_bytes=SCHEMA.tuple_size)
+        table = make_table(limit_bytes=ROW_BYTES)
         table.insert_resident(make_row(1))
         with pytest.raises(StorageError):
             table.insert_resident(make_row(2))
@@ -133,3 +146,146 @@ class TestFlushing:
         for i in range(5):
             table.insert(make_row(i))
         assert len(list(table.resident_items())) == 5
+
+
+class TestColumnarBuckets:
+    """Buckets store columnar partitions: typed columns + key->positions map."""
+
+    def test_partition_columns_are_typed(self):
+        table = make_table()
+        table.insert(make_row(1, "a"))
+        table.insert(make_row(2, "b"))
+        bucket = table.bucket_for_key((1,))
+        assert isinstance(bucket.partition.columns[0], array)
+        assert bucket.partition.columns[0].typecode == "q"
+        assert isinstance(bucket.partition.columns[1], list)
+
+    def test_insert_batch_bulk_fast_path(self):
+        table = make_table()
+        batch = make_batch(list(range(50)))
+        assert table.insert_batch(batch) == 50
+        assert table.resident_rows == 50
+        assert table.budget.used_bytes == 50 * ROW_BYTES
+        assert {row["k"] for row in table.probe((7,))} == {7}
+
+    def test_insert_batch_stops_at_exact_refusal_row(self):
+        # Budget fits 3 rows; the 4th insert must be the refusal position.
+        table = make_table(limit_bytes=3 * ROW_BYTES)
+        batch = make_batch([0, 1, 2, 3, 4])
+        stop = table.insert_batch(batch)
+        assert stop == 3
+        assert table.resident_rows == 3
+        assert table.budget.stats.overflow_events == 1
+
+    def test_insert_batch_routes_flushed_buckets_to_disk(self):
+        table = make_table(buckets=1)
+        table.insert(make_row(0))
+        table.flush_bucket(0)
+        batch = make_batch([1, 2, 3])
+        assert table.insert_batch(batch) == 3
+        assert table.resident_rows == 0
+        assert len(list(table.overflow_rows(0))) == 4
+
+    def test_gather_matches_returns_columns_and_take(self):
+        table = make_table()
+        table.insert(make_row(1, "a"))
+        table.insert(make_row(2, "b"))
+        table.insert(make_row(2, "c"))
+        result = table.gather_matches([(1,), (9,), (2,)])
+        assert result is not None
+        take, columns, arrivals, aligned = result
+        assert take == [0, 2, 2]
+        assert list(columns[0]) == [1, 2, 2]
+        assert sorted(columns[1]) == ["a", "b", "c"]
+        assert len(arrivals) == 3
+        assert not aligned
+
+    def test_gather_matches_aligned_identity(self):
+        table = make_table()
+        table.insert(make_row(1, "a"))
+        table.insert(make_row(2, "b"))
+        take, _, _, aligned = table.gather_matches([(1,), (2,)])
+        assert take == [0, 1]
+        assert aligned
+
+    def test_gather_matches_respects_positions_subset(self):
+        table = make_table()
+        table.insert(make_row(1, "a"))
+        table.insert(make_row(2, "b"))
+        take, columns, _, aligned = table.gather_matches([(1,), (2,)], positions=[1])
+        assert take == [1]
+        assert list(columns[0]) == [2]
+        assert not aligned  # a subset probe can never be the identity
+
+    def test_insert_and_probe_box_no_rows(self):
+        """Hash-table insert/probe hot paths must not construct Row objects."""
+        table = make_table()
+        batch = make_batch(list(range(40)))
+        keys = batch.key_tuples(table.key_indices_in(SCHEMA))
+        with counting_row_constructions() as counter:
+            table.insert_batch(batch, keys=keys)
+            table.insert_position(bucket_of((99,), 8), (99,), batch.columns, 0, 0.0)
+            assert table.gather_matches(keys) is not None
+            assert table.match_positions((5,)) is not None
+            assert counter.count == 0
+        # The boxed views box (that is their job).
+        with counting_row_constructions() as counter:
+            assert len(table.probe((5,))) == 1
+            assert counter.count == 1
+
+    def test_spill_and_flush_box_no_rows(self):
+        table = make_table(buckets=1)
+        batch = make_batch(list(range(10)))
+        table.insert_batch(batch)
+        with counting_row_constructions() as counter:
+            table.flush_bucket(0)
+            table.spill_position(0, batch.columns, 3, 0.0, marked=True)
+            for chunk in table.overflow_chunks(0):
+                assert len(chunk) > 0
+            assert counter.count == 0
+
+
+class TestAccountingInvariant:
+    """budget.used must equal the tables' resident bytes at all times."""
+
+    def test_flush_releases_atomically(self):
+        table = make_table(buckets=4)
+        for i in range(20):
+            table.insert(make_row(i))
+        assert table.budget.used_bytes == table.resident_bytes == 20 * ROW_BYTES
+        table.flush_largest_bucket()
+        assert table.budget.used_bytes == table.resident_bytes
+        table.flush_all()
+        assert table.budget.used_bytes == table.resident_bytes == 0
+        table.check_accounting()
+
+    def test_shared_budget_across_two_tables(self):
+        budget = MemoryBudget(None)
+        disk = SimulatedDisk()
+        left = BucketedHashTable(["k"], budget, disk, bucket_count=4, schema=SCHEMA)
+        right = BucketedHashTable(["k"], budget, disk, bucket_count=4, schema=SCHEMA)
+        for i in range(10):
+            left.insert(make_row(i))
+            right.insert(make_row(i))
+        assert budget.used_bytes == left.resident_bytes + right.resident_bytes
+        left.flush_bucket(0)
+        right.flush_all()
+        assert budget.used_bytes == left.resident_bytes + right.resident_bytes
+        left.check_accounting()
+        right.check_accounting()
+
+    def test_check_accounting_detects_drift(self):
+        table = make_table()
+        table.insert(make_row(1))
+        table.budget.release(ROW_BYTES)  # simulate a lost release
+        with pytest.raises(StorageError):
+            table.check_accounting()
+
+    def test_release_all_restores_budget(self):
+        table = make_table(buckets=2)
+        batch = make_batch(list(range(12)))
+        table.insert_batch(batch)
+        table.flush_bucket(0)
+        table.release_all()
+        assert table.budget.used_bytes == 0
+        assert table.resident_bytes == 0
