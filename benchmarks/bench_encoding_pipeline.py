@@ -1,0 +1,389 @@
+"""Encoded columns vs the PR-3 plain-columnar layer (wall clock + spill bytes).
+
+The §4.2.3 overflow workload re-keyed on *strings*: ``part ⋈ partsupp`` where
+the join key is the stringified part key (a Fig-3a-shaped plan whose memory
+behaviour is dominated by string storage), with memory allotments sized as a
+fraction of the **plain** columnar join state so the plain run spills heavily.
+Each plan — the double pipelined join under both overflow strategies plus a
+memory-constrained hybrid hash join — runs under the three drive modes, twice:
+
+* **encoded** (``EngineConfig(encoded_columns=True)``, the engine default) —
+  string columns are dictionary-coded in scan batches, hash-table partitions,
+  and spill chunks; arrival stamps run-length encode; budgets and spill files
+  charge the encoded footprint.  More rows fit the same allotment, overflow
+  strikes later, and what does spill moves as 8-byte codes.
+* **plain** (``encoded_columns=False``) — PR 3's columnar layer, the
+  baseline.
+
+Encoding lives in the storage layer, so within one encoding the two batch
+drives must agree *exactly* on results, overflow events, and spill I/O (the
+tuple drive holds to the documented interleaving tolerance) — all asserted.
+The acceptance bars, on the string-keyed overflow workload under the
+columnar drive: encoded ≥ 1.2× wall clock and ≥ 1.5× fewer spilled bytes
+than plain.  Each run appends a trajectory record to ``BENCH_encoding.json``
+at the repo root (per-plan ratios + overflow counts) so performance history
+accumulates across commits.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import build_deployment, run_operator_tree
+from repro.bench.reporting import format_table
+from repro.catalog.catalog import DataSourceCatalog
+from repro.engine.context import EngineConfig
+from repro.engine.iterators import DEFAULT_BATCH_SIZE
+from repro.network.profiles import lan
+from repro.network.source import DataSource
+from repro.plan.physical import JoinImplementation, OverflowMethod, join, wrapper_scan
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+from bench_support import run_once, scale_mb
+
+#: Memory allotment as a fraction of the *plain* columnar join state: low
+#: enough that every plain run spills heavily, high enough that the encoded
+#: run (which needs roughly half the bytes plus its dictionaries) keeps most
+#: — on the DPJ plans all — of its rows resident.  This is the paper-aligned
+#: payoff regime: encoding moves the overflow point, so the same allotment
+#: that forces §4.2.3 overflow resolution under plain storage runs (nearly)
+#: memory-resident encoded.
+MEMORY_FRACTION = 0.35
+
+#: Spill I/O charged at spinning-disk rates (the Figure-4 configuration).
+DISK_READ_MS, DISK_WRITE_MS = 1.0, 1.2
+
+#: Wall-clock measurement repetitions per cell; fastest run kept.
+REPEATS = 5
+
+#: (drive label, batch_size, columnar flag)
+DRIVES = [
+    ("tuple", None, False),
+    ("rows", DEFAULT_BATCH_SIZE, False),
+    ("columnar", DEFAULT_BATCH_SIZE, True),
+]
+
+ENCODINGS = ["plain", "encoded"]
+
+PLAN_LABELS = ["dpj_left", "dpj_symmetric", "hybrid"]
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_encoding.json"
+
+#: Below this data scale the workload is a few milliseconds of fixed
+#: overhead, so the wall-clock bar only applies at or above it (same caveat
+#: as ``bench_spill_pipeline``); the spilled-bytes bar is scale-independent
+#: and always applies.
+STRICT_SCALE_MB = 2.0
+
+PART_S_SCHEMA = Schema.of(
+    "p_partkey:str", "p_brand:str", "p_size:int", "p_retailprice:float"
+)
+PARTSUPP_S_SCHEMA = Schema.of(
+    "ps_partkey:str", "ps_suppkey:int", "ps_supplycost:float"
+)
+
+
+def string_key(value: int) -> str:
+    return f"PK{value:08d}"
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """TPC-D part/partsupp re-published with stringified join keys."""
+    base = build_deployment(scale_mb(3.0), ["part", "partsupp"], seed=42)
+    part_rows = [
+        (string_key(r["p_partkey"]), r["p_brand"], r["p_size"], r["p_retailprice"])
+        for r in base.database["part"]
+    ]
+    partsupp_rows = [
+        (string_key(r["ps_partkey"]), r["ps_suppkey"], r["ps_supplycost"])
+        for r in base.database["partsupp"]
+    ]
+    catalog = DataSourceCatalog()
+    catalog.register_source(
+        DataSource("part_s", Relation.from_values("part_s", PART_S_SCHEMA, part_rows), lan())
+    )
+    catalog.register_source(
+        DataSource(
+            "partsupp_s",
+            Relation.from_values("partsupp_s", PARTSUPP_S_SCHEMA, partsupp_rows),
+            lan(),
+        )
+    )
+    return catalog
+
+
+def join_state_bytes(catalog: DataSourceCatalog) -> int:
+    """*Plain* columnar bytes needed to hold both hash tables resident."""
+    total = 0
+    for name in ("part_s", "partsupp_s"):
+        source = catalog.source(name)
+        total += source.cardinality * source.exported_schema.columnar_row_size
+    return total
+
+
+def spill_plan(label: str, memory_bytes: int):
+    if label == "hybrid":
+        return join(
+            wrapper_scan("part_s"),
+            wrapper_scan("partsupp_s"),
+            ["part_s.p_partkey"],
+            ["partsupp_s.ps_partkey"],
+            implementation=JoinImplementation.HYBRID_HASH,
+            memory_limit_bytes=memory_bytes,
+            operator_id="enc_join",
+        )
+    method = (
+        OverflowMethod.SYMMETRIC_FLUSH
+        if label == "dpj_symmetric"
+        else OverflowMethod.LEFT_FLUSH
+    )
+    return join(
+        wrapper_scan("part_s"),
+        wrapper_scan("partsupp_s"),
+        ["part_s.p_partkey"],
+        ["partsupp_s.ps_partkey"],
+        implementation=JoinImplementation.DOUBLE_PIPELINED,
+        overflow_method=method,
+        memory_limit_bytes=memory_bytes,
+        operator_id="enc_join",
+    )
+
+
+def run_workload(catalog):
+    """All plans × encodings × drives; fastest-of-N wall clock per cell.
+
+    The two encodings' repetitions are *interleaved* (plain, encoded,
+    plain, encoded, …) so slow drift of the machine — CPU frequency,
+    neighbours — hits both sides of the speedup ratio equally instead of
+    whichever encoding happened to be measured second.
+    """
+    memory_bytes = int(join_state_bytes(catalog) * MEMORY_FRACTION)
+    configs = {
+        encoding: EngineConfig(
+            disk_page_read_ms=DISK_READ_MS,
+            disk_page_write_ms=DISK_WRITE_MS,
+            encoded_columns=(encoding == "encoded"),
+        )
+        for encoding in ENCODINGS
+    }
+    measurements: dict[str, dict[str, dict[str, dict]]] = {}
+    for label in PLAN_LABELS:
+        per_encoding: dict[str, dict[str, dict]] = {
+            encoding: {} for encoding in ENCODINGS
+        }
+        for drive, batch_size, columnar in DRIVES:
+            best = {encoding: float("inf") for encoding in ENCODINGS}
+            cells: dict[str, dict] = {}
+            for _ in range(REPEATS):
+                for encoding in ENCODINGS:
+                    gc.collect()  # keep collector pauses out of the timing
+                    started = time.perf_counter()
+                    result = run_operator_tree(
+                        spill_plan(label, memory_bytes),
+                        catalog,
+                        result_name=f"enc_{label}_{encoding}_{drive}",
+                        engine_config=configs[encoding],
+                        batch_size=batch_size,
+                        columnar=columnar,
+                    )
+                    elapsed = time.perf_counter() - started
+                    if elapsed < best[encoding]:
+                        best[encoding] = elapsed
+                    disk = result.context.disk.stats
+                    cells[encoding] = {
+                        "rows": result.cardinality,
+                        "virtual_ms": result.completion_time_ms,
+                        "overflow_events": result.context.stats.operator(
+                            "enc_join"
+                        ).overflow_events,
+                        "tuples_spilled": disk.tuples_written,
+                        "bytes_spilled": disk.bytes_written,
+                        "bytes_reread": disk.bytes_read,
+                    }
+            for encoding in ENCODINGS:
+                cell = cells[encoding]
+                cell["s"] = best[encoding]
+                per_encoding[encoding][drive] = cell
+        measurements[label] = per_encoding
+    return measurements
+
+
+def assert_parity(measurements) -> None:
+    """Results must not depend on drive or encoding; I/O not on the drive.
+
+    All six (encoding, drive) cells of one plan produce the same result
+    cardinality (multisets are held equal by ``tests/test_batch_parity.py``).
+    Within one encoding the two batch drives share the storage layer
+    bit for bit, so overflow events and spill bytes agree exactly; the
+    tuple drive's counts may sit within the documented interleaving
+    tolerance (run lookahead shifts which tuples arrive after their bucket
+    flushed).
+    """
+    for label, per_encoding in measurements.items():
+        cards = {
+            (encoding, drive): cell["rows"]
+            for encoding, per_drive in per_encoding.items()
+            for drive, cell in per_drive.items()
+        }
+        assert len(set(cards.values())) == 1, f"{label}: results differ: {cards}"
+        for encoding, per_drive in per_encoding.items():
+            for metric in ("overflow_events", "tuples_spilled", "bytes_spilled", "bytes_reread"):
+                assert per_drive["rows"][metric] == per_drive["columnar"][metric], (
+                    f"{label}/{encoding}: {metric} differs between the batch drives"
+                )
+            assert per_drive["rows"]["virtual_ms"] == pytest.approx(
+                per_drive["columnar"]["virtual_ms"], rel=1e-9
+            ), f"{label}/{encoding}: encoding changed the drives' virtual-time parity"
+            if scale_mb(3.0) >= STRICT_SCALE_MB:
+                batch_events = per_drive["rows"]["overflow_events"]
+                tuple_events = per_drive["tuple"]["overflow_events"]
+                assert abs(tuple_events - batch_events) <= max(2, batch_events // 10), (
+                    f"{label}/{encoding}: tuple-drive overflow events {tuple_events} "
+                    f"too far from batch drives' {batch_events}"
+                )
+        assert per_encoding["plain"]["rows"]["overflow_events"] > 0, (
+            f"{label}: workload was meant to force spills in plain mode"
+        )
+        # Encoding delays overflow: the same allotment produces fewer
+        # (often zero) overflow events in encoded bytes.  Only asserted at
+        # realistic scales — on toy data the table dictionaries are a large
+        # *fixed* fraction of the tiny allotment, so the encoded run can
+        # flush smaller buckets more often.
+        if scale_mb(3.0) >= STRICT_SCALE_MB:
+            assert (
+                per_encoding["encoded"]["rows"]["overflow_events"]
+                < per_encoding["plain"]["rows"]["overflow_events"]
+            ), f"{label}: encoding did not delay overflow"
+
+
+def print_report(measurements) -> None:
+    rows = []
+    for label, per_encoding in measurements.items():
+        plain = per_encoding["plain"]["columnar"]
+        encoded = per_encoding["encoded"]["columnar"]
+        rows.append(
+            [
+                label,
+                encoded["rows"],
+                f"{plain['overflow_events']}/{encoded['overflow_events']}",
+                plain["bytes_spilled"],
+                encoded["bytes_spilled"],
+                f"{plain['bytes_spilled'] / max(1, encoded['bytes_spilled']):.2f}x",
+                round(plain["s"] * 1000, 1),
+                round(encoded["s"] * 1000, 1),
+                f"{plain['s'] / encoded['s']:.2f}x",
+            ]
+        )
+    total_plain = sum(m["plain"]["columnar"]["s"] for m in measurements.values())
+    total_encoded = sum(m["encoded"]["columnar"]["s"] for m in measurements.values())
+    rows.append(
+        [
+            "workload total", "", "", "", "", "",
+            round(total_plain * 1000, 1),
+            round(total_encoded * 1000, 1),
+            f"{total_plain / total_encoded:.2f}x",
+        ]
+    )
+    print()
+    print("Encoded vs plain columnar — string-keyed part x partsupp overflow workload")
+    print(
+        format_table(
+            [
+                "plan", "rows", "overflows p/e", "spilled B plain", "spilled B enc",
+                "spill ratio", "plain (ms)", "encoded (ms)", "enc speedup",
+            ],
+            rows,
+        )
+    )
+
+
+def append_trajectory(measurements, aggregate: float) -> None:
+    """Append one record to ``BENCH_encoding.json`` (perf history artifact)."""
+    record = {
+        "benchmark": "bench_encoding_pipeline",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale_mb": scale_mb(3.0),
+        "aggregate_speedup_encoded_vs_plain": round(aggregate, 4),
+        "plans": {
+            label: {
+                "speedup_encoded_vs_plain": round(
+                    per_encoding["plain"]["columnar"]["s"]
+                    / per_encoding["encoded"]["columnar"]["s"],
+                    4,
+                ),
+                "spilled_bytes_ratio_plain_vs_encoded": round(
+                    per_encoding["plain"]["columnar"]["bytes_spilled"]
+                    / max(1, per_encoding["encoded"]["columnar"]["bytes_spilled"]),
+                    4,
+                ),
+                "overflow_events_plain": per_encoding["plain"]["columnar"]["overflow_events"],
+                "overflow_events_encoded": per_encoding["encoded"]["columnar"]["overflow_events"],
+                "bytes_spilled_encoded": per_encoding["encoded"]["columnar"]["bytes_spilled"],
+                "virtual_ms_encoded": round(
+                    per_encoding["encoded"]["columnar"]["virtual_ms"], 3
+                ),
+            }
+            for label, per_encoding in measurements.items()
+        },
+    }
+    history = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_encoding_pipeline_speedup(benchmark, deployment):
+    measurements = run_once(benchmark, lambda: run_workload(deployment))
+    print_report(measurements)
+    assert_parity(measurements)
+
+    # Spilled-bytes bar: scale-independent, per plan.
+    for label, per_encoding in measurements.items():
+        plain_bytes = per_encoding["plain"]["columnar"]["bytes_spilled"]
+        encoded_bytes = per_encoding["encoded"]["columnar"]["bytes_spilled"]
+        ratio = plain_bytes / max(1, encoded_bytes)
+        assert ratio >= 1.5, (
+            f"{label}: encoded spill only {ratio:.2f}x smaller than plain "
+            f"({encoded_bytes}B vs {plain_bytes}B; need >= 1.5x)"
+        )
+
+    total_plain = sum(m["plain"]["columnar"]["s"] for m in measurements.values())
+    total_encoded = sum(m["encoded"]["columnar"]["s"] for m in measurements.values())
+    aggregate = total_plain / total_encoded
+    append_trajectory(measurements, aggregate)
+    # Wall-clock bar: the string-keyed §4.2.3 overflow plan (the DPJ under
+    # Incremental Left Flush — the plan whose plain run pays the full
+    # overflow-resolution cost) must run ≥ 1.2× faster encoded; the whole
+    # workload must never regress.
+    headline = measurements["dpj_left"]
+    speedup = headline["plain"]["columnar"]["s"] / headline["encoded"]["columnar"]["s"]
+    if scale_mb(3.0) >= STRICT_SCALE_MB:
+        assert speedup >= 1.2, (
+            f"encoded storage only {speedup:.2f}x faster than plain columnar "
+            f"on the string-keyed overflow plan (need >= 1.2x)"
+        )
+        assert aggregate >= 1.0, (
+            f"encoded storage regressed below plain columnar across the "
+            f"workload ({aggregate:.2f}x)"
+        )
+    else:
+        # Toy scales measure fixed overheads (and the dictionaries are a
+        # large fixed fraction of the tiny allotments); only guard against
+        # gross regressions — the spilled-bytes bar above still applies.
+        assert aggregate >= 0.7, (
+            f"encoded storage regressed far below plain columnar "
+            f"({aggregate:.2f}x) even at toy scale"
+        )

@@ -29,7 +29,14 @@ TABLES = ["part", "partsupp"]
 MEMORY_FRACTIONS = {"fits": None, "two_thirds": 2 / 3, "one_third": 1 / 3}
 
 #: Spill I/O is charged at spinning-disk rates for this experiment.
-DISK_CONFIG = EngineConfig(disk_page_read_ms=1.0, disk_page_write_ms=1.2)
+#: Column encoding is pinned off: the memory fractions are stated in plain
+#: columnar bytes (the unit ``join_state_bytes`` computes), so the figure's
+#: overflow points stay where the paper's experiment puts them.  The
+#: encoding effect on this workload is measured by
+#: ``bench_encoding_pipeline.py``.
+DISK_CONFIG = EngineConfig(
+    disk_page_read_ms=1.0, disk_page_write_ms=1.2, encoded_columns=False
+)
 
 
 @pytest.fixture(scope="module")

@@ -77,7 +77,14 @@ class DataSourceCatalog:
                     tuple_size_bytes=source.relation.schema.tuple_size,
                     access_cost_ms=source.profile.initial_latency_ms,
                     transfer_rate_kbps=source.profile.bandwidth_kbps,
-                    columnar_tuple_size_bytes=source.relation.schema.columnar_row_size,
+                    # Published in *encoded* columnar units (dictionary codes
+                    # for strings) — the unit hash-table budgets charge under
+                    # the engine's default encoding, so optimizer allotments
+                    # stated in it are the runtime overflow thresholds.  The
+                    # plain unit is published alongside for plans executed
+                    # with ``encoded_columns=False``.
+                    columnar_tuple_size_bytes=source.relation.schema.encoded_row_size,
+                    plain_columnar_tuple_size_bytes=source.relation.schema.columnar_row_size,
                 ),
             )
 

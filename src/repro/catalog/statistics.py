@@ -41,12 +41,16 @@ class SourceStatistics:
     access_cost_ms: float | None = None
     transfer_rate_kbps: float | None = None
     distinct_values: dict[str, int] = field(default_factory=dict)
-    #: Average bytes one exported tuple occupies in *columnar* engine storage
-    #: (packed numeric arrays + object columns + arrival stamp); this is the
-    #: unit hash-table memory budgets charge, so memory allotments and
-    #: overflow thresholds are computed from it rather than from the boxed
-    #: row estimate in ``tuple_size_bytes``.
+    #: Average bytes one exported tuple occupies in columnar engine storage
+    #: under the engine's default *encoded* layout (packed numeric arrays,
+    #: dictionary-coded strings, arrival stamp); this is the unit hash-table
+    #: memory budgets charge, so memory allotments and overflow thresholds
+    #: are computed from it rather than from the boxed row estimate in
+    #: ``tuple_size_bytes``.
     columnar_tuple_size_bytes: int | None = None
+    #: The same estimate in the *plain* (unencoded) columnar layout, for
+    #: consumers planning against ``EngineConfig(encoded_columns=False)``.
+    plain_columnar_tuple_size_bytes: int | None = None
 
     @property
     def has_cardinality(self) -> bool:

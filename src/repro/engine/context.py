@@ -53,6 +53,18 @@ class EngineConfig:
         "row-batch" drive, retained as a baseline for the parity tests and
         ``benchmarks/bench_columnar_pipeline.py``.  Virtual-time accounting
         is identical either way.
+    encoded_columns:
+        When true (the default), the storage layer *encodes* columns:
+        string attributes dictionary-encode (``array('q')`` codes plus a
+        shared per-column dictionary) in scan batches, hash-table
+        partitions, and spill chunks; arrival stamps run-length encode
+        where blocks share one stamp; and memory budgets / spill files
+        charge the encoded footprint (``Schema.encoded_row_size``).
+        Orthogonal to the drive mode: the hash tables and overflow files
+        are encoded (or not) identically under all three drives, so
+        overflow events and spill I/O never depend on the drive.  Disable
+        for the plain-columnar baseline the encoding benchmark measures
+        against.
     enable_source_caching:
         When true, fully-read source extents are cached (the paper's
         "caching of source data" extension) and later scans of the same
@@ -68,6 +80,7 @@ class EngineConfig:
     disk_page_read_ms: float = 0.12
     disk_page_write_ms: float = 0.15
     columnar_batches: bool = True
+    encoded_columns: bool = True
     enable_source_caching: bool = False
     source_cache_max_age_ms: float | None = None
 
@@ -93,6 +106,7 @@ class ExecutionContext:
         self.disk = disk or SimulatedDisk(
             page_read_ms=self.config.disk_page_read_ms,
             page_write_ms=self.config.disk_page_write_ms,
+            encoded=self.config.encoded_columns,
         )
         self.local_store = local_store or LocalStore()
         if source_cache is not None:
@@ -118,6 +132,9 @@ class ExecutionContext:
         #: false.  Seeded from the config; the bench harness flips it per run
         #: to compare the two batch drives.
         self.columnar = self.config.columnar_batches
+        #: Column-encoding switch (dictionary strings + run-length arrival
+        #: stamps); orthogonal to the drive mode — see ``EngineConfig``.
+        self.encoded_columns = self.config.encoded_columns
 
     @contextmanager
     def row_backed_pulls(self):
@@ -151,6 +168,7 @@ class ExecutionContext:
             source,
             self.clock,
             timeout_ms=timeout_ms if timeout_ms is not None else self.config.default_timeout_ms,
+            encoded_columns=self.config.encoded_columns,
         )
         self._wrappers.setdefault(source_name, []).append(wrapper)
         return wrapper

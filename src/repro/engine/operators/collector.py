@@ -19,7 +19,10 @@ from repro.errors import ExecutionError, SourceTimeoutError, SourceUnavailableEr
 from repro.plan.rules import EventType
 from repro.storage.batch import Batch
 from repro.storage.schema import Schema, merge_union_schema
-from repro.storage.tuples import Row
+from repro.storage.tuples import KeyBinder, Row
+
+#: Per-key tuple/set-slot overhead charged for one remembered dedup key.
+DEDUP_KEY_OVERHEAD_BYTES = 16
 
 
 class DynamicCollector(Operator):
@@ -39,6 +42,15 @@ class DynamicCollector(Operator):
     dedup_keys:
         Attribute names used to suppress duplicates coming from overlapping
         sources; ``None`` disables deduplication.
+
+    Dedup state is *byte-accounted*: every remembered key charges its
+    estimated footprint (key attribute sizes plus tuple/set-slot overhead)
+    to a budget carved from the query's memory pool, so the §4 invariant —
+    memory an operator holds is memory the pool knows about — extends to
+    dedup plans.  The budget is unbounded (the paper's collector has no
+    dedup spill strategy; a key set can never be partially forgotten
+    without breaking duplicate suppression) but its usage is visible to
+    rule conditions via ``operator_memory``.
     """
 
     def __init__(
@@ -75,6 +87,22 @@ class DynamicCollector(Operator):
         self._seen_keys: set[tuple[Any, ...]] = set()
         self._schema: Schema | None = None
         self.tuples_per_child: dict[str, int] = {c.operator_id: 0 for c in children}
+        self._dedup_binder = KeyBinder(self.dedup_keys) if self.dedup_keys else None
+        #: Budget charged for the dedup key set (see the class docstring).
+        self.budget = context.memory_pool.grant(f"{operator_id}-dedup", None)
+        self._key_bytes: int | None = None
+
+    def _dedup_key_bytes(self) -> int:
+        """Estimated bytes one remembered dedup key occupies."""
+        size = self._key_bytes
+        if size is None:
+            schema = self.output_schema
+            size = DEDUP_KEY_OVERHEAD_BYTES + sum(
+                schema.attributes[i].avg_size + 8
+                for i in self._dedup_binder.indices_in(schema)
+            )
+            self._key_bytes = size
+        return size
 
     # -- schema -------------------------------------------------------------------------
 
@@ -197,19 +225,106 @@ class DynamicCollector(Operator):
                 if key in self._seen_keys:
                     continue
                 self._seen_keys.add(key)
+                self.budget.force_reserve(self._dedup_key_bytes())
             return Row(schema, row.values, row.arrival)
 
     def _next_batch(self, max_rows: int) -> Batch:
-        """Batch iteration with per-row child selection.
+        """Batch iteration: bounded child runs with columnar deduplication.
 
-        Child picking stays tuple-at-a-time — which input to service next is
-        the collector's data-driven policy and depends on each tuple's virtual
-        arrival — but the per-row THRESHOLD event is only materialized when a
-        rule watches that child, and the batch is cut short as soon as a
-        watched event fires so rule actions (activate/deactivate) take effect
-        at the tuple-accurate point.  The output batch is row-backed (rows are
-        created here regardless); downstream columnar operators convert
-        lazily if they need columns.
+        Which input to service next is still the collector's data-driven
+        policy, but consecutive tuples of the chosen child are consumed as
+        one *bounded run* — every row arriving strictly before the next-best
+        child's arrival, exactly the rows a tuple-at-a-time drive would have
+        pulled back to back.  Dedup keys are then extracted from the run's
+        column slices in bulk and fresh rows kept with one index-take — no
+        :class:`~repro.storage.tuples.Row` is boxed per tuple to call
+        ``row.key``.  When a rule watches any child's THRESHOLD events the
+        per-tuple path runs instead, so per-tuple events (and the rule
+        actions they trigger) land at the tuple-accurate cut points.
+        """
+        context = self.context
+        if any(
+            context.event_watched(EventType.THRESHOLD, child.operator_id)
+            for child in self.children
+        ):
+            return self._next_batch_tuplewise(max_rows)
+        schema = self.output_schema
+        parts: list[Batch] = []
+        count = 0
+        while count < max_rows:
+            child_id = self._pick_child()
+            if child_id is None:
+                break
+            child = self._child_by_id[child_id]
+            bound = self._second_best_arrival(child_id)
+            try:
+                run = child.next_batch_bounded(max_rows - count, bound)
+                if not run:
+                    # Bound reached with nothing buffered (the tie case) or
+                    # end of stream: take one exact per-tuple step.
+                    row = child.next()
+                    if row is None:
+                        self._active.remove(child_id)
+                        self._finished.add(child_id)
+                        continue
+                    run = Batch.from_rows(child.output_schema, [row])
+            except (SourceTimeoutError, SourceUnavailableError):
+                self._handle_child_failure(child_id)
+                continue
+            self.tuples_per_child[child_id] += len(run)
+            if self.dedup_keys is not None:
+                run = self._dedup_batch(run)
+            if run:
+                parts.append(run.with_schema(schema))
+                count += len(run)
+            if context.batch_interrupt and count:
+                break
+        return Batch.concat(schema, parts)
+
+    def _second_best_arrival(self, chosen_id: str) -> float:
+        """Earliest arrival any *other* active child could deliver."""
+        best = float("inf")
+        for child_id in self._active:
+            if child_id == chosen_id:
+                continue
+            arrival = self._child_by_id[child_id].peek_arrival()
+            if arrival is not None and arrival < best:
+                best = arrival
+        return best
+
+    def _dedup_batch(self, run: Batch) -> Batch:
+        """Drop already-seen keys from ``run`` with one index-take.
+
+        Keys come from the run's column slices (dict-encoded columns decode
+        to their dictionaries' canonical strings, so key hashing hits the
+        cached-hash fast path); intra-run duplicates are suppressed too,
+        matching the per-tuple discipline.
+        """
+        keys = run.key_tuples(self._dedup_binder.indices_in(run.schema))
+        seen = self._seen_keys
+        before = len(seen)
+        fresh = [
+            position
+            for position, key in enumerate(keys)
+            if key not in seen and not seen.add(key)
+        ]
+        added = len(seen) - before
+        if added:
+            self.budget.force_reserve(added * self._dedup_key_bytes())
+        if len(fresh) == len(keys):
+            return run
+        if not fresh:
+            return Batch.empty(run.schema)
+        return run.take(fresh)
+
+    def _next_batch_tuplewise(self, max_rows: int) -> Batch:
+        """Per-row child selection with tuple-accurate THRESHOLD events.
+
+        The pre-columnar batch path, kept for plans whose rules watch child
+        thresholds: the batch is cut short as soon as a watched event fires
+        so rule actions (activate/deactivate) take effect at the exact
+        tuple.  The output batch is row-backed (rows are created here
+        regardless); downstream columnar operators convert lazily.
         """
         schema = self.output_schema
         context = self.context
@@ -239,7 +354,14 @@ class DynamicCollector(Operator):
                         break
                     continue
                 self._seen_keys.add(key)
+                self.budget.force_reserve(self._dedup_key_bytes())
             out.append(Row.make(schema, row.values, row.arrival))
             if context.batch_interrupt:
                 break
         return Batch.from_rows(schema, out)
+
+    def _do_close(self) -> None:
+        if self.budget.used_bytes:
+            self.budget.release(self.budget.used_bytes)
+        self._seen_keys = set()
+        self.context.memory_pool.revoke(f"{self.operator_id}-dedup")

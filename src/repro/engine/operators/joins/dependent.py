@@ -29,6 +29,7 @@ from repro.engine.iterators import Operator
 from repro.errors import ExecutionError
 from repro.network.cache import CACHE_SERVE_CPU_MS
 from repro.storage.batch import Batch, BatchCursor, gather_join_columns
+from repro.storage.columns import build_columns, make_dictionaries
 from repro.storage.schema import Schema
 from repro.storage.tuples import KeyBinder, Row
 
@@ -70,6 +71,7 @@ class DependentJoin(Operator):
         #: hold (Python containers store references), so the overhead is the
         #: per-value pointer, not a second copy of the payload.
         self._match_columns: dict[tuple[Any, ...], tuple[list, list[float]]] = {}
+        self._cache_dictionaries = None
         self._cached_extent = False
         self.probes = 0
         self.cache_hits = 0
@@ -173,9 +175,18 @@ class DependentJoin(Operator):
             )
         cached = self._match_columns.get(key)
         if cached is None:
-            width = len(self._right_schema)
+            # Cached entries live for the whole probe phase, so they store
+            # typed/encoded columns (dict codes for strings when encoding is
+            # on) — the same footprint discipline the hash tables apply.
+            if self._cache_dictionaries is None and self.context.encoded_columns:
+                self._cache_dictionaries = make_dictionaries(self._right_schema)
             cached = (
-                [[row.values[j] for row in matches] for j in range(width)],
+                build_columns(
+                    self._right_schema,
+                    [[row.values[j] for row in matches] for j in range(len(self._right_schema))],
+                    self.context.encoded_columns,
+                    self._cache_dictionaries,
+                ),
                 [row.arrival for row in matches],
             )
             self._match_columns[key] = cached

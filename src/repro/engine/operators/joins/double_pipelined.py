@@ -43,7 +43,13 @@ from repro.errors import MemoryOverflowError
 from repro.plan.physical import OverflowMethod
 from repro.plan.rules import EventType
 from repro.storage.batch import Batch
-from repro.storage.columns import extend_column
+from repro.storage.columns import (
+    DictColumn,
+    append_value,
+    as_values,
+    empty_like,
+    extend_column,
+)
 from repro.storage.hash_table import BucketedHashTable, DEFAULT_BUCKET_COUNT, bucket_of
 from repro.storage.memory import MemoryBudget
 from repro.storage.tuples import Row
@@ -63,31 +69,62 @@ RUN_SLACK_MS = 5.0
 
 
 class _Run:
-    """One consumed input run: a batch plus its bulk-extracted join keys."""
+    """One consumed input run: a batch plus its bulk-extracted join keys.
 
-    __slots__ = ("batch", "keys", "cursor")
+    ``movers`` caches, per column, whether the run's column and the output
+    accumulator share a dictionary (computed once per run at first emission)
+    so the per-tuple emission skips most type checks.  Output columns are
+    reset storage-preserving, but another writer to the same slot can still
+    degrade it mid-run, so the mover branch re-checks the accumulator type
+    and clears its flag on a mismatch.
+    """
+
+    __slots__ = ("batch", "keys", "cursor", "movers")
 
     def __init__(self, batch: Batch, keys: list[tuple[Any, ...]]) -> None:
         self.batch = batch
         self.keys = keys
         self.cursor = 0
+        self.movers: list[bool] | None = None
 
     def __len__(self) -> int:
         return len(self.batch)
 
 
 class _OutputColumns:
-    """Pending columnar join output: per-column accumulators plus arrivals."""
+    """Pending columnar join output: per-column accumulators plus arrivals.
 
-    __slots__ = ("columns", "arrivals", "cursor")
+    Accumulators start as plain lists; on the first emission the operator
+    may *upgrade* slots to dict-encoded accumulators sharing the inputs'
+    dictionaries (``adopt_storage``), after which matched string values move
+    as raw codes and the output batches stay encoded end to end.
+    """
+
+    __slots__ = ("columns", "arrivals", "cursor", "adopted", "plain")
 
     def __init__(self, width: int) -> None:
         self.columns: list[list[Any]] = [[] for _ in range(width)]
         self.arrivals: list[float] = []
         self.cursor = 0
+        self.adopted = False
+        #: True when no input column is dict-encoded — the emission then
+        #: takes the original branch-free per-match loop.
+        self.plain = True
 
     def __len__(self) -> int:
         return len(self.arrivals) - self.cursor
+
+    def adopt_storage(self, sources: list) -> None:
+        """Upgrade empty accumulator slots to the sources' storage classes."""
+        self.adopted = True
+        for j, source in enumerate(sources):
+            if type(source) is DictColumn:
+                self.plain = False
+                if not len(self.columns[j]):
+                    self.columns[j] = DictColumn(source.dictionary)
+
+    def _reset_columns(self) -> None:
+        self.columns = [empty_like(column) for column in self.columns]
 
     def take_batch(self, schema, max_rows: int) -> Batch:
         """Up to ``max_rows`` pending rows as a columnar batch."""
@@ -96,16 +133,14 @@ class _OutputColumns:
         self.cursor = stop
         if start == 0 and stop == len(self.arrivals):
             batch = Batch.from_columns(schema, self.columns, self.arrivals)
-            width = len(self.columns)
-            self.columns = [[] for _ in range(width)]
+            self._reset_columns()
             self.arrivals = []
             self.cursor = 0
             return batch
         columns = [column[start:stop] for column in self.columns]
         batch = Batch.from_columns(schema, columns, self.arrivals[start:stop])
         if self.cursor >= len(self.arrivals):
-            width = len(self.columns)
-            self.columns = [[] for _ in range(width)]
+            self._reset_columns()
             self.arrivals = []
             self.cursor = 0
         return batch
@@ -166,6 +201,7 @@ class DoublePipelinedJoin(JoinOperator):
                 bucket_count=self.bucket_count,
                 name=f"{self.operator_id}-left",
                 schema=self.left.output_schema,
+                encoded=self.context.encoded_columns,
             ),
             BucketedHashTable(
                 self.right_keys,
@@ -174,6 +210,7 @@ class DoublePipelinedJoin(JoinOperator):
                 bucket_count=self.bucket_count,
                 name=f"{self.operator_id}-right",
                 schema=self.right.output_schema,
+                encoded=self.context.encoded_columns,
             ),
         ]
         self._left_width = len(self.left.output_schema)
@@ -394,22 +431,122 @@ class DoublePipelinedJoin(JoinOperator):
         if matches:
             self._emitted_output = True
             out = self._out
-            out_columns = out.columns
-            out_arrivals = out.arrivals
             match_columns = partition.columns
             match_arrivals = partition.arrivals
-            own_width = len(columns)
             own_offset = 0 if side == LEFT else self._left_width
             match_offset = self._left_width if side == LEFT else 0
-            for match_position in matches:
-                for j in range(own_width):
-                    out_columns[own_offset + j].append(columns[j][position])
+            if not out.adopted:
+                # First emission fixes the output storage: dict-encoded
+                # inputs get dict-encoded accumulators sharing their
+                # dictionaries, so string values below move as raw codes.
+                sources = [None] * (self._left_width + self._right_width)
+                for j, column in enumerate(columns):
+                    sources[own_offset + j] = column
+                for j, column in enumerate(match_columns):
+                    sources[match_offset + j] = column
+                out.adopt_storage(sources)
+            out_columns = out.columns
+            out_arrivals = out.arrivals
+            if out.plain:
+                # No dict-encoded input anywhere: the original branch-free
+                # per-match emission (the plain-columnar hot path).
+                own_width = len(columns)
+                for match_position in matches:
+                    for j in range(own_width):
+                        out_columns[own_offset + j].append(columns[j][position])
+                    for j, match_column in enumerate(match_columns):
+                        out_columns[match_offset + j].append(
+                            match_column[match_position]
+                        )
+                    match_arrival = match_arrivals[match_position]
+                    out_arrivals.append(
+                        arrival if arrival >= match_arrival else match_arrival
+                    )
+            else:
+                n_matches = len(matches)
+                # Column-major emission: the arriving tuple's values are
+                # read once (not once per match); dict-encoded columns move
+                # codes into code accumulators, or decode via two C-level
+                # subscripts — never a Python call per value.
+                movers = run.movers
+                if movers is None:
+                    movers = run.movers = [
+                        type(acc) is DictColumn
+                        and type(column) is DictColumn
+                        and acc.dictionary is column.dictionary
+                        for acc, column in zip(out_columns[own_offset:], columns)
+                    ]
+                for j, column in enumerate(columns):
+                    if movers[j]:
+                        acc = out_columns[own_offset + j]
+                        # Re-check the accumulator: another writer to this
+                        # slot (the opposite side's match emission, a
+                        # cleanup extend) may have degraded it to a plain
+                        # list since the flags were computed.
+                        if type(acc) is DictColumn:
+                            acc_codes = acc.codes
+                            code = column.codes[position]
+                            if n_matches == 1:
+                                acc_codes.append(code)
+                            else:
+                                acc_codes.extend([code] * n_matches)
+                            continue
+                        movers[j] = False
+                    value = column[position]
+                    acc = out_columns[own_offset + j]
+                    if type(acc) is list:
+                        if n_matches == 1:
+                            acc.append(value)
+                        else:
+                            acc.extend([value] * n_matches)
+                    elif n_matches == 1:
+                        append_value(out_columns, own_offset + j, value)
+                    else:
+                        extend_column(
+                            out_columns,
+                            own_offset + j,
+                            [value] * n_matches,
+                            len(out_arrivals),
+                        )
                 for j, match_column in enumerate(match_columns):
-                    out_columns[match_offset + j].append(match_column[match_position])
-                match_arrival = match_arrivals[match_position]
-                out_arrivals.append(
-                    arrival if arrival >= match_arrival else match_arrival
-                )
+                    acc = out_columns[match_offset + j]
+                    if type(match_column) is DictColumn:
+                        if (
+                            type(acc) is DictColumn
+                            and acc.dictionary is match_column.dictionary
+                        ):
+                            acc_codes = acc.codes
+                            mcodes = match_column.codes
+                            for p in matches:
+                                acc_codes.append(mcodes[p])
+                            continue
+                        dvalues = match_column.dictionary.values
+                        dcodes = match_column.codes
+                        if type(acc) is list:
+                            for p in matches:
+                                acc.append(dvalues[dcodes[p]])
+                        else:
+                            extend_column(
+                                out_columns,
+                                match_offset + j,
+                                [dvalues[dcodes[p]] for p in matches],
+                                len(out_arrivals),
+                            )
+                    elif type(acc) is list:
+                        for p in matches:
+                            acc.append(match_column[p])
+                    else:
+                        extend_column(
+                            out_columns,
+                            match_offset + j,
+                            [match_column[p] for p in matches],
+                            len(out_arrivals),
+                        )
+                for p in matches:
+                    match_arrival = match_arrivals[p]
+                    out_arrivals.append(
+                        arrival if arrival >= match_arrival else match_arrival
+                    )
         if self._exhausted[other]:
             return
         table = tables[side]
@@ -483,14 +620,29 @@ class DoublePipelinedJoin(JoinOperator):
         """
         bucket = self._tables[side].buckets[index]
         entries: list = []
+        # Dict-encoded columns and RLE arrivals decode once per chunk here
+        # (C-level map to the canonical values — no string construction, no
+        # Row boxing), so the positional join below indexes plain sequences.
         if bucket.overflow is not None and len(bucket.overflow) > 0:
             for chunk in bucket.overflow.read_chunks():
                 if len(chunk):
-                    entries.append((chunk.columns, chunk.arrivals, chunk.marked, len(chunk)))
+                    entries.append(
+                        (
+                            [as_values(c) for c in chunk.columns],
+                            as_values(chunk.arrivals),
+                            chunk.marked,
+                            len(chunk),
+                        )
+                    )
         partition = bucket.partition
         if partition is not None and partition.arrivals:
             entries.append(
-                (partition.columns, partition.arrivals, None, len(partition.arrivals))
+                (
+                    [as_values(c) for c in partition.columns],
+                    as_values(partition.arrivals),
+                    None,
+                    len(partition.arrivals),
+                )
             )
         return entries or None
 

@@ -29,6 +29,7 @@ from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
 from repro.engine.operators.joins.base import JoinOperator
 from repro.plan.rules import EventType
 from repro.storage.batch import Batch, BatchCursor, gather_join_columns
+from repro.storage.columns import as_values
 from repro.storage.disk import OverflowFile
 from repro.storage.hash_table import BucketedHashTable, DEFAULT_BUCKET_COUNT, bucket_of
 from repro.storage.memory import MemoryBudget
@@ -73,6 +74,7 @@ class HybridHashJoin(JoinOperator):
             bucket_count=self.bucket_count,
             name=f"{self.operator_id}-inner",
             schema=self.right.output_schema,
+            encoded=self.context.encoded_columns,
         )
 
     def _build_inner(self) -> None:
@@ -229,8 +231,10 @@ class HybridHashJoin(JoinOperator):
             # (chunk columns, chunk arrivals, position).
             inner_by_key: dict[tuple, list] = {}
             for chunk in table.overflow_chunks(bucket_index):
-                columns = chunk.columns
-                arrivals = chunk.arrivals
+                # Decode dict codes / RLE arrivals once per chunk; the
+                # positional map then indexes plain sequences.
+                columns = [as_values(c) for c in chunk.columns]
+                arrivals = as_values(chunk.arrivals)
                 key_columns = [columns[i] for i in inner_key_at]
                 for position in range(len(chunk)):
                     key = tuple(column[position] for column in key_columns)
@@ -241,8 +245,8 @@ class HybridHashJoin(JoinOperator):
             out_columns: list[list[Any]] = [[] for _ in range(outer_width + inner_width)]
             out_arrivals: list[float] = []
             for chunk in outer_file.read_chunks():
-                columns = chunk.columns
-                arrivals = chunk.arrivals
+                columns = [as_values(c) for c in chunk.columns]
+                arrivals = as_values(chunk.arrivals)
                 key_columns = [columns[i] for i in outer_key_at]
                 for position in range(len(chunk)):
                     key = tuple(column[position] for column in key_columns)

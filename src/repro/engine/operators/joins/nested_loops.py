@@ -68,7 +68,9 @@ class NestedLoopsJoin(JoinOperator):
         first use (see :attr:`_inner_rows`).
         """
         right = self.right
-        partition = ColumnarPartition(right.output_schema)
+        partition = ColumnarPartition(
+            right.output_schema, encoded=self.context.encoded_columns
+        )
         binder = self._right_binder
         while True:
             block = right.next_batch(DEFAULT_BATCH_SIZE)

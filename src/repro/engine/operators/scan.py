@@ -7,7 +7,12 @@ from repro.engine.iterators import Operator
 from repro.errors import SourceTimeoutError, SourceUnavailableError
 from repro.plan.rules import EventType
 from repro.storage.batch import Batch
-from repro.storage.columns import append_value, empty_columns, extend_column
+from repro.storage.columns import (
+    RunLengthArrivals,
+    append_value,
+    empty_columns,
+    extend_column,
+)
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -247,8 +252,14 @@ class WrapperScan(Operator):
             if columns is None:
                 # Seed typed accumulators so a batch that starts on the
                 # per-tuple fallback still carries packed numeric columns
-                # (and keeps downstream concats type-stable).
-                columns = empty_columns(self.output_schema)
+                # (and keeps downstream concats type-stable); in encoded
+                # mode the string accumulators share the wrapper's
+                # dictionaries so codes stay compatible with block fetches.
+                columns = empty_columns(
+                    self.output_schema,
+                    self.wrapper.encoded_columns,
+                    self.wrapper.column_dictionaries(),
+                )
             for position, value in enumerate(row.values):
                 append_value(columns, position, value)
             arrivals.append(row.arrival)
@@ -310,7 +321,14 @@ class TableScan(Operator):
             self._cursor += count
             if not count:
                 return Batch.empty(schema)
-            return Batch.from_columns(schema, columns, [now] * count)
+            # Local block reads stamp every row "now": one arrival run in
+            # encoded mode instead of ``count`` boxed floats.
+            arrivals = (
+                RunLengthArrivals.constant(now, count)
+                if self.context.encoded_columns
+                else [now] * count
+            )
+            return Batch.from_columns(schema, columns, arrivals)
         block = self.context.local_store.row_block(
             self.relation_name, self._cursor, max_rows
         )

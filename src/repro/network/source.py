@@ -46,11 +46,50 @@ class DataSource:
         self.relation = relation
         self.profile = profile or NetworkProfile()
         self.stats = SourceStats()
+        self._encoded_columns: list | None = None
+        self._encoded_dictionaries: list | None = None
+        self._encoded_for_cardinality = -1
 
     @property
     def exported_schema(self):
         """Schema visible to the integration system (qualified names)."""
         return self.relation.schema.qualified(self.relation.name)
+
+    def encoded_column_cache(self) -> tuple[list, list]:
+        """The relation translated once into typed/encoded columns.
+
+        Source data is static, so the wrapper's translation step (the XML
+        parsing/Unicode conversion of the original system — here the
+        typed/dictionary-encoded column build) is done once per source and
+        shared by every wrapper: connections deliver rows sequentially, so a
+        block is a pair of C-level column slices over this cache.  Returns
+        ``(columns, dictionaries)``; rebuilt if the relation's cardinality
+        changed since the last build.
+        """
+        cardinality = self.relation.cardinality
+        if self._encoded_columns is None or self._encoded_for_cardinality != cardinality:
+            from repro.storage.columns import build_columns, make_dictionaries
+
+            schema = self.exported_schema
+            dictionaries = make_dictionaries(schema)
+            rows = self.relation.rows
+            if rows:
+                columns = build_columns(
+                    schema, list(zip(*(row.values for row in rows))), True, dictionaries
+                )
+            else:
+                columns = [[] for _ in range(len(schema))]
+            # Freeze: the cache outlives any one query and is shared by every
+            # consumer downstream.  A consumer mixing in values from another
+            # source (a union/collector concat, a join output accumulator)
+            # must degrade its own column, never grow this dictionary.
+            for dictionary in dictionaries:
+                if dictionary is not None:
+                    dictionary.freeze()
+            self._encoded_columns = columns
+            self._encoded_dictionaries = dictionaries
+            self._encoded_for_cardinality = cardinality
+        return self._encoded_columns, self._encoded_dictionaries
 
     @property
     def cardinality(self) -> int:

@@ -15,6 +15,7 @@ from repro.errors import SourceTimeoutError, SourceUnavailableError
 from repro.network.simclock import SimClock
 from repro.network.source import DataSource, SourceConnection
 from repro.storage.batch import typed_transpose
+from repro.storage.columns import make_dictionaries
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -47,6 +48,11 @@ class Wrapper:
     per_tuple_cpu_ms:
         CPU cost to translate one tuple from the source format (XML parsing
         and Unicode conversion in the original system).
+    encoded_columns:
+        When true, :meth:`fetch_columns` dictionary-encodes string columns
+        into *wrapper-owned* dictionaries that persist across blocks, so
+        every batch from one source shares codes (and every occurrence of a
+        value decodes to one canonical string object).
     """
 
     def __init__(
@@ -55,13 +61,16 @@ class Wrapper:
         clock: SimClock,
         timeout_ms: float | None = None,
         per_tuple_cpu_ms: float = 0.002,
+        encoded_columns: bool = True,
     ) -> None:
         self.source = source
         self.clock = clock
         self.timeout_ms = timeout_ms
         self.per_tuple_cpu_ms = per_tuple_cpu_ms
+        self.encoded_columns = encoded_columns
         self.stats = WrapperStats()
         self._connection: SourceConnection | None = None
+        self._dictionaries = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -193,6 +202,20 @@ class Wrapper:
         stats.time_of_last_tuple = now
         return out
 
+    def column_dictionaries(self):
+        """The source's persistent per-column dictionaries (``None`` unencoded).
+
+        Shared with scan operators so columns built on the per-tuple
+        fallback path stay code-compatible with block fetches, and shared
+        across wrappers of one source (the dictionaries belong to the
+        source's one-time translation cache).
+        """
+        if not self.encoded_columns:
+            return None
+        if self._dictionaries is None:
+            self._dictionaries = self.source.encoded_column_cache()[1]
+        return self._dictionaries
+
     def fetch_columns(
         self, max_rows: int, arrival_bound: float | None = None
     ) -> tuple[list[list], list[float]] | None:
@@ -205,11 +228,13 @@ class Wrapper:
         means end of stream, bound reached, or a tuple that would fail or
         time out; callers fall back to :meth:`fetch` for exact semantics.
         """
-        if self._connection is None or self._connection.closed:
+        connection = self._connection
+        if connection is None or connection.closed:
             return None
         now = self.clock.now
         limit = now + self.timeout_ms if self.timeout_ms is not None else None
-        rows, arrivals = self._connection.fetch_block(
+        start = connection.delivered
+        rows, arrivals = connection.fetch_block(
             max_rows, arrival_bound=arrival_bound, arrival_limit=limit
         )
         if not rows:
@@ -225,9 +250,18 @@ class Wrapper:
             now += cpu
             append(now)
         self.clock.charge(wait_total, cpu * len(rows))
-        # Typed struct-of-arrays build: numeric attributes land in packed
-        # array('q')/array('d') buffers straight off the fetched block.
-        columns = typed_transpose(self.schema, rows)
+        if self.encoded_columns:
+            # The block is a pair of C-level slices over the source's
+            # one-time encoded translation cache (connections deliver rows
+            # sequentially); dict-encoded slices share the source
+            # dictionaries, so downstream consumers move codes.
+            cached, _ = self.source.encoded_column_cache()
+            stop = start + len(rows)
+            columns = [column[start:stop] for column in cached]
+        else:
+            # Typed struct-of-arrays build: numeric attributes land in packed
+            # array('q')/array('d') buffers straight off the fetched block.
+            columns = typed_transpose(self.schema, rows)
         stats = self.stats
         stats.tuples_fetched += len(rows)
         if stats.time_of_first_tuple is None:

@@ -38,8 +38,9 @@ def columnar_build_row_bytes(
     """Estimated columnar bytes of one build-side tuple over ``leaf_sources``.
 
     Restates the optimizer's per-tuple memory unit in the byte units the
-    columnar hash tables actually charge at runtime: the mean of the leaves'
-    published columnar tuple sizes
+    columnar hash tables actually charge at runtime — the *encoded* row
+    footprint (dictionary codes for strings) under the engine's default
+    encoding: the mean of the leaves' published columnar tuple sizes
     (:attr:`SourceStatistics.columnar_tuple_size_bytes`), with
     ``assumed_bytes`` standing in for any leaf the catalog knows nothing
     about.  The mean (not the concatenated width) is deliberate — memory

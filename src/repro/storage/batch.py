@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Sequence
 
 from repro.storage.columns import (
+    RunLengthArrivals,
     build_columns,
     empty_like,
     extend_column,
@@ -44,11 +45,28 @@ def transpose_rows(rows: Sequence[Row]) -> list[list[Any]]:
     return [list(column) for column in zip(*(row.values for row in rows))]
 
 
-def typed_transpose(schema: Schema, rows: Sequence[Row]) -> list:
-    """Typed columns for ``rows``: numeric attributes land in packed arrays."""
+def typed_transpose(
+    schema: Schema,
+    rows: Sequence[Row],
+    encoded: bool = False,
+    dictionaries: Sequence | None = None,
+) -> list:
+    """Typed columns for ``rows``: numeric attributes land in packed arrays.
+
+    With ``encoded`` true, string attributes dictionary-encode (into the
+    supplied per-column ``dictionaries`` when given, so successive blocks
+    from one producer share codes).
+    """
     if not rows:
         return [[] for _ in range(len(schema))]
-    return build_columns(schema, zip(*(row.values for row in rows)))
+    return build_columns(schema, zip(*(row.values for row in rows)), encoded, dictionaries)
+
+
+def gather_arrivals(arrivals, indices: Sequence[int]):
+    """Arrival stamps at ``indices``, preserving run-length encoding."""
+    if isinstance(arrivals, RunLengthArrivals):
+        return arrivals.gather(indices)
+    return [arrivals[i] for i in indices]
 
 
 class Batch:
@@ -102,7 +120,13 @@ class Batch:
             # a value that does not fit degrades that column to a list.
             first = next((p for p in parts if p.arrivals), parts[0])
             columns: list[list[Any]] = [empty_like(c) for c in first._columns]
-            arrivals: list[float] = []
+            # Arrival accumulators keep run-length encoding when the first
+            # non-empty part carries it (encoded-mode scan blocks).
+            arrivals = (
+                RunLengthArrivals()
+                if isinstance(first.arrivals, RunLengthArrivals)
+                else []
+            )
             for part in parts:
                 base = len(arrivals)
                 for position, column in enumerate(part._columns):
@@ -173,8 +197,7 @@ class Batch:
 
     def take(self, indices: Sequence[int]) -> "Batch":
         """New batch holding the rows at ``indices`` (one gather per column)."""
-        arrivals = self.arrivals
-        taken_arrivals = [arrivals[i] for i in indices]
+        taken_arrivals = gather_arrivals(self.arrivals, indices)
         if self._columns is not None:
             columns = [gather_column(column, indices) for column in self._columns]
             return Batch.from_columns(self.schema, columns, taken_arrivals)

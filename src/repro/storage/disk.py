@@ -1,4 +1,4 @@
-"""Simulated disk for overflow files (columnar spill format).
+"""Simulated disk for overflow files (columnar, optionally encoded, spill format).
 
 The paper's overflow-resolution analysis (Section 4.2.3) counts tuple I/Os:
 tuples written to bucket overflow files and read back for the recursive
@@ -14,6 +14,17 @@ flushes and batch spills move column sets in a single call with one
 block-level accounting charge; the per-row ``write``/``read`` API remains
 for tuple-at-a-time callers (and as the row-spill baseline the spill
 benchmark measures against) and boxes rows only at that boundary.
+
+Byte accounting is *representation-faithful*: each chunk is charged what its
+columns actually cost.  A dictionary-encoded string column spills as 8-byte
+codes plus each referenced dictionary entry once per file (actual value
+bytes plus a slot pointer — the file has to carry the dictionary to be
+readable); a run-length arrival column charges one stamp per run, counted
+across chunk boundaries so per-row and chunk writes of the same tuple
+sequence charge identical bytes; plain columns charge the estimated
+columnar value size exactly as before.  The page-count model divides the
+same (now smaller) byte totals by :data:`PAGE_SIZE_BYTES`, so compressed
+spill directly reduces the virtual I/O time the clock observes.
 """
 
 from __future__ import annotations
@@ -22,8 +33,21 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 from repro.errors import StorageError
-from repro.storage.columns import append_value, empty_columns
-from repro.storage.schema import Schema
+from repro.storage.batch import gather_arrivals
+from repro.storage.columns import (
+    DICT_CODE_BYTES,
+    DICT_SLOT_BYTES,
+    _DEGRADE_ERRORS,
+    DictColumn,
+    RunLengthArrivals,
+    append_value,
+    arrival_run_count,
+    compress_arrivals,
+    empty_columns,
+    gather as gather_column,
+    make_dictionaries,
+)
+from repro.storage.schema import ARRIVAL_STAMP_BYTES, Schema
 from repro.storage.tuples import Row
 
 #: Bytes per simulated disk page.  TPC-D era systems used 4-8 KB pages.
@@ -72,21 +96,27 @@ class DiskStats:
 class SpillChunk:
     """One columnar block of a spill file.
 
-    ``columns`` holds the attribute columns, ``arrivals`` the parallel
-    arrival stamps, and ``marked`` the marked-bit column (one bool per row).
+    ``columns`` holds the attribute columns (possibly dict-encoded),
+    ``arrivals`` the parallel arrival stamps (possibly run-length encoded),
+    and ``marked`` the marked-bit column (one bool per row).  ``byte_size``
+    is the encoded footprint the chunk was charged on write; reads charge
+    the same, so compressed chunks are exactly as cheap to re-read as they
+    were to spill.
     """
 
-    __slots__ = ("columns", "arrivals", "marked")
+    __slots__ = ("columns", "arrivals", "marked", "byte_size")
 
     def __init__(
         self,
         columns: list,
-        arrivals: list[float],
+        arrivals,
         marked: list[bool],
+        byte_size: int = 0,
     ) -> None:
         self.columns = columns
         self.arrivals = arrivals
         self.marked = marked
+        self.byte_size = byte_size
 
     def __len__(self) -> int:
         return len(self.arrivals)
@@ -100,21 +130,45 @@ class OverflowFile:
     was flushed (the paper's duplicate-avoidance marking).  Contents live as
     :class:`SpillChunk` columnar blocks; per-row writes accumulate into an
     open tail chunk, bulk writes seal one chunk per call.
+
+    With ``encoded`` true (inherited from the disk by default), the tail
+    chunk's string columns dictionary-encode into file-owned dictionaries
+    and its arrival column run-length encodes; chunks moved wholesale by
+    ``write_columns`` keep whatever encoding their producer used.  See the
+    module docstring for the byte-charging model.
     """
 
-    def __init__(self, disk: "SimulatedDisk", name: str, schema: Schema | None = None) -> None:
+    def __init__(
+        self,
+        disk: "SimulatedDisk",
+        name: str,
+        schema: Schema | None = None,
+        encoded: bool | None = None,
+    ) -> None:
         self._disk = disk
         self.name = name
         self.schema = schema
+        self.encoded = disk.encoded if encoded is None else encoded
         self._chunks: list[SpillChunk] = []
         self._tail: SpillChunk | None = None
         self._count = 0
         self.closed = False
+        # Encoded-spill bookkeeping: fallback file-owned dictionaries for
+        # tail chunks whose writers carry no dictionary of their own, the
+        # set of dictionary *values* already charged to this file (a file
+        # stores each distinct string once, no matter which producer's
+        # dictionary coded it — and no matter how the writer's drive mode
+        # shaped the chunks), and the last arrival written (runs span chunk
+        # boundaries so the per-row and chunk write paths charge identical
+        # bytes).
+        self._dictionaries: list | None = None
+        self._charged_values: set[str] = set()
+        self._last_arrival: float | None = None
 
     # -- sizing ------------------------------------------------------------------
 
     def _row_bytes(self) -> int:
-        """Columnar byte estimate charged per spilled row (incl. marked bit)."""
+        """Plain columnar byte estimate per spilled row (incl. marked bit)."""
         assert self.schema is not None
         return self.schema.columnar_row_size + MARK_BIT_BYTES
 
@@ -125,31 +179,139 @@ class OverflowFile:
     def __len__(self) -> int:
         return self._count
 
-    # -- writing ------------------------------------------------------------------
+    # -- encoded-spill accounting helpers ------------------------------------------
+
+    def _dictionary_charge(self, dictionary, codes) -> int:
+        """Bytes for dictionary entries this file has not stored yet."""
+        seen = self._charged_values
+        values = dictionary.values
+        total = 0
+        for code in set(codes):
+            value = values[code]
+            if value not in seen:
+                seen.add(value)
+                total += len(value) + DICT_SLOT_BYTES
+        return total
+
+    def _column_bytes(self, attribute, column, count: int) -> int:
+        """Representation-faithful charge for one spilled column."""
+        if type(column) is DictColumn:
+            return DICT_CODE_BYTES * count + self._dictionary_charge(
+                column.dictionary, column.codes
+            )
+        return attribute.column_size * count
+
+    def _arrival_bytes(self, arrivals) -> int:
+        """Arrival-column charge: one stamp per run in encoded mode.
+
+        Runs continue across chunk boundaries (tracked via the last written
+        stamp), so splitting one tuple sequence into many chunks never
+        charges more than writing it row by row.
+        """
+        count = len(arrivals)
+        if not count:
+            return 0
+        if not self.encoded:
+            self._last_arrival = arrivals[count - 1]
+            return ARRIVAL_STAMP_BYTES * count
+        runs = arrival_run_count(arrivals)
+        if self._last_arrival is not None and arrivals[0] == self._last_arrival:
+            runs -= 1
+        self._last_arrival = arrivals[count - 1]
+        return ARRIVAL_STAMP_BYTES * runs
+
+# -- writing ------------------------------------------------------------------
 
     def _check_open(self) -> None:
         if self.closed:
             raise StorageError(f"overflow file {self.name!r} is closed")
 
-    def _tail_chunk(self) -> SpillChunk:
+    def _tail_chunk(self, source_columns: Sequence | None = None) -> SpillChunk:
+        """The open tail chunk, creating one when absent.
+
+        In encoded mode a new tail's dict-encoded slots *adopt* the writer's
+        dictionaries when ``source_columns`` carries dict columns (so
+        positional spills move raw codes and create no per-file
+        dictionaries); slots with no donor fall back to file-owned
+        dictionaries, created once per file.
+        """
         if self._tail is None:
             assert self.schema is not None
-            self._tail = SpillChunk(empty_columns(self.schema), [], [])
+            if self.encoded:
+                if self._dictionaries is None:
+                    self._dictionaries = make_dictionaries(self.schema)
+                dictionaries = self._dictionaries
+                if source_columns is not None:
+                    dictionaries = [
+                        source.dictionary
+                        if (own is not None and type(source) is DictColumn)
+                        else own
+                        for own, source in zip(dictionaries, source_columns)
+                    ]
+                columns = empty_columns(self.schema, True, dictionaries)
+                arrivals: "RunLengthArrivals | list[float]" = RunLengthArrivals()
+            else:
+                columns = empty_columns(self.schema)
+                arrivals = []
+            self._tail = SpillChunk(columns, arrivals, [])
             self._chunks.append(self._tail)
         return self._tail
+
+    def _append_row(
+        self, values: Sequence[Any], arrival: float, marked: bool
+    ) -> None:
+        """Shared per-row write: append to the tail chunk and charge bytes.
+
+        NOTE: the encode-and-charge rules here are intentionally duplicated
+        in :meth:`write_position` (which layers a raw-code fast path on
+        top); both sit on per-tuple spill paths too hot for a shared
+        per-value helper.  Change the charging model in both places.
+        """
+        chunk = self._tail_chunk()
+        columns = chunk.columns
+        if self.encoded:
+            nbytes = MARK_BIT_BYTES
+            if self._last_arrival is None or arrival != self._last_arrival:
+                nbytes += ARRIVAL_STAMP_BYTES
+            self._last_arrival = arrival
+            attributes = self.schema.attributes
+            seen = self._charged_values
+            for position, value in enumerate(values):
+                column = columns[position]
+                if type(column) is DictColumn:
+                    dictionary = column.dictionary
+                    try:
+                        code = dictionary.encode(value)
+                    except _DEGRADE_ERRORS:
+                        # Misfit: the column degrades to an object list (the
+                        # standard repair) and charges the plain estimate.
+                        nbytes += attributes[position].column_size
+                        append_value(columns, position, value)
+                        continue
+                    nbytes += DICT_CODE_BYTES
+                    if value not in seen:
+                        seen.add(value)
+                        nbytes += len(value) + DICT_SLOT_BYTES
+                    column.codes.append(code)
+                else:
+                    nbytes += attributes[position].column_size
+                    append_value(columns, position, value)
+        else:
+            nbytes = self._row_bytes()
+            self._last_arrival = arrival
+            for position, value in enumerate(values):
+                append_value(columns, position, value)
+        chunk.arrivals.append(arrival)
+        chunk.marked.append(marked)
+        chunk.byte_size += nbytes
+        self._count += 1
+        self._disk._record_write(nbytes)
 
     def write(self, row: Row, marked: bool = False) -> None:
         """Append one row to the file, accounting for the write I/O."""
         self._check_open()
         self._adopt_schema(row.schema)
-        chunk = self._tail_chunk()
-        columns = chunk.columns
-        for position, value in enumerate(row.values):
-            append_value(columns, position, value)
-        chunk.arrivals.append(row.arrival)
-        chunk.marked.append(marked)
-        self._count += 1
-        self._disk._record_write(self._row_bytes())
+        self._append_row(row.values, row.arrival, marked)
 
     def write_all(self, rows: Sequence[Row], marked: bool = False) -> None:
         """Append many rows."""
@@ -163,27 +325,80 @@ class OverflowFile:
         arrival: float,
         marked: bool = False,
     ) -> None:
-        """Append one row by position from batch/run columns — no row boxing."""
+        """Append one row by position from batch/run columns — no row boxing.
+
+        When the tail chunk's dict-encoded slots share the source's
+        dictionaries (they adopt them on tail creation), string values move
+        as raw codes — no decode, no re-encode, no per-value Python call.
+
+        NOTE: the fallback branches duplicate :meth:`_append_row`'s
+        encode-and-charge rules on purpose (hot path); keep the two in
+        lockstep when changing the charging model.
+        """
         self._check_open()
-        chunk = self._tail_chunk()
+        if not self.encoded:
+            self._append_row(
+                tuple(source[index] for source in source_columns), arrival, marked
+            )
+            return
+        chunk = self._tail_chunk(source_columns)
         columns = chunk.columns
-        for position, source in enumerate(source_columns):
-            append_value(columns, position, source[index])
+        nbytes = MARK_BIT_BYTES
+        if self._last_arrival is None or arrival != self._last_arrival:
+            nbytes += ARRIVAL_STAMP_BYTES
+        self._last_arrival = arrival
+        attributes = self.schema.attributes
+        seen = self._charged_values
+        for position, column in enumerate(columns):
+            source = source_columns[position]
+            if (
+                type(column) is DictColumn
+                and type(source) is DictColumn
+                and column.dictionary is source.dictionary
+            ):
+                code = source.codes[index]
+                column.codes.append(code)
+                nbytes += DICT_CODE_BYTES
+                value = column.dictionary.values[code]
+                if value not in seen:
+                    seen.add(value)
+                    nbytes += len(value) + DICT_SLOT_BYTES
+                continue
+            value = source[index]
+            if type(column) is DictColumn:
+                dictionary = column.dictionary
+                try:
+                    code = dictionary.encode(value)
+                except _DEGRADE_ERRORS:
+                    nbytes += attributes[position].column_size
+                    append_value(columns, position, value)
+                    continue
+                nbytes += DICT_CODE_BYTES
+                if value not in seen:
+                    seen.add(value)
+                    nbytes += len(value) + DICT_SLOT_BYTES
+                column.codes.append(code)
+            else:
+                nbytes += attributes[position].column_size
+                append_value(columns, position, value)
         chunk.arrivals.append(arrival)
         chunk.marked.append(marked)
+        chunk.byte_size += nbytes
         self._count += 1
-        self._disk._record_write(self._row_bytes())
+        self._disk._record_write(nbytes)
 
     def write_columns(
         self,
         columns: list,
-        arrivals: list[float],
+        arrivals,
         marked: "bool | list[bool]" = False,
     ) -> None:
         """Append a whole column set as one sealed chunk (one block charge).
 
         Ownership of ``columns``/``arrivals`` transfers to the file — this is
-        how bucket flushes move a partition to disk without copying.
+        how bucket flushes move a partition to disk without copying.  The
+        chunk keeps its producer's encoding (dict-code columns stay codes;
+        the arrival column is run-length compressed when that pays off).
         """
         self._check_open()
         count = len(arrivals)
@@ -191,9 +406,18 @@ class OverflowFile:
             return
         marks = marked if isinstance(marked, list) else [marked] * count
         self._tail = None
-        self._chunks.append(SpillChunk(columns, arrivals, marks))
+        if self.encoded:
+            assert self.schema is not None
+            nbytes = MARK_BIT_BYTES * count + self._arrival_bytes(arrivals)
+            for attribute, column in zip(self.schema, columns):
+                nbytes += self._column_bytes(attribute, column, count)
+            arrivals = compress_arrivals(arrivals)
+        else:
+            nbytes = self._row_bytes() * count
+            self._last_arrival = arrivals[count - 1]
+        self._chunks.append(SpillChunk(columns, arrivals, marks, nbytes))
         self._count += count
-        self._disk._record_write_block(self._row_bytes() * count, count)
+        self._disk._record_write_block(nbytes, count)
 
     def write_gather(
         self,
@@ -202,22 +426,30 @@ class OverflowFile:
         indices: Sequence[int],
         marked: bool = False,
     ) -> None:
-        """Append the rows of ``source_columns`` at ``indices`` as one chunk."""
+        """Append the rows of ``source_columns`` at ``indices`` as one chunk.
+
+        Gathers preserve the source storage class, so dict-encoded columns
+        spill as code gathers (sharing the source dictionary) and the chunk
+        is charged the encoded footprint.
+        """
         if not indices:
             return
-        columns = [[column[i] for i in indices] for column in source_columns]
-        arrivals = [source_arrivals[i] for i in indices]
+        columns = [gather_column(column, indices) for column in source_columns]
+        arrivals = gather_arrivals(source_arrivals, indices)
         self.write_columns(columns, arrivals, marked)
 
     # -- reading -------------------------------------------------------------------
 
     def read_chunks(self) -> Iterator[SpillChunk]:
-        """Yield the file's chunks, charging read I/O at block granularity."""
-        row_bytes = self._row_bytes() if self.schema is not None else 0
+        """Yield the file's chunks, charging read I/O at block granularity.
+
+        Each chunk charges exactly the bytes it was charged on write, so an
+        encoded spill is as cheap to re-read as it was to write.
+        """
         for chunk in self._chunks:
             count = len(chunk)
             if count:
-                self._disk._record_read_block(row_bytes * count, count)
+                self._disk._record_read_block(chunk.byte_size, count)
             yield chunk
 
     def read(self) -> Iterator[tuple[Row, bool]]:
@@ -225,6 +457,8 @@ class OverflowFile:
 
         This is the row-at-a-time view: each spilled tuple is boxed back into
         a :class:`Row` — the re-boxing cost the columnar readers avoid.
+        Values of dict-encoded columns decode to the dictionary's canonical
+        string objects (no per-row string construction).
         """
         schema = self.schema
         make = Row.make
@@ -258,11 +492,21 @@ class SimulatedDisk:
     page_read_ms / page_write_ms:
         Virtual milliseconds charged per page read/written; consumed by the
         execution engine's clock when it asks :meth:`io_time_since`.
+    encoded:
+        Default encoding mode for files created here: dictionary-encoded
+        string columns and run-length arrival stamps (charged their encoded
+        footprint).  Disabled via ``EngineConfig(encoded_columns=False)``.
     """
 
-    def __init__(self, page_read_ms: float = 0.12, page_write_ms: float = 0.15) -> None:
+    def __init__(
+        self,
+        page_read_ms: float = 0.12,
+        page_write_ms: float = 0.15,
+        encoded: bool = True,
+    ) -> None:
         self.page_read_ms = page_read_ms
         self.page_write_ms = page_write_ms
+        self.encoded = encoded
         self.stats = DiskStats()
         self._files: dict[str, OverflowFile] = {}
         self._sequence = 0

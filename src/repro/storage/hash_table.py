@@ -8,12 +8,14 @@ positions`` index) in memory until its owner decides to flush it to a
 :class:`~repro.storage.disk.OverflowFile`.  Inserts append column values and
 probes return gather positions, so neither direction materializes
 :class:`~repro.storage.tuples.Row` objects; flushes move whole column sets to
-disk as one spill chunk.  The table charges every resident row's *columnar*
-byte estimate (:meth:`Schema.columnar_row_size`) against a
-:class:`~repro.storage.memory.MemoryBudget`, so the join operators discover
-memory pressure exactly when the paper's engine would — identically in all
-three drive modes, because the table's representation never changes with the
-drive.
+disk as one spill chunk.  The table charges every resident row's columnar
+byte estimate — :meth:`Schema.encoded_row_size` by default (string columns
+dictionary-encode; dictionary entries charge once per table as they are
+first inserted), :meth:`Schema.columnar_row_size` with ``encoded=False`` —
+against a :class:`~repro.storage.memory.MemoryBudget`, so the join operators
+discover memory pressure exactly when the paper's engine would — identically
+in all three drive modes, because the table's representation never changes
+with the drive.
 """
 
 from __future__ import annotations
@@ -22,7 +24,12 @@ from typing import Any, Iterator, Sequence
 
 from repro.errors import StorageError
 from repro.storage.batch import Batch
-from repro.storage.columns import ColumnarPartition
+from repro.storage.columns import (
+    ColumnarPartition,
+    DictColumn,
+    extend_column,
+    make_dictionaries,
+)
 from repro.storage.disk import OverflowFile, SimulatedDisk, SpillChunk
 from repro.storage.memory import MemoryBudget
 from repro.storage.schema import Schema
@@ -78,6 +85,16 @@ class BucketedHashTable:
         Schema of the stored rows; fixes the partitions' typed column layout
         and the per-row byte charge.  When omitted it is adopted from the
         first inserted row or batch.
+    encoded:
+        When true (the default, matching ``EngineConfig.encoded_columns``),
+        partitions dictionary-encode string columns over *table-owned*
+        dictionaries shared by every bucket — so flushed chunks stay
+        code-compatible and each distinct value is stored (and charged)
+        once per table — and resident rows charge
+        :attr:`Schema.encoded_row_size`.  Dictionary growth is force-charged
+        to the budget as it happens (it cannot be refused row by row) and
+        counted in :attr:`resident_bytes`, so the budget invariant
+        ``budget.used == sum(resident_bytes)`` holds in encoded bytes.
     """
 
     def __init__(
@@ -88,6 +105,7 @@ class BucketedHashTable:
         bucket_count: int = DEFAULT_BUCKET_COUNT,
         name: str = "hash",
         schema: Schema | None = None,
+        encoded: bool = True,
     ) -> None:
         if bucket_count <= 0:
             raise StorageError(f"bucket count must be positive, got {bucket_count}")
@@ -97,25 +115,78 @@ class BucketedHashTable:
         self.bucket_count = bucket_count
         self.name = name
         self.schema = schema
-        self.row_bytes = schema.columnar_row_size if schema is not None else 0
+        self.encoded = encoded
+        self.row_bytes = schema.row_size_for(encoded) if schema is not None else 0
         self.buckets = [Bucket(i) for i in range(bucket_count)]
         self.total_inserted = 0
         self.flushed_count = 0
         self._binder = KeyBinder(self.key_names)
+        self.dictionary_bytes = 0
+        self._dictionaries = None
+        #: ``[(slot, dictionary, seen_codes)]`` for slots whose dictionary
+        #: was adopted from the insert stream (see ``_fix_dictionaries``).
+        self._adopted_slots: list | None = None
+
+    def _fix_dictionaries(self, source_columns: Sequence | None) -> None:
+        """Fix the table's per-slot dictionaries on first insert.
+
+        Dict-encodable slots *adopt* the insert stream's dictionary when the
+        first insert arrives as columns carrying one (all later inserts from
+        the same scan then move raw codes — no re-encoding); slots with no
+        donor get table-owned dictionaries whose growth hook charges the
+        budget at encode time.  Either way, growth is a side effect of value
+        encoding and cannot be refused row by row, so it force-charges past
+        the limit — the elevated usage simply brings the next row refusal
+        (the overflow signal) forward.  Adopted slots charge each entry at
+        the first *insert* referencing it (tracked per code), which is the
+        same logical point an owned dictionary charges at, so byte totals
+        and overflow positions agree across drive modes.
+        """
+        dictionaries = make_dictionaries(self.schema)
+        adopted: list = []
+        for j, dictionary in enumerate(dictionaries):
+            if dictionary is None:
+                continue
+            source = source_columns[j] if source_columns is not None else None
+            if type(source) is DictColumn:
+                dictionaries[j] = source.dictionary
+                adopted.append((j, source.dictionary, set()))
+            else:
+                dictionary.on_grow = self._record_dictionary_growth
+        self._dictionaries = dictionaries
+        self._adopted_slots = adopted
+
+    def _record_dictionary_growth(self, nbytes: int) -> None:
+        self.budget.force_reserve(nbytes)
+        self.dictionary_bytes += nbytes
+
+    def _charge_adopted(self, source_columns: Sequence, position: int) -> None:
+        """Charge adopted-dictionary entries first referenced by this insert."""
+        for j, dictionary, seen in self._adopted_slots:
+            source = source_columns[j]
+            if type(source) is DictColumn and source.dictionary is dictionary:
+                code = source.codes[position]
+                if code not in seen:
+                    seen.add(code)
+                    self._record_dictionary_growth(dictionary.entry_bytes(code))
 
     # -- schema / partition plumbing ----------------------------------------------
 
     def _adopt_schema(self, schema: Schema) -> None:
         if self.schema is None:
             self.schema = schema
-            self.row_bytes = schema.columnar_row_size
+            self.row_bytes = schema.row_size_for(self.encoded)
 
     def _partition(self, bucket: Bucket) -> ColumnarPartition:
         partition = bucket.partition
         if partition is None:
             if self.schema is None:
                 raise StorageError(f"{self.name}: schema unknown before first insert")
-            partition = bucket.partition = ColumnarPartition(self.schema)
+            if self.encoded and self._dictionaries is None:
+                self._fix_dictionaries(None)
+            partition = bucket.partition = ColumnarPartition(
+                self.schema, self.encoded, self._dictionaries
+            )
         return partition
 
     # -- basic operations --------------------------------------------------------
@@ -170,7 +241,18 @@ class BucketedHashTable:
         if not self.budget.try_reserve(self.row_bytes):
             return False
         bucket = self.buckets[bucket_index]
+        if self.encoded and self._dictionaries is None:
+            self._fix_dictionaries(source_columns)
         self._partition(bucket).append_position(key, source_columns, position, arrival)
+        if self._adopted_slots:
+            # Inlined _charge_adopted: this sits on the per-tuple insert path.
+            for j, dictionary, seen in self._adopted_slots:
+                source = source_columns[j]
+                if type(source) is DictColumn and source.dictionary is dictionary:
+                    code = source.codes[position]
+                    if code not in seen:
+                        seen.add(code)
+                        self._record_dictionary_growth(dictionary.entry_bytes(code))
         self.total_inserted += 1
         return True
 
@@ -205,6 +287,8 @@ class BucketedHashTable:
         columns = batch.columns
         arrivals = batch.arrivals
         remaining = n - start
+        if self.encoded and self._dictionaries is None:
+            self._fix_dictionaries(columns)
         if not self.flushed_count and not self.budget.would_overflow(
             remaining * self.row_bytes
         ):
@@ -221,10 +305,24 @@ class BucketedHashTable:
                 self._partition(buckets[index]).extend_gather(
                     columns, arrivals, keys, positions
                 )
+            if self._adopted_slots:
+                # Bulk form of the per-insert adopted charge: every code in
+                # the inserted range not seen before is charged once.
+                for j, dictionary, seen in self._adopted_slots:
+                    source = columns[j]
+                    if type(source) is DictColumn and source.dictionary is dictionary:
+                        fresh = set(source.codes[start:n]) - seen
+                        if fresh:
+                            seen |= fresh
+                            entry_bytes = dictionary.entry_bytes
+                            self._record_dictionary_growth(
+                                sum(entry_bytes(code) for code in fresh)
+                            )
             self.total_inserted += remaining
             return n
         row_bytes = self.row_bytes
         budget = self.budget
+        adopted = self._adopted_slots
         for i in range(start, n):
             key = keys[i]
             bucket = buckets[hash(key) % count]
@@ -238,6 +336,8 @@ class BucketedHashTable:
                 return i
             self.total_inserted += 1
             self._partition(bucket).append_position(key, columns, i, arrivals[i])
+            if adopted:
+                self._charge_adopted(columns, i)
         return n
 
     def insert_resident(self, row: Row) -> None:
@@ -296,6 +396,7 @@ class BucketedHashTable:
         match_columns: list[list[Any]] = [[] for _ in range(width)]
         match_arrivals: list[float] = []
         aligned = True
+        adopted = not self.encoded
         probe_range = range(len(keys)) if positions is None else positions
         probed = 0
         for position in probe_range:
@@ -314,11 +415,52 @@ class BucketedHashTable:
                 take.extend([position] * len(found))
             columns = partition.columns
             arrivals = partition.arrivals
+            if not self.encoded:
+                # Unencoded tables keep the original branch-free gathers.
+                for j in range(width):
+                    source = columns[j]
+                    acc = match_columns[j]
+                    for p in found:
+                        acc.append(source[p])
+                for p in found:
+                    match_arrivals.append(arrivals[p])
+                continue
+            if not adopted:
+                # First match fixes the gathered columns' storage: dict
+                # sources get dict accumulators sharing their dictionaries
+                # (every partition of this table shares them), so matched
+                # string values below move as raw codes.
+                adopted = True
+                for j in range(width):
+                    source = columns[j]
+                    if type(source) is DictColumn:
+                        match_columns[j] = DictColumn(source.dictionary)
             for j in range(width):
                 source = columns[j]
                 acc = match_columns[j]
-                for p in found:
-                    acc.append(source[p])
+                if type(source) is DictColumn:
+                    dcodes = source.codes
+                    if type(acc) is DictColumn and acc.dictionary is source.dictionary:
+                        acc_codes = acc.codes
+                        for p in found:
+                            acc_codes.append(dcodes[p])
+                        continue
+                    # Hoisted decode: C-level subscripts only, values are the
+                    # dictionary's canonical strings (no construction).
+                    dvalues = source.dictionary.values
+                    for p in found:
+                        acc.append(dvalues[dcodes[p]])
+                else:
+                    if type(acc) is DictColumn:
+                        # A degraded partition column met a dict accumulator
+                        # from an earlier bucket: repair via the standard
+                        # degrade path.
+                        extend_column(
+                            match_columns, j, [source[p] for p in found], len(acc)
+                        )
+                        continue
+                    for p in found:
+                        acc.append(source[p])
             for p in found:
                 match_arrivals.append(arrivals[p])
         if not take:
@@ -406,7 +548,14 @@ class BucketedHashTable:
 
     @property
     def resident_bytes(self) -> int:
-        return self.resident_rows * self.row_bytes
+        """Bytes this table holds against its budget.
+
+        Rows charge the (encoding-dependent) per-row estimate; encoded
+        tables additionally hold their dictionaries resident, which stay
+        charged across bucket flushes (spilled chunks keep referencing the
+        table dictionaries, and any entry may recur in later inserts).
+        """
+        return self.resident_rows * self.row_bytes + self.dictionary_bytes
 
     @property
     def flushed_buckets(self) -> list[int]:
@@ -463,3 +612,6 @@ class BucketedHashTable:
                 if count:
                     partition.take_data()
                     self.budget.release(count * self.row_bytes)
+        if self.dictionary_bytes:
+            self.budget.release(self.dictionary_bytes)
+            self.dictionary_bytes = 0

@@ -95,6 +95,17 @@ class MemoryBudget:
                 f"(used {self.stats.reserved} of {self.limit_bytes})"
             )
 
+    def force_reserve(self, nbytes: int) -> None:
+        """Reserve ``nbytes`` unconditionally, even past the limit.
+
+        Used for metadata that cannot be refused row by row — dictionary
+        entries of encoded columns, dedup key sets — so the budget's usage
+        stays an honest total.  Pushing usage past the limit simply makes
+        the next ``try_reserve`` fail, which is exactly the overflow signal
+        the owning operator's spill strategy reacts to.
+        """
+        self.stats.reserve(nbytes)
+
     def release(self, nbytes: int) -> None:
         """Return ``nbytes`` to the budget."""
         self.stats.release(nbytes)

@@ -36,6 +36,14 @@ COLUMNAR_VALUE_SIZES = {
     "float": 8,
 }
 
+#: Per-value footprint for attribute types that *dictionary-encode* in the
+#: encoded columnar layer: one ``array('q')`` code per row.  Dictionary
+#: entries themselves are charged separately (actual value bytes plus a slot
+#: pointer, once per distinct value) by the containers that own them.
+ENCODED_VALUE_SIZES = {
+    "str": 8,
+}
+
 #: Bytes charged per row for the parallel arrival-stamp column.
 ARRIVAL_STAMP_BYTES = 8
 
@@ -96,6 +104,20 @@ class Attribute:
             return fixed
         return self.avg_size + COLUMN_SLOT_BYTES
 
+    @property
+    def encoded_column_size(self) -> int:
+        """Estimated per-value bytes in *encoded* columnar storage.
+
+        Dict-encodable attributes charge one code slot per row; everything
+        else charges the plain columnar estimate.  Dictionary entries are
+        charged separately by their owners (once per distinct value), so
+        this is the per-row marginal cost.
+        """
+        fixed = ENCODED_VALUE_SIZES.get(self.type_name)
+        if fixed is not None:
+            return fixed
+        return self.column_size
+
     def renamed(self, new_name: str) -> "Attribute":
         """Return a copy with a different (possibly qualified) name."""
         return Attribute(new_name, self.type_name, self.avg_size)
@@ -123,6 +145,7 @@ class Schema:
         object.__setattr__(self, "_index_cache", {})
         object.__setattr__(self, "_tuple_size", None)
         object.__setattr__(self, "_columnar_row_size", None)
+        object.__setattr__(self, "_encoded_row_size", None)
 
     # -- construction helpers -------------------------------------------------
 
@@ -256,6 +279,30 @@ class Schema:
             size = ARRIVAL_STAMP_BYTES + sum(a.column_size for a in self.attributes)
             object.__setattr__(self, "_columnar_row_size", size)
         return size
+
+    @property
+    def encoded_row_size(self) -> int:
+        """Estimated bytes one row occupies in *encoded* columnar storage.
+
+        Like :attr:`columnar_row_size`, but dict-encodable attributes charge
+        one 8-byte code per row (their dictionary entries are charged once
+        per distinct value by the hash table or spill file that owns the
+        dictionary).  The arrival stamp charges its full per-row footprint
+        here — the resident worst case; run-length compression is credited
+        at spill time, where runs are known exactly.  This is the unit the
+        memory budgets and spill files charge when encoding is enabled, so
+        an optimizer allotment stated in it *is* the runtime overflow
+        threshold.
+        """
+        size = self._encoded_row_size
+        if size is None:
+            size = ARRIVAL_STAMP_BYTES + sum(a.encoded_column_size for a in self.attributes)
+            object.__setattr__(self, "_encoded_row_size", size)
+        return size
+
+    def row_size_for(self, encoded: bool) -> int:
+        """Per-row byte charge for the chosen column encoding mode."""
+        return self.encoded_row_size if encoded else self.columnar_row_size
 
     def compatible_with(self, other: "Schema") -> bool:
         """True when both schemas have the same arity and attribute types."""

@@ -16,6 +16,12 @@ SPILL_ROW_BYTES = SCHEMA.columnar_row_size + MARK_BIT_BYTES
 
 @pytest.fixture
 def disk():
+    """Plain-columnar disk: the PR-3 accounting the byte-exact tests pin."""
+    return SimulatedDisk(encoded=False)
+
+
+@pytest.fixture
+def encoded_disk():
     return SimulatedDisk()
 
 
@@ -153,3 +159,110 @@ class TestColumnarSpill:
         handle.write_columns([["x"], ["y"], ["z"]], [0.0], True)
         handle.write(row, marked=True)
         assert [marked for _, marked in handle.read()] == [False, True, True]
+
+
+class TestEncodedSpill:
+    """Dictionary-coded string columns and RLE arrivals in spill chunks."""
+
+    def make_dict_columns(self, values_per_column):
+        from repro.storage.columns import DictColumn
+
+        columns = []
+        for values in values_per_column:
+            column = DictColumn()
+            column.extend(values)
+            columns.append(column)
+        return columns
+
+    def test_encoded_is_default(self):
+        assert SimulatedDisk().encoded
+        assert not SimulatedDisk(encoded=False).encoded
+
+    def test_per_row_write_charges_encoded_footprint(self, encoded_disk, row):
+        handle = encoded_disk.create_file(schema=SCHEMA)
+        handle.write(row)
+        # 3 codes (8B each) + 3 new one-char dictionary entries (1+8B each)
+        # + one arrival run (8B) + mark bit.
+        first = 3 * 8 + 3 * 9 + 8 + 1
+        assert encoded_disk.stats.bytes_written == first
+        # Same values, same arrival: codes only, no new entries, no new run.
+        handle.write(row)
+        assert encoded_disk.stats.bytes_written == first + 3 * 8 + 1
+
+    def test_chunk_write_charges_dictionary_once_per_file(self, encoded_disk):
+        handle = encoded_disk.create_file(schema=SCHEMA)
+        columns = self.make_dict_columns([["x", "x"], ["y", "y"], ["z", "z"]])
+        handle.write_columns(columns, [1.0, 2.0], False)
+        first = encoded_disk.stats.bytes_written
+        # 6 codes + 3 entries + 2 arrival runs + 2 marks.
+        assert first == 6 * 8 + 3 * 9 + 2 * 8 + 2
+        # A second chunk over the same dictionaries: entries already carried.
+        again = [c.gather([0, 1]) for c in columns]
+        handle.write_columns(again, [3.0, 4.0], False)
+        assert encoded_disk.stats.bytes_written == first + 6 * 8 + 2 * 8 + 2
+
+    def test_row_and_chunk_writes_charge_identical_bytes(self, encoded_disk):
+        row_file = encoded_disk.create_file("rows", schema=SCHEMA)
+        for values in [("x", "y", "z"), ("u", "v", "w")]:
+            row_file.write(Row(SCHEMA, values), marked=True)
+        per_row = encoded_disk.stats.bytes_written
+        chunk_file = encoded_disk.create_file("chunks", schema=SCHEMA)
+        columns = self.make_dict_columns([["x", "u"], ["y", "v"], ["z", "w"]])
+        chunk_file.write_columns(columns, [0.0, 0.0], True)
+        # The chunk's arrival column collapses to one run where the per-row
+        # path wrote two equal stamps merged into one run as well.
+        assert encoded_disk.stats.bytes_written == 2 * per_row
+        assert [r.values for r, _ in row_file.peek()] == [
+            r.values for r, _ in chunk_file.peek()
+        ]
+
+    def test_arrival_runs_span_chunk_boundaries(self, encoded_disk):
+        handle = encoded_disk.create_file(schema=Schema.of("k:int"))
+        handle.write_columns([[1, 2]], [5.0, 5.0], False)
+        first = encoded_disk.stats.bytes_written
+        # Next chunk starts at the same stamp: no new arrival run charged.
+        handle.write_columns([[3]], [5.0], False)
+        assert encoded_disk.stats.bytes_written == first + 8 + 1
+
+    def test_read_charges_what_write_charged(self, encoded_disk, row):
+        handle = encoded_disk.create_file(schema=SCHEMA)
+        handle.write(row)
+        columns = self.make_dict_columns([["x"], ["y"], ["z"]])
+        handle.write_columns(columns, [9.0], False)
+        for chunk in handle.read_chunks():
+            assert chunk.byte_size > 0
+        assert encoded_disk.stats.bytes_read == encoded_disk.stats.bytes_written
+
+    def test_encoded_spill_is_smaller_than_plain(self, encoded_disk, disk, row):
+        plain = disk.create_file(schema=SCHEMA)
+        encoded = encoded_disk.create_file(schema=SCHEMA)
+        for _ in range(50):
+            plain.write(row)
+            encoded.write(row)
+        assert encoded_disk.stats.bytes_written * 3 < disk.stats.bytes_written
+
+    def test_readback_decodes_to_canonical_strings(self, encoded_disk):
+        handle = encoded_disk.create_file(schema=SCHEMA)
+        handle.write(Row(SCHEMA, ("x", "y", "z")))
+        handle.write(Row(SCHEMA, ("x", "y", "z")))
+        with counting_row_constructions() as counter:
+            (chunk,) = list(handle.read_chunks())
+            assert counter.count == 0
+        # Both occurrences decode to the same canonical string object.
+        assert chunk.columns[0][0] is chunk.columns[0][1]
+
+    def test_rle_arrivals_stored_when_compressible(self, encoded_disk):
+        from repro.storage.columns import RunLengthArrivals
+
+        handle = encoded_disk.create_file(schema=Schema.of("k:int"))
+        handle.write_columns([[1, 2, 3, 4]], [7.0, 7.0, 7.0, 7.0], False)
+        (chunk,) = list(handle.read_chunks())
+        assert isinstance(chunk.arrivals, RunLengthArrivals)
+        assert list(chunk.arrivals) == [7.0, 7.0, 7.0, 7.0]
+
+    def test_misfit_value_degrades_tail_column(self, encoded_disk):
+        handle = encoded_disk.create_file(schema=SCHEMA)
+        handle.write(Row(SCHEMA, ("x", "y", "z")))
+        handle.write(Row(SCHEMA, ("x", None, "z")))
+        values = [r.values for r, _ in handle.peek()]
+        assert values == [("x", "y", "z"), ("x", None, "z")]

@@ -14,8 +14,16 @@ from repro.storage.tuples import Row, counting_row_constructions
 
 SCHEMA = Schema.of("k:int", "v:str")
 
-#: Bytes one resident row charges against the budget (columnar estimate).
-ROW_BYTES = SCHEMA.columnar_row_size
+#: Bytes one resident row charges against the budget: the *encoded* columnar
+#: estimate (tables dictionary-encode string columns by default).
+ROW_BYTES = SCHEMA.encoded_row_size
+
+#: Bytes one new dictionary entry charges (value length + slot pointer); the
+#: default test value is the one-char string "x".
+DICT_X_BYTES = 1 + 8
+
+#: All-string schema used by the encoded hot-path guard tests.
+STR_SCHEMA = Schema.of("k:str", "v:str")
 
 
 def make_row(key: int, value: str = "x") -> Row:
@@ -52,11 +60,22 @@ class TestBasicOperations:
         probe = Row(other_schema, (5,))
         assert len(table.probe_row(probe, ["fk"])) == 1
 
-    def test_budget_charged_per_row_in_columnar_bytes(self):
+    def test_budget_charged_per_row_in_encoded_bytes(self):
         budget = MemoryBudget(10_000)
         table = BucketedHashTable(["k"], budget, SimulatedDisk())
         table.insert(make_row(1))
-        assert budget.used_bytes == ROW_BYTES
+        # One encoded row plus the value's dictionary entry, charged once.
+        assert table.dictionary_bytes == DICT_X_BYTES
+        assert budget.used_bytes == ROW_BYTES + DICT_X_BYTES
+        table.insert(make_row(2))
+        assert budget.used_bytes == 2 * ROW_BYTES + DICT_X_BYTES
+
+    def test_plain_mode_charges_plain_columnar_bytes(self):
+        budget = MemoryBudget(10_000)
+        table = BucketedHashTable(["k"], budget, SimulatedDisk(), encoded=False)
+        table.insert(make_row(1))
+        assert budget.used_bytes == SCHEMA.columnar_row_size
+        assert table.dictionary_bytes == 0
 
     def test_insert_refused_when_budget_full(self):
         table = make_table(limit_bytes=ROW_BYTES)
@@ -152,25 +171,36 @@ class TestColumnarBuckets:
     """Buckets store columnar partitions: typed columns + key->positions map."""
 
     def test_partition_columns_are_typed(self):
+        from repro.storage.columns import DictColumn
+
         table = make_table()
         table.insert(make_row(1, "a"))
         table.insert(make_row(2, "b"))
         bucket = table.bucket_for_key((1,))
         assert isinstance(bucket.partition.columns[0], array)
         assert bucket.partition.columns[0].typecode == "q"
-        assert isinstance(bucket.partition.columns[1], list)
+        # String columns dictionary-encode by default...
+        assert isinstance(bucket.partition.columns[1], DictColumn)
+        # ...and stay plain object lists with encoding off.
+        plain = BucketedHashTable(
+            ["k"], MemoryBudget(None), SimulatedDisk(), bucket_count=8,
+            schema=SCHEMA, encoded=False,
+        )
+        plain.insert(make_row(1, "a"))
+        assert isinstance(plain.bucket_for_key((1,)).partition.columns[1], list)
 
     def test_insert_batch_bulk_fast_path(self):
         table = make_table()
         batch = make_batch(list(range(50)))
         assert table.insert_batch(batch) == 50
         assert table.resident_rows == 50
-        assert table.budget.used_bytes == 50 * ROW_BYTES
+        assert table.budget.used_bytes == 50 * ROW_BYTES + DICT_X_BYTES
         assert {row["k"] for row in table.probe((7,))} == {7}
 
     def test_insert_batch_stops_at_exact_refusal_row(self):
-        # Budget fits 3 rows; the 4th insert must be the refusal position.
-        table = make_table(limit_bytes=3 * ROW_BYTES)
+        # Budget fits 3 rows (plus the shared "x" dictionary entry); the 4th
+        # insert must be the refusal position.
+        table = make_table(limit_bytes=3 * ROW_BYTES + DICT_X_BYTES)
         batch = make_batch([0, 1, 2, 3, 4])
         stop = table.insert_batch(batch)
         assert stop == 3
@@ -252,12 +282,20 @@ class TestAccountingInvariant:
         table = make_table(buckets=4)
         for i in range(20):
             table.insert(make_row(i))
-        assert table.budget.used_bytes == table.resident_bytes == 20 * ROW_BYTES
+        assert (
+            table.budget.used_bytes
+            == table.resident_bytes
+            == 20 * ROW_BYTES + DICT_X_BYTES
+        )
         table.flush_largest_bucket()
         assert table.budget.used_bytes == table.resident_bytes
         table.flush_all()
-        assert table.budget.used_bytes == table.resident_bytes == 0
+        # Rows are all on disk; the table dictionary stays resident (spilled
+        # chunks reference it) until release_all.
+        assert table.budget.used_bytes == table.resident_bytes == DICT_X_BYTES
         table.check_accounting()
+        table.release_all()
+        assert table.budget.used_bytes == table.resident_bytes == 0
 
     def test_shared_budget_across_two_tables(self):
         budget = MemoryBudget(None)
@@ -289,3 +327,92 @@ class TestAccountingInvariant:
         table.release_all()
         assert table.budget.used_bytes == 0
         assert table.resident_bytes == 0
+
+
+class TestEncodedHotPaths:
+    """Dict-encoded insert/probe and spill write/read paths construct no
+    Row objects and no per-row string objects: every string that comes back
+    *is* (identity, not equality) a dictionary entry."""
+
+    def make_string_batch(self, keys):
+        from repro.storage.columns import build_columns, make_dictionaries
+
+        values = [f"K{k:04d}" for k in keys]
+        payload = ["hot" if k % 2 else "cold" for k in keys]
+        dictionaries = make_dictionaries(STR_SCHEMA)
+        columns = build_columns(
+            STR_SCHEMA, [values, payload], encoded=True, dictionaries=dictionaries
+        )
+        return Batch.from_columns(STR_SCHEMA, columns, [0.0] * len(keys))
+
+    def make_string_table(self, limit_bytes=None, buckets=8):
+        return BucketedHashTable(
+            ["k"], MemoryBudget(limit_bytes), SimulatedDisk(), bucket_count=buckets,
+            name="enc", schema=STR_SCHEMA,
+        )
+
+    def all_dictionary_string_ids(self, batch, table):
+        ids = set()
+        from repro.storage.columns import DictColumn
+
+        for column in batch.columns:
+            if isinstance(column, DictColumn):
+                ids.update(map(id, column.dictionary.values))
+        for dictionary in table._dictionaries or ():
+            if dictionary is not None:
+                ids.update(map(id, dictionary.values))
+        return ids
+
+    def test_insert_probe_and_spill_move_no_rows_and_no_new_strings(self):
+        table = self.make_string_table(buckets=4)
+        batch = self.make_string_batch(list(range(32)))
+        keys = batch.key_tuples(table.key_indices_in(STR_SCHEMA))
+        with counting_row_constructions() as counter:
+            assert table.insert_batch(batch, keys=keys) == 32
+            result = table.gather_matches(keys)
+            assert result is not None
+            table.flush_bucket(0)
+            table.spill_position(0, batch.columns, 3, 0.0, marked=True)
+            chunks = list(table.overflow_chunks(0))
+            assert chunks
+            assert counter.count == 0
+        canonical = self.all_dictionary_string_ids(batch, table)
+        # Probe results decode to canonical dictionary strings...
+        _, match_columns, _, _ = result
+        for column in match_columns:
+            for value in column:
+                if isinstance(value, str):
+                    assert id(value) in canonical
+        # ...and so do spilled chunks read back from disk.
+        for chunk in chunks:
+            for column in chunk.columns:
+                for value in list(column):
+                    if isinstance(value, str):
+                        assert id(value) in canonical
+
+    def test_adopted_dictionaries_share_the_batch_dictionary(self):
+        table = self.make_string_table()
+        batch = self.make_string_batch([1, 2, 3])
+        table.insert_batch(batch)
+        from repro.storage.columns import DictColumn
+
+        key_column = batch.columns[0]
+        assert isinstance(key_column, DictColumn)
+        assert table._dictionaries[0] is key_column.dictionary
+        # Resident partitions move codes, so their columns share it too.
+        for bucket in table.buckets:
+            if bucket.partition is not None and len(bucket.partition):
+                assert bucket.partition.columns[0].dictionary is key_column.dictionary
+
+    def test_dictionary_growth_is_charged_once_per_value(self):
+        budget = MemoryBudget(None)
+        table = BucketedHashTable(
+            ["k"], budget, SimulatedDisk(), bucket_count=4, schema=STR_SCHEMA
+        )
+        batch = self.make_string_batch([1, 2, 1, 2])
+        table.insert_batch(batch)
+        # 4 rows + dictionary entries: 2 distinct keys (5 chars) and the
+        # two payload values "hot"/"cold".
+        expected_dict = 2 * (5 + 8) + (3 + 8) + (4 + 8)
+        assert table.dictionary_bytes == expected_dict
+        assert budget.used_bytes == 4 * STR_SCHEMA.encoded_row_size + expected_dict
