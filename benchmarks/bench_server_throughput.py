@@ -1,0 +1,311 @@
+"""Multi-query server throughput: N overlapping sessions vs serial back-to-back.
+
+The workload the query-server subsystem exists for: eight query sessions over
+*overlapping* slow sources (every session joins against ``partsupp``; the
+per-source connection bound makes them contend for streams) submitted to one
+:class:`~repro.server.scheduler.QueryServer` with a shared virtual timeline,
+a server-wide memory broker sized well below the sessions' combined demand,
+and the cross-session source cache.
+
+Three things are asserted:
+
+* **Overlap bar** — the concurrent run's total virtual wall clock (the
+  server makespan) must be at least 1.5x lower than the same eight queries
+  run serially back-to-back in isolated single-tenant contexts.  The gap is
+  what the cooperative scheduler (network stalls of one session overlap
+  another's CPU), the shared cache (late sessions scan locally), and
+  connection queueing give and take.
+* **Correctness under contention** — every session's result multiset is
+  identical to its serial single-tenant run, despite broker revocations
+  forcing Section 4.2 overflow resolution mid-build.
+* **Budget invariant, server-wide** — after *every* revocation,
+  ``broker.used_bytes`` equals the sum of resident bytes recomputed from
+  the live hash tables of every session (the per-operator
+  ``budget.used == sum(resident_bytes)`` invariant of the spill tests,
+  lifted to the whole server).
+
+Each run appends a record to ``BENCH_server.json`` at the repo root (the
+accumulating perf-history artifact, uploaded by CI).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import build_deployment, run_operator_tree
+from repro.bench.reporting import format_table
+from repro.engine.context import EngineConfig
+from repro.network.profiles import wide_area
+from repro.plan.physical import join, wrapper_scan
+from repro.server import QueryServer
+
+from bench_support import run_once, scale_mb
+
+N_SESSIONS = 8
+
+#: Simultaneous streams one source serves; extra connections queue on the
+#: shared timeline.
+SOURCE_MAX_CONCURRENT = 2
+
+#: Broker capacity as a multiple of one session's join-memory request: well
+#: below the eight sessions' combined demand, so admissions must revoke.
+CAPACITY_SESSIONS = 2.5
+
+#: Virtual acceptance bar: concurrent makespan at least this much below the
+#: serial back-to-back total.
+SPEEDUP_BAR = 1.5
+
+TABLES = ["part", "partsupp", "supplier"]
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+
+def make_deployment():
+    """Fresh deployment per mode: connection-slot state must not leak."""
+    deployment = build_deployment(scale_mb(1.0), TABLES, profile=wide_area(), seed=42)
+    for source in deployment.sources.values():
+        source.max_concurrent = SOURCE_MAX_CONCURRENT
+    return deployment
+
+
+def session_spec(index: int, memory_bytes: int):
+    """Session ``index``'s plan: a DPJ join sharing ``partsupp`` with everyone."""
+    prefix = f"s{index}"
+    if index % 2 == 0:
+        left, right, lkey, rkey = "part", "partsupp", "part.p_partkey", "partsupp.ps_partkey"
+    else:
+        left, right, lkey, rkey = "supplier", "partsupp", "supplier.s_suppkey", "partsupp.ps_suppkey"
+    return join(
+        wrapper_scan(left, operator_id=f"{prefix}_scan_{left}"),
+        wrapper_scan(right, operator_id=f"{prefix}_scan_{right}"),
+        [lkey],
+        [rkey],
+        operator_id=f"{prefix}_join",
+        memory_limit_bytes=memory_bytes,
+    )
+
+
+def join_memory_request(deployment) -> int:
+    """One session's memory request: its whole join state fits single-tenant."""
+    total = 0
+    for name in TABLES:
+        source = deployment.sources[name]
+        total += source.cardinality * source.exported_schema.encoded_row_size
+    return max(32 * 1024, int(total * 0.9))
+
+
+def result_multiset(relation) -> dict:
+    counts: dict = {}
+    for row in relation.rows:
+        key = row.values
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def run_serial(memory_bytes: int):
+    """The baseline: each query in a fresh, isolated, single-tenant context."""
+    deployment = make_deployment()
+    completions = []
+    multisets = []
+    for index in range(N_SESSIONS):
+        for source in deployment.sources.values():
+            source.reset_concurrency()
+        result = run_operator_tree(
+            session_spec(index, memory_bytes),
+            deployment.catalog,
+            result_name=f"serial_{index}",
+            engine_config=EngineConfig(),
+        )
+        completions.append(result.completion_time_ms)
+        multisets.append(result_multiset(result.relation))
+    return completions, multisets
+
+
+def run_concurrent(memory_bytes: int, stagger_ms: float):
+    """The server run: eight sessions, staggered arrivals, shared everything."""
+    deployment = make_deployment()
+    server = QueryServer(
+        deployment.catalog,
+        memory_capacity_bytes=int(memory_bytes * CAPACITY_SESSIONS),
+    )
+    server.broker.floor_bytes = max(16 * 1024, memory_bytes // 8)
+    invariant_failures = []
+    revocation_points = []
+
+    def check_invariant(broker, record):
+        resident = 0
+        for session in server.sessions.values():
+            for operator in session.context.operators.values():
+                for table in getattr(operator, "_tables", None) or ():
+                    resident += table.resident_bytes
+                inner = getattr(operator, "_inner_table", None)
+                if inner is not None:
+                    resident += inner.resident_bytes
+        revocation_points.append((record.victim, record.taken_bytes))
+        if broker.used_bytes != resident:
+            invariant_failures.append(
+                f"after revoking {record.taken_bytes}B from {record.victim}: "
+                f"broker.used={broker.used_bytes} resident={resident}"
+            )
+
+    server.broker.on_revocation = check_invariant
+    sessions = []
+    for index in range(N_SESSIONS):
+        # The first three arrive together (guaranteed connection contention
+        # and broker pressure); the rest trickle in so some admissions land
+        # after full extents are cached.
+        arrival = 0.0 if index < 3 else (index - 2) * stagger_ms
+        sessions.append(
+            server.submit(
+                session_spec(index, memory_bytes),
+                f"s{index}",
+                arrival_ms=arrival,
+            )
+        )
+    stats = server.run()
+    return server, stats, sessions, invariant_failures, revocation_points
+
+
+def run_workload():
+    deployment = make_deployment()
+    memory_bytes = join_memory_request(deployment)
+    serial_completions, serial_multisets = run_serial(memory_bytes)
+    serial_total = sum(serial_completions)
+    # Stagger the trickle so the last arrivals land after the first
+    # session's sources were read to completion (cache-hit territory).
+    stagger = min(serial_completions) * 0.4
+    server, stats, sessions, invariant_failures, revocations = run_concurrent(
+        memory_bytes, stagger
+    )
+    return {
+        "memory_bytes": memory_bytes,
+        "serial_completions": serial_completions,
+        "serial_total": serial_total,
+        "serial_multisets": serial_multisets,
+        "server": server,
+        "stats": stats,
+        "sessions": sessions,
+        "invariant_failures": invariant_failures,
+        "revocations": revocations,
+    }
+
+
+def print_report(data) -> None:
+    stats = data["stats"]
+    rows = []
+    for index, (session, serial_ms) in enumerate(
+        zip(data["sessions"], data["serial_completions"])
+    ):
+        summary = session.summary
+        rows.append(
+            [
+                session.session_id,
+                summary.result_cardinality,
+                round(summary.submitted_at_ms, 1),
+                round(summary.completed_at_ms, 1),
+                round(summary.elapsed_ms, 1),
+                round(serial_ms, 1),
+                summary.slices,
+                summary.waits,
+            ]
+        )
+    print()
+    print(
+        f"Query server: {N_SESSIONS} sessions, per-source streams "
+        f"<= {SOURCE_MAX_CONCURRENT}, broker capacity "
+        f"{CAPACITY_SESSIONS}x one session's request"
+    )
+    print(
+        format_table(
+            [
+                "session", "rows", "admitted", "done", "elapsed ms",
+                "serial ms", "slices", "waits",
+            ],
+            rows,
+        )
+    )
+    speedup = data["serial_total"] / stats.makespan_ms
+    print(
+        f"serial back-to-back {data['serial_total']:.1f} virtual ms, "
+        f"concurrent makespan {stats.makespan_ms:.1f} virtual ms "
+        f"-> {speedup:.2f}x (bar {SPEEDUP_BAR}x)"
+    )
+    print(
+        f"revocations {stats.revocations} ({stats.bytes_revoked}B), "
+        f"cross-session cache hits {stats.cross_session_cache_hits}, "
+        f"source queueing {stats.source_queued_ms:.1f} virtual ms"
+    )
+
+
+def append_trajectory(data, speedup: float) -> None:
+    """Append one record to ``BENCH_server.json`` (perf history artifact)."""
+    stats = data["stats"]
+    record = {
+        "benchmark": "bench_server_throughput",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale_mb": scale_mb(1.0),
+        "sessions": N_SESSIONS,
+        "speedup_concurrent_vs_serial": round(speedup, 4),
+        "makespan_virtual_ms": round(stats.makespan_ms, 3),
+        "serial_total_virtual_ms": round(data["serial_total"], 3),
+        "revocations": stats.revocations,
+        "bytes_revoked": stats.bytes_revoked,
+        "cross_session_cache_hits": stats.cross_session_cache_hits,
+        "source_queued_virtual_ms": round(stats.source_queued_ms, 3),
+        "scheduler_slices": stats.scheduler_slices,
+    }
+    history = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_server_throughput(benchmark):
+    data = run_once(benchmark, run_workload)
+    print_report(data)
+    stats = data["stats"]
+
+    # Every session completed, each with the multiset its isolated
+    # single-tenant run produced — contention may change *when*, never *what*.
+    for session, serial in zip(data["sessions"], data["serial_multisets"]):
+        assert session.status.value == "completed", (
+            f"{session.session_id}: {session.status} ({session.error})"
+        )
+        assert result_multiset(session.result) == serial, (
+            f"{session.session_id}: concurrent result differs from serial run"
+        )
+
+    # Cross-query memory pressure was real and the server-wide budget
+    # invariant held at every revocation point.
+    assert stats.revocations >= 1, "workload was meant to force lease revocations"
+    assert not data["invariant_failures"], data["invariant_failures"]
+    victim_overflows = sum(
+        operator.overflow_count
+        for session in data["sessions"]
+        for operator in session.context.operators.values()
+        if hasattr(operator, "overflow_count")
+    )
+    assert victim_overflows >= 1, "revocations should have forced overflow resolution"
+
+    # The shared source layer did its job: someone scanned locally from a
+    # cache entry another session filled, and someone queued for a stream.
+    assert stats.cross_session_cache_hits >= 1
+    assert stats.source_queued_ms > 0
+
+    # The headline bar: overlap + sharing must beat serial back-to-back.
+    speedup = data["serial_total"] / stats.makespan_ms
+    append_trajectory(data, speedup)
+    assert speedup >= SPEEDUP_BAR, (
+        f"concurrent makespan {stats.makespan_ms:.1f}ms only {speedup:.2f}x "
+        f"better than serial {data['serial_total']:.1f}ms (need >= {SPEEDUP_BAR}x)"
+    )

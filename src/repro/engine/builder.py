@@ -86,6 +86,7 @@ def build_operator(spec: OperatorSpec, context: ExecutionContext) -> Operator:
     if operator_type == OperatorType.COLLECTOR:
         initially_active = params.get("initially_active")
         dedup_keys = params.get("dedup_keys")
+        dedup_budget = params.get("dedup_budget_bytes")
         return DynamicCollector(
             spec.operator_id,
             context,
@@ -94,6 +95,7 @@ def build_operator(spec: OperatorSpec, context: ExecutionContext) -> Operator:
             fallback_on_failure=_as_bool(params.get("fallback_on_failure", True)),
             dedup_keys=list(dedup_keys) if dedup_keys else None,
             estimated_cardinality=spec.estimated_cardinality,
+            dedup_budget_bytes=int(dedup_budget) if dedup_budget else None,
         )
     if operator_type == OperatorType.CHOOSE:
         return ChooseNode(

@@ -98,8 +98,15 @@ class ExecutionContext:
         config: EngineConfig | None = None,
         query_name: str = "query",
         source_cache: SourceCache | None = None,
+        session_id: str | None = None,
     ) -> None:
         self.catalog = catalog
+        #: Identity of the owning server session (``None`` outside the
+        #: multi-query server).  Tags shared-cache fills/lookups so
+        #: cross-session hits are counted and future-time fills from
+        #: sessions running ahead on the shared timeline stay invisible
+        #: until this session's clock reaches them.
+        self.session_id = session_id
         self.config = config or EngineConfig()
         self.clock = clock or SimClock()
         self.memory_pool = memory_pool or MemoryPool()

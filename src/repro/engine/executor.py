@@ -6,12 +6,22 @@ that rules can decide whether to re-optimize, reschedule, or pick the next
 fragment (contingent planning).  When a rule requests re-optimization or
 rescheduling, the executor stops and reports back to its caller — the
 interleaved planning-and-execution driver in :mod:`repro.core`.
+
+Execution is *resumable*: :meth:`QueryExecutor.steps` is a generator that
+yields a :class:`StepEvent` at every batch/fragment boundary and whenever the
+plan is about to block on a source (with the arrival time it is waiting
+for).  The multi-query server drives many executors cooperatively through
+this generator, overlapping one session's network stalls with another's CPU
+on the shared virtual timeline; :meth:`QueryExecutor.execute` simply drains
+the generator, so single-query behaviour — accounting included — is
+byte-for-byte the pre-server loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Iterator
 
 from repro.engine.builder import build_operator
 from repro.engine.context import ExecutionContext
@@ -26,6 +36,23 @@ from repro.plan.rules import Action, ActionType, Event, EventType
 from repro.storage.relation import Relation
 
 
+def wait_hint(root, clock) -> float | None:
+    """Arrival time ``root``'s next pull will block for; ``None`` if ready.
+
+    Shared by the executor's fragment steps and the server session's
+    operator-tree drive so both yield identical wait events to the
+    scheduler.  Side-effect free (pure ``peek_arrival``); an infinite
+    arrival (dead source) is not a schedulable event — the pull itself
+    surfaces the timeout.
+    """
+    arrival = root.peek_arrival()
+    if arrival is None:
+        return None
+    if arrival > clock.now and arrival != float("inf"):
+        return arrival
+    return None
+
+
 class ExecutionStatus(str, Enum):
     """How a call to :meth:`QueryExecutor.execute` ended."""
 
@@ -33,6 +60,23 @@ class ExecutionStatus(str, Enum):
     NEEDS_REOPTIMIZATION = "needs_reoptimization"
     RESCHEDULE_REQUESTED = "reschedule_requested"
     FAILED = "failed"
+
+
+@dataclass
+class StepEvent:
+    """One scheduling point yielded by :meth:`QueryExecutor.steps`.
+
+    ``kind`` is ``"batch"`` (a batch/row crossed the fragment root),
+    ``"wait"`` (the next pull will block until ``wait_until_ms`` — the
+    scheduler may run another session meanwhile), or ``"fragment"`` (a
+    fragment completed).  ``time_ms`` is the session's virtual time at the
+    yield.
+    """
+
+    kind: str
+    time_ms: float
+    wait_until_ms: float | None = None
+    fragment_id: str | None = None
 
 
 @dataclass
@@ -80,6 +124,10 @@ class QueryExecutor:
         self._selected_fragments: set[str] = set()
         self._skipped_fragments: set[str] = set()
         self._plan: QueryPlan | None = None
+        #: Set by :meth:`steps` when the generator finishes (what
+        #: :meth:`execute` returns; the server session reads it on completion).
+        self.outcome: ExecutionOutcome | None = None
+        self._emit_wait_hints = True
 
     # -- rule action dispatch ---------------------------------------------------------------
 
@@ -162,7 +210,22 @@ class QueryExecutor:
                     return True
         return False
 
-    def _run_fragment(self, fragment: Fragment, is_final: bool) -> FragmentStats:
+    def _wait_hint(self, root) -> float | None:
+        """Arrival time the next pull will block for, or ``None`` if data is ready.
+
+        ``peek_arrival`` is side-effect free, so probing here never perturbs
+        the virtual-time accounting; it only tells the cooperative scheduler
+        that another session could use this span of the shared timeline.
+        Disabled (always ``None``) when nothing consumes the hints —
+        :meth:`execute` drains the generator itself, and a per-pull tree
+        probe would tax the single-query hot path for no one's benefit.
+        """
+        if not self._emit_wait_hints:
+            return None
+        return wait_hint(root, self.context.clock)
+
+    def _fragment_steps(self, fragment: Fragment, is_final: bool):
+        """Run one fragment as a resumable generator (see :meth:`steps`)."""
         started = self.context.clock.now
         root_spec = fragment.root
         needs_materialize = root_spec.operator_type != OperatorType.MATERIALIZE
@@ -187,6 +250,14 @@ class QueryExecutor:
                 while True:
                     if self._error_message:
                         raise ExecutionError(self._error_message)
+                    wait_until = self._wait_hint(root)
+                    if wait_until is not None:
+                        yield StepEvent(
+                            "wait",
+                            self.context.clock.now,
+                            wait_until_ms=wait_until,
+                            fragment_id=fragment.fragment_id,
+                        )
                     row = root.next()
                     if row is None:
                         break
@@ -195,6 +266,9 @@ class QueryExecutor:
                     if is_final:
                         self.context.stats.output_timeline.record(self.context.clock.now, produced)
                     self._drain_events()
+                    yield StepEvent(
+                        "batch", self.context.clock.now, fragment_id=fragment.fragment_id
+                    )
             else:
                 # Batch-at-a-time drive.  Ramp the batch size up from one row
                 # so the first output tuple is timestamped exactly, then grow
@@ -203,6 +277,14 @@ class QueryExecutor:
                 while True:
                     if self._error_message:
                         raise ExecutionError(self._error_message)
+                    wait_until = self._wait_hint(root)
+                    if wait_until is not None:
+                        yield StepEvent(
+                            "wait",
+                            self.context.clock.now,
+                            wait_until_ms=wait_until,
+                            fragment_id=fragment.fragment_id,
+                        )
                     batch = root.next_batch(batch_size)
                     if not batch:
                         break
@@ -212,6 +294,9 @@ class QueryExecutor:
                         self.context.stats.output_timeline.record(self.context.clock.now, produced)
                     self._drain_events()
                     batch_size = min(batch_size * 4, self.batch_size)
+                    yield StepEvent(
+                        "batch", self.context.clock.now, fragment_id=fragment.fragment_id
+                    )
         finally:
             root.close()
             self._drain_events()
@@ -229,7 +314,9 @@ class QueryExecutor:
         )
         self.context.stats.fragment_stats.append(stats)
         self.context.catalog.record_observed_cardinality(fragment.result_name, produced)
-        return stats
+        yield StepEvent(
+            "fragment", self.context.clock.now, fragment_id=fragment.fragment_id
+        )
 
     def _drain_events(self) -> None:
         fired = self.event_handler.process(self.context.events)
@@ -245,6 +332,22 @@ class QueryExecutor:
 
     def execute(self, plan: QueryPlan) -> ExecutionOutcome:
         """Run ``plan`` until completion, a replan/reschedule request, or failure."""
+        for _ in self.steps(plan, wait_hints=False):
+            pass
+        assert self.outcome is not None
+        return self.outcome
+
+    def steps(self, plan: QueryPlan, wait_hints: bool = True) -> Iterator[StepEvent]:
+        """Resumable execution: yield at batch/fragment boundaries and source waits.
+
+        The session scheduler drives this generator one step at a time; when
+        it finishes, :attr:`outcome` holds the same
+        :class:`ExecutionOutcome` that :meth:`execute` returns.
+        ``wait_hints=False`` suppresses the pre-pull ``peek_arrival`` probes
+        (and their ``"wait"`` events) for callers that ignore them.
+        """
+        self.outcome = None
+        self._emit_wait_hints = wait_hints
         self._plan = plan
         self.event_handler.register_all(
             rule for rule in plan.all_rules() if not rule.fired
@@ -263,7 +366,7 @@ class QueryExecutor:
                 continue
             is_final = fragment.is_final
             try:
-                self._run_fragment(fragment, is_final)
+                yield from self._fragment_steps(fragment, is_final)
             except (SourceTimeoutError, SourceUnavailableError) as exc:
                 fragment.status = FragmentStatus.FAILED
                 failed_sources.extend(
@@ -273,7 +376,7 @@ class QueryExecutor:
                 remaining = [f.fragment_id for f in ordered[index:] if not self._should_skip(f)]
                 if self._reschedule_requested:
                     stats.reschedules += 1
-                    return ExecutionOutcome(
+                    self.outcome = ExecutionOutcome(
                         status=ExecutionStatus.RESCHEDULE_REQUESTED,
                         stats=stats,
                         completed_fragments=completed,
@@ -281,9 +384,10 @@ class QueryExecutor:
                         observed_cardinalities=stats.observed_cardinalities(),
                         failed_sources=failed_sources,
                     )
+                    return
                 if self._reoptimize_requested:
                     stats.reoptimizations += 1
-                    return ExecutionOutcome(
+                    self.outcome = ExecutionOutcome(
                         status=ExecutionStatus.NEEDS_REOPTIMIZATION,
                         stats=stats,
                         completed_fragments=completed,
@@ -292,7 +396,8 @@ class QueryExecutor:
                         failed_sources=failed_sources,
                         replan_reason=str(exc),
                     )
-                return ExecutionOutcome(
+                    return
+                self.outcome = ExecutionOutcome(
                     status=ExecutionStatus.FAILED,
                     stats=stats,
                     completed_fragments=completed,
@@ -301,9 +406,10 @@ class QueryExecutor:
                     failed_sources=failed_sources,
                     error=str(exc),
                 )
+                return
             except ExecutionError as exc:
                 fragment.status = FragmentStatus.FAILED
-                return ExecutionOutcome(
+                self.outcome = ExecutionOutcome(
                     status=ExecutionStatus.FAILED,
                     stats=stats,
                     completed_fragments=completed,
@@ -311,9 +417,10 @@ class QueryExecutor:
                     observed_cardinalities=stats.observed_cardinalities(),
                     error=str(exc),
                 )
+                return
             completed.append(fragment.fragment_id)
             if self._error_message:
-                return ExecutionOutcome(
+                self.outcome = ExecutionOutcome(
                     status=ExecutionStatus.FAILED,
                     stats=stats,
                     completed_fragments=completed,
@@ -321,9 +428,10 @@ class QueryExecutor:
                     observed_cardinalities=stats.observed_cardinalities(),
                     error=self._error_message,
                 )
+                return
             if self._reoptimize_requested and index + 1 < len(ordered):
                 stats.reoptimizations += 1
-                return ExecutionOutcome(
+                self.outcome = ExecutionOutcome(
                     status=ExecutionStatus.NEEDS_REOPTIMIZATION,
                     stats=stats,
                     completed_fragments=completed,
@@ -331,6 +439,7 @@ class QueryExecutor:
                     observed_cardinalities=stats.observed_cardinalities(),
                     replan_reason=self._replan_reason,
                 )
+                return
             self._reoptimize_requested = False
             self._replan_reason = ""
 
@@ -338,9 +447,8 @@ class QueryExecutor:
         answer = None
         if plan.answer_name and plan.answer_name in self.context.local_store:
             answer = self.context.local_store.get(plan.answer_name)
-        status = ExecutionStatus.COMPLETED
-        return ExecutionOutcome(
-            status=status,
+        self.outcome = ExecutionOutcome(
+            status=ExecutionStatus.COMPLETED,
             stats=stats,
             answer=answer,
             completed_fragments=completed,

@@ -18,11 +18,18 @@ from repro.engine.iterators import Operator
 from repro.errors import ExecutionError, SourceTimeoutError, SourceUnavailableError
 from repro.plan.rules import EventType
 from repro.storage.batch import Batch
+from repro.storage.columns import as_values
+from repro.storage.disk import OverflowFile
 from repro.storage.schema import Schema, merge_union_schema
 from repro.storage.tuples import KeyBinder, Row
 
 #: Per-key tuple/set-slot overhead charged for one remembered dedup key.
 DEDUP_KEY_OVERHEAD_BYTES = 16
+
+#: Bytes charged per spilled key for its retained in-memory hash digest
+#: (one 64-bit hash — the summary that lets fresh keys skip the spill-file
+#: scan entirely; an actual hit still confirms against the file).
+DEDUP_DIGEST_BYTES = 8
 
 
 class DynamicCollector(Operator):
@@ -42,15 +49,23 @@ class DynamicCollector(Operator):
     dedup_keys:
         Attribute names used to suppress duplicates coming from overlapping
         sources; ``None`` disables deduplication.
+    dedup_budget_bytes:
+        Allotment for the dedup key set; ``None`` (the default) grants an
+        unbounded budget, the paper's behaviour.
 
     Dedup state is *byte-accounted*: every remembered key charges its
     estimated footprint (key attribute sizes plus tuple/set-slot overhead)
     to a budget carved from the query's memory pool, so the §4 invariant —
     memory an operator holds is memory the pool knows about — extends to
-    dedup plans.  The budget is unbounded (the paper's collector has no
-    dedup spill strategy; a key set can never be partially forgotten
-    without breaking duplicate suppression) but its usage is visible to
-    rule conditions via ``operator_memory``.
+    dedup plans, and its usage is visible to rule conditions via
+    ``operator_memory``.  When the budget is bounded — an explicit
+    ``dedup_budget_bytes``, or a broker lease revoked under cross-query
+    pressure — an over-limit key set **spills**: the resident keys move to
+    an :class:`~repro.storage.disk.OverflowFile` (one columnar chunk, bytes
+    released), and later membership tests consult the spilled portion by
+    re-reading the file with real I/O charges — duplicate suppression stays
+    exact, and the cost of insufficient memory shows up in virtual time
+    instead of a silently growing key set.
     """
 
     def __init__(
@@ -62,6 +77,7 @@ class DynamicCollector(Operator):
         fallback_on_failure: bool = True,
         dedup_keys: list[str] | None = None,
         estimated_cardinality: int | None = None,
+        dedup_budget_bytes: int | None = None,
     ) -> None:
         if not children:
             raise ExecutionError("collector requires at least one child")
@@ -89,8 +105,19 @@ class DynamicCollector(Operator):
         self.tuples_per_child: dict[str, int] = {c.operator_id: 0 for c in children}
         self._dedup_binder = KeyBinder(self.dedup_keys) if self.dedup_keys else None
         #: Budget charged for the dedup key set (see the class docstring).
-        self.budget = context.memory_pool.grant(f"{operator_id}-dedup", None)
+        self.budget = context.memory_pool.grant(f"{operator_id}-dedup", dedup_budget_bytes)
+        self.budget.on_revoke = self._on_dedup_revoked
         self._key_bytes: int | None = None
+        self._spilled_keys_file: OverflowFile | None = None
+        self._spilled_key_count = 0
+        #: Hashes of every spilled key (budget-charged at
+        #: :data:`DEDUP_DIGEST_BYTES` each): a digest miss proves a key was
+        #: never spilled without touching the file, so only genuine
+        #: duplicates (and vanishingly rare hash collisions) pay the
+        #: confirm-by-scan I/O.
+        self._spilled_digest: set[int] = set()
+        self.dedup_spills = 0
+        self._disk_baseline = None
 
     def _dedup_key_bytes(self) -> int:
         """Estimated bytes one remembered dedup key occupies."""
@@ -103,6 +130,107 @@ class DynamicCollector(Operator):
             )
             self._key_bytes = size
         return size
+
+    # -- dedup key-set spilling ----------------------------------------------------------
+
+    def _charge_disk_time(self) -> None:
+        """Convert key-set spill I/O performed since the last call into virtual time."""
+        disk = self.context.disk
+        if self._disk_baseline is None:
+            self._disk_baseline = disk.stats.snapshot()
+        elapsed = disk.io_time_ms(self._disk_baseline)
+        if elapsed > 0:
+            self.context.clock.consume_io(elapsed)
+            self._disk_baseline = disk.stats.snapshot()
+
+    def _key_schema(self) -> Schema:
+        schema = self.output_schema
+        return Schema(
+            tuple(schema.attributes[i] for i in self._dedup_binder.indices_in(schema))
+        )
+
+    def _reserve_dedup_keys(self, added: int) -> None:
+        """Charge freshly remembered keys; spill the set when over the limit.
+
+        Key growth cannot be refused key by key (forgetting a key breaks
+        duplicate suppression), so the charge is forced and the overflow
+        signal — usage past a bounded limit — resolves by moving the whole
+        resident set to disk, the same flush-don't-fail discipline the
+        hash-table buckets follow.
+        """
+        if added <= 0:
+            return
+        budget = self.budget
+        budget.force_reserve(added * self._dedup_key_bytes())
+        if budget.limit_bytes is not None and budget.used_bytes > budget.limit_bytes:
+            self._spill_seen_keys()
+
+    def _on_dedup_revoked(self, budget) -> None:
+        """Broker revocation mid-query: the key set spills immediately."""
+        self._spill_seen_keys()
+
+    def _spill_seen_keys(self) -> None:
+        """Move the resident key set to the overflow file and release its bytes."""
+        keys = self._seen_keys
+        if not keys:
+            return
+        if self._disk_baseline is None:
+            # Baseline *before* the first write, so the first spill's I/O is
+            # charged like every later one.
+            self._disk_baseline = self.context.disk.stats.snapshot()
+        if self._spilled_keys_file is None:
+            self._spilled_keys_file = self.context.disk.create_file(
+                f"{self.operator_id}-dedup", schema=self._key_schema()
+            )
+        ordered = list(keys)
+        columns = [list(column) for column in zip(*ordered)]
+        # Keys carry no arrival of their own; a constant stamp keeps the
+        # chunk's arrival column one run in encoded mode.
+        self._spilled_keys_file.write_columns(
+            columns, [self.context.clock.now] * len(ordered)
+        )
+        self._spilled_key_count += len(ordered)
+        digest = self._spilled_digest
+        before = len(digest)
+        digest.update(hash(key) for key in ordered)
+        self._seen_keys = set()
+        # The payload bytes leave memory; the retained digest is charged at
+        # its real footprint, so the budget stays an honest total (a limit
+        # smaller than the digest itself simply keeps the resident set
+        # near-empty — thrashy but exact).
+        self.budget.release(len(ordered) * self._dedup_key_bytes())
+        added = len(digest) - before
+        if added:
+            self.budget.force_reserve(added * DEDUP_DIGEST_BYTES)
+        self.dedup_spills += 1
+        self._charge_disk_time()
+
+    def _spilled_hits(self, keys) -> frozenset:
+        """Which of ``keys`` were spilled earlier (digest filter, then scan).
+
+        The spilled portion of the key set lives on disk only.  The
+        in-memory digest of spilled-key hashes rules out fresh keys for
+        free; probes that survive it re-read the file chunk by chunk with
+        the standard page-count charges to confirm exactly — so the
+        virtual-time price of deduplicating in less memory than the key
+        set needs is paid per genuine duplicate, not per row.
+        """
+        file = self._spilled_keys_file
+        if file is None or len(file) == 0:
+            return frozenset()
+        digest = self._spilled_digest
+        probe = {key for key in keys if hash(key) in digest}
+        if not probe:
+            return frozenset()
+        hits = set()
+        for chunk in file.read_chunks():
+            columns = [as_values(column) for column in chunk.columns]
+            for position in range(len(chunk)):
+                key = tuple(column[position] for column in columns)
+                if key in probe:
+                    hits.add(key)
+        self._charge_disk_time()
+        return frozenset(hits)
 
     # -- schema -------------------------------------------------------------------------
 
@@ -222,10 +350,12 @@ class DynamicCollector(Operator):
             )
             if self.dedup_keys is not None:
                 key = row.key(self.dedup_keys)
-                if key in self._seen_keys:
+                if key in self._seen_keys or (
+                    self._spilled_key_count and self._spilled_hits((key,))
+                ):
                     continue
                 self._seen_keys.add(key)
-                self.budget.force_reserve(self._dedup_key_bytes())
+                self._reserve_dedup_keys(1)
             return Row(schema, row.values, row.arrival)
 
     def _next_batch(self, max_rows: int) -> Batch:
@@ -301,16 +431,24 @@ class DynamicCollector(Operator):
         matching the per-tuple discipline.
         """
         keys = run.key_tuples(self._dedup_binder.indices_in(run.schema))
+        spilled = self._spilled_hits(keys) if self._spilled_key_count else frozenset()
         seen = self._seen_keys
         before = len(seen)
-        fresh = [
-            position
-            for position, key in enumerate(keys)
-            if key not in seen and not seen.add(key)
-        ]
+        if spilled:
+            fresh = [
+                position
+                for position, key in enumerate(keys)
+                if key not in spilled and key not in seen and not seen.add(key)
+            ]
+        else:
+            fresh = [
+                position
+                for position, key in enumerate(keys)
+                if key not in seen and not seen.add(key)
+            ]
         added = len(seen) - before
         if added:
-            self.budget.force_reserve(added * self._dedup_key_bytes())
+            self._reserve_dedup_keys(added)
         if len(fresh) == len(keys):
             return run
         if not fresh:
@@ -349,12 +487,14 @@ class DynamicCollector(Operator):
                 context.emit_event(EventType.THRESHOLD, child_id, value=count)
             if self.dedup_keys is not None:
                 key = row.key(self.dedup_keys)
-                if key in self._seen_keys:
+                if key in self._seen_keys or (
+                    self._spilled_key_count and self._spilled_hits((key,))
+                ):
                     if context.batch_interrupt and out:
                         break
                     continue
                 self._seen_keys.add(key)
-                self.budget.force_reserve(self._dedup_key_bytes())
+                self._reserve_dedup_keys(1)
             out.append(Row.make(schema, row.values, row.arrival))
             if context.batch_interrupt:
                 break
@@ -364,4 +504,5 @@ class DynamicCollector(Operator):
         if self.budget.used_bytes:
             self.budget.release(self.budget.used_bytes)
         self._seen_keys = set()
+        self._spilled_digest = set()
         self.context.memory_pool.revoke(f"{self.operator_id}-dedup")

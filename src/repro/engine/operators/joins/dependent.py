@@ -89,7 +89,9 @@ class DependentJoin(Operator):
     def _do_open(self) -> None:
         cache = self.context.source_cache
         if cache is not None:
-            entry = cache.lookup(self.source_name, self.context.clock.now)
+            entry = cache.lookup(
+                self.source_name, self.context.clock.now, session=self.context.session_id
+            )
             if entry is not None and len(entry.schema) == len(self._right_schema):
                 # The full extent was read to completion earlier: build the
                 # probe index from the cached copy and serve probes locally.

@@ -166,6 +166,7 @@ class DoublePipelinedJoin(JoinOperator):
             operator_id, context, left, right, left_keys, right_keys, estimated_cardinality
         )
         self.budget: MemoryBudget = context.memory_pool.grant(operator_id, memory_limit_bytes)
+        self.budget.on_revoke = self._on_lease_revoked
         self.bucket_count = bucket_count
         self.overflow_method = OverflowMethod(overflow_method)
         self._tables: list[BucketedHashTable] = []
@@ -258,6 +259,35 @@ class DoublePipelinedJoin(JoinOperator):
         if right_arrival < left_arrival:
             return RIGHT
         return LEFT if self._tables[LEFT].total_inserted <= self._tables[RIGHT].total_inserted else RIGHT
+
+    def peek_arrival(self) -> float | None:
+        """Earliest time this join could produce or consume its next tuple.
+
+        With output or input rows already buffered, "now"; otherwise the
+        earlier of the two inputs' next arrivals.  Side-effect free — used
+        by data-driven parents and as the executor's source-wait hint, so a
+        join-rooted fragment yields its network stalls to the session
+        scheduler instead of sleeping through them.
+        """
+        if self.state in ("closed", "deactivated"):
+            return None
+        now = self.context.clock.now
+        if self._pending or self._cleanup is not None or self._cleanup_batches is not None:
+            return now
+        out = self._out
+        if out is not None and out.arrivals:
+            return now
+        if self._side_has_buffer(LEFT) or self._side_has_buffer(RIGHT):
+            return now
+        arrivals = [
+            arrival
+            for side in (LEFT, RIGHT)
+            if not self._exhausted[side]
+            and (arrival := self._child(side).peek_arrival()) is not None
+        ]
+        if not arrivals:
+            return now
+        return min(arrivals)
 
     # -- batch-path input runs -----------------------------------------------------------------------
 
@@ -562,6 +592,27 @@ class DoublePipelinedJoin(JoinOperator):
             self._resolve_overflow()
 
     # -- overflow resolution -------------------------------------------------------------------------------
+
+    def _on_lease_revoked(self, budget: MemoryBudget) -> None:
+        """The broker shrank this join's lease under cross-query pressure.
+
+        Runs the configured Section 4.2 overflow resolution until resident
+        bytes fit the new allotment — the same bucket flushes to the encoded
+        columnar spill path an insert-time overflow triggers, charged to
+        this session's own virtual clock.  With resolution disabled
+        (``OverflowMethod.FAIL``) nothing happens here: the shrunken limit
+        surfaces on the victim's *own* next insert, so the failure lands in
+        the right session.
+        """
+        if not self._tables or self.overflow_method == OverflowMethod.FAIL:
+            return
+        while budget.limit_bytes is not None and budget.used_bytes > budget.limit_bytes:
+            before = budget.used_bytes
+            self._resolve_overflow()
+            if budget.used_bytes >= before:
+                # Nothing left to flush (dictionary/metadata bytes remain);
+                # further pressure resolves at the next insert.
+                break
 
     def _resolve_overflow(self) -> None:
         """Free memory according to the configured strategy."""

@@ -55,6 +55,7 @@ class HybridHashJoin(JoinOperator):
             operator_id, context, left, right, left_keys, right_keys, estimated_cardinality
         )
         self.budget: MemoryBudget = context.memory_pool.grant(operator_id, memory_limit_bytes)
+        self.budget.on_revoke = self._on_lease_revoked
         self.bucket_count = bucket_count
         self._inner_table: BucketedHashTable | None = None
         self._outer_overflow: dict[int, OverflowFile] = {}
@@ -151,6 +152,29 @@ class HybridHashJoin(JoinOperator):
     def _raise_out_of_memory(self) -> None:
         self._stats.overflow_events += 1
         self.context.emit_event(EventType.OUT_OF_MEMORY, self.operator_id)
+
+    def _on_lease_revoked(self, budget: MemoryBudget) -> None:
+        """Broker revocation: lazily flush buckets until the new lease fits.
+
+        Mid-build this is exactly the insert-time overflow path (flush the
+        largest bucket); mid-probe it is still safe — probe tuples hashing
+        to a freshly flushed bucket spill to the outer overflow files and
+        join in the final pass, the standard hybrid-hash discipline.
+        """
+        table = self._inner_table
+        if table is None:
+            return
+        flushed_any = False
+        while budget.limit_bytes is not None and budget.used_bytes > budget.limit_bytes:
+            # Flush first: a revocation that finds nothing resident (only
+            # dictionary/metadata bytes remain) must not emit OUT_OF_MEMORY
+            # events that no resolution follows.
+            if table.flush_largest_bucket() is None:
+                break
+            flushed_any = True
+            self._raise_out_of_memory()
+        if flushed_any:
+            self._charge_disk_time()
 
     # -- probe phase --------------------------------------------------------------------------
 

@@ -54,7 +54,9 @@ class WrapperScan(Operator):
     def _do_open(self) -> None:
         cache = self.context.source_cache
         if cache is not None:
-            entry = cache.lookup(self.source_name, self.context.clock.now)
+            entry = cache.lookup(
+                self.source_name, self.context.clock.now, session=self.context.session_id
+            )
             if entry is not None:
                 from repro.network.cache import CachingScanFeed
 
@@ -85,6 +87,7 @@ class WrapperScan(Operator):
                 self.output_schema,
                 self._rows_seen,
                 now_ms=self.context.clock.now,
+                session=self.context.session_id,
             )
 
     def _next(self) -> Row | None:

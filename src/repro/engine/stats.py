@@ -128,6 +128,8 @@ class QueryRuntimeStats:
     reoptimizations: int = 0
     reschedules: int = 0
     completion_time_ms: float = 0.0
+    #: Owning server session (``None`` for standalone queries).
+    session_id: str | None = None
 
     def operator(self, operator_id: str) -> OperatorRuntimeStats:
         """Stats record for ``operator_id`` (created on first access)."""
@@ -144,3 +146,68 @@ class QueryRuntimeStats:
         return {
             frag.result_name: frag.result_cardinality for frag in self.fragment_stats
         }
+
+
+# -- multi-query server metrics ------------------------------------------------------
+
+
+@dataclass
+class SessionSummary:
+    """One session's lifecycle on the server's shared virtual timeline."""
+
+    session_id: str
+    submitted_at_ms: float
+    completed_at_ms: float | None = None
+    status: str = "pending"
+    result_cardinality: int = 0
+    #: Scheduler quanta this session ran for (batch/fragment steps).
+    slices: int = 0
+    #: Times the session yielded the timeline to wait on a source.
+    waits: int = 0
+    wait_ms: float = 0.0
+    cpu_ms: float = 0.0
+    io_ms: float = 0.0
+
+    @property
+    def elapsed_ms(self) -> float | None:
+        """Virtual time from admission to completion (None while running)."""
+        if self.completed_at_ms is None:
+            return None
+        return self.completed_at_ms - self.submitted_at_ms
+
+
+@dataclass
+class ServerStats:
+    """Server-level metrics aggregated over all sessions.
+
+    ``makespan_ms`` is the total virtual wall clock of the concurrent run —
+    the quantity the throughput benchmark holds against the sum of
+    back-to-back serial completion times (``serial_equivalent_ms``): the gap
+    between the two is exactly the overlap the cooperative scheduler and the
+    shared source cache bought.
+    """
+
+    server_name: str
+    sessions: list[SessionSummary] = field(default_factory=list)
+    scheduler_slices: int = 0
+    revocations: int = 0
+    bytes_revoked: int = 0
+    cross_session_cache_hits: int = 0
+    source_queued_ms: float = 0.0
+    makespan_ms: float = 0.0
+
+    @property
+    def completed_sessions(self) -> int:
+        return sum(1 for s in self.sessions if s.status == "completed")
+
+    @property
+    def serial_equivalent_ms(self) -> float:
+        """Sum of per-session elapsed times — what back-to-back execution costs."""
+        return sum(s.elapsed_ms or 0.0 for s in self.sessions)
+
+    @property
+    def overlap_speedup(self) -> float:
+        """serial-equivalent / makespan (1.0 = no overlap won)."""
+        if self.makespan_ms <= 0:
+            return 1.0
+        return self.serial_equivalent_ms / self.makespan_ms

@@ -7,6 +7,16 @@ read to completion, so later scans of the same source — in the same query
 (self-joins, retries after rescheduling) or in later queries sharing the
 cache — are served locally instead of crossing the network again.
 
+In the multi-query server one cache is shared by *every* session, with
+**completion-based admission**: the first session to read a source's full
+extent deposits it, and from that virtual moment on every other session's
+scans and dependent-join probes over that source run at local CPU speed.
+Fills are tagged with the filling session and stamped with its virtual
+time; a lookup from a session whose clock has not yet reached an entry's
+fill time treats the entry as not yet visible (a miss), which keeps the
+shared cache causal on the server timeline even though sessions advance
+their clocks at different rates.
+
 The cache is consistency-agnostic by design (autonomous sources give no
 invalidation signal); entries carry the virtual time at which they were
 filled and can be expired by age or dropped explicitly.
@@ -34,6 +44,7 @@ class CacheEntry:
     schema: Schema
     rows: list[Row]
     filled_at_ms: float
+    filled_by: str | None = None
 
     @property
     def cardinality(self) -> int:
@@ -52,6 +63,12 @@ class CacheStats:
     misses: int = 0
     fills: int = 0
     invalidations: int = 0
+    #: Hits where the entry was filled by a *different* session than the one
+    #: looking it up — the cross-query sharing the server benchmark measures.
+    cross_session_hits: int = 0
+    #: Misses on entries that exist but were filled at a virtual time the
+    #: looking session has not reached yet (causality guard).
+    not_yet_visible: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -81,17 +98,35 @@ class SourceCache:
 
     # -- lookup -------------------------------------------------------------------
 
-    def lookup(self, source_name: str, now_ms: float) -> CacheEntry | None:
-        """Return a fresh entry for ``source_name`` or record a miss."""
+    def lookup(
+        self, source_name: str, now_ms: float, session: str | None = None
+    ) -> CacheEntry | None:
+        """Return a fresh entry for ``source_name`` or record a miss.
+
+        When the lookup names a ``session`` (server mode, where all clocks
+        share one timeline), an entry filled at a virtual time beyond
+        ``now_ms`` is invisible to it — another session running ahead
+        deposited it "in the future".  The entry is kept; it becomes visible
+        once the looking session's clock passes the fill time.  Lookups
+        without a session (single-query contexts, whose clocks restart at
+        zero per query) skip the guard: their fill times are not comparable
+        across queries.
+        """
         entry = self._entries.get(source_name)
         if entry is None:
             self.stats.misses += 1
+            return None
+        if session is not None and entry.filled_at_ms > now_ms:
+            self.stats.misses += 1
+            self.stats.not_yet_visible += 1
             return None
         if self.max_age_ms is not None and now_ms - entry.filled_at_ms > self.max_age_ms:
             self.stats.misses += 1
             self.invalidate(source_name)
             return None
         self.stats.hits += 1
+        if entry.filled_by is not None and entry.filled_by != session:
+            self.stats.cross_session_hits += 1
         return entry
 
     def __contains__(self, source_name: str) -> bool:
@@ -103,9 +138,18 @@ class SourceCache:
 
     # -- filling -------------------------------------------------------------------
 
-    def fill(self, source_name: str, schema: Schema, rows: list[Row], now_ms: float) -> CacheEntry:
+    def fill(
+        self,
+        source_name: str,
+        schema: Schema,
+        rows: list[Row],
+        now_ms: float,
+        session: str | None = None,
+    ) -> CacheEntry:
         """Store a complete source extent (replacing any prior entry)."""
-        entry = CacheEntry(source_name, schema, list(rows), filled_at_ms=now_ms)
+        entry = CacheEntry(
+            source_name, schema, list(rows), filled_at_ms=now_ms, filled_by=session
+        )
         self._entries[source_name] = entry
         self.stats.fills += 1
         self._evict_if_needed()

@@ -6,6 +6,13 @@ from their latency and bandwidth models; operators advance the clock when
 they wait for data, burn CPU, or perform disk I/O.  This keeps every
 benchmark deterministic and lets the harness report the tuples-vs-time curves
 that the paper's figures plot.
+
+A single query owns one :class:`SimClock`.  The multi-query server instead
+hands each session a :class:`repro.server.clock.SessionClock` — a
+``SimClock`` subclass registered with a shared
+:class:`~repro.server.clock.ServerClock` — so every session's waits, CPU and
+I/O land on one server timeline and the scheduler can pick whichever session
+is furthest behind.
 """
 
 from __future__ import annotations
@@ -24,6 +31,12 @@ class ClockStats:
     @property
     def total_ms(self) -> float:
         return self.wait_ms + self.cpu_ms + self.io_ms
+
+    def add(self, other: "ClockStats") -> None:
+        """Accumulate ``other`` into this breakdown (server-level aggregation)."""
+        self.wait_ms += other.wait_ms
+        self.cpu_ms += other.cpu_ms
+        self.io_ms += other.io_ms
 
 
 class SimClock:

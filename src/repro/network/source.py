@@ -25,6 +25,10 @@ class SourceStats:
     connections_opened: int = 0
     tuples_sent: int = 0
     failures: int = 0
+    #: Virtual ms connections spent queued for a free connection slot
+    #: (only accrues on sources with ``max_concurrent`` set).
+    queued_ms: float = 0.0
+    connections_queued: int = 0
 
 
 class DataSource:
@@ -39,13 +43,32 @@ class DataSource:
         schema qualified with the relation name.
     profile:
         Timing/reliability model for the connection.
+    max_concurrent:
+        Upper bound on simultaneously streaming connections (``None`` =
+        unbounded, the single-query default).  An autonomous source serves
+        only so many clients at once; when the multi-query server opens a
+        connection past the bound, its stream is *queued* — the arrival
+        timetable starts when the earliest-finishing active connection
+        frees its slot, so queued fetches wait on the shared virtual
+        timeline exactly like slow links do.
     """
 
-    def __init__(self, name: str, relation: Relation, profile: NetworkProfile | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        relation: Relation,
+        profile: NetworkProfile | None = None,
+        max_concurrent: int | None = None,
+    ) -> None:
+        if max_concurrent is not None and max_concurrent <= 0:
+            raise ValueError(f"max_concurrent must be positive, got {max_concurrent}")
         self.name = name
         self.relation = relation
         self.profile = profile or NetworkProfile()
+        self.max_concurrent = max_concurrent
         self.stats = SourceStats()
+        #: Busy-until time per occupied connection slot (bounded sources only).
+        self._slots: list[float] = []
         self._encoded_columns: list | None = None
         self._encoded_dictionaries: list | None = None
         self._encoded_for_cardinality = -1
@@ -104,9 +127,58 @@ class DataSource:
         self.profile = profile
 
     def open(self, at_ms: float = 0.0) -> "SourceConnection":
-        """Open a connection at virtual time ``at_ms``."""
+        """Open a connection at virtual time ``at_ms``.
+
+        On a concurrency-bounded source the stream may be queued: the
+        connection object exists immediately, but its arrival timetable
+        starts only when a slot frees (``queued_ms`` on the connection and
+        the source stats records the delay).
+        """
         self.stats.connections_opened += 1
-        return SourceConnection(self, at_ms)
+        start_ms, slot = self._claim_slot(at_ms)
+        connection = SourceConnection(self, start_ms, slot=slot, requested_at_ms=at_ms)
+        if slot is not None:
+            # The slot stays busy until the last scheduled arrival (released
+            # earlier if the reader closes before draining the stream).
+            busy_until = connection._arrivals[-1] if connection._arrivals else start_ms
+            self._slots[slot] = busy_until
+        if start_ms > at_ms:
+            self.stats.queued_ms += start_ms - at_ms
+            self.stats.connections_queued += 1
+        return connection
+
+    def _claim_slot(self, at_ms: float) -> tuple[float, int | None]:
+        """Effective stream start and slot index under the concurrency bound.
+
+        Each slot tracks a single busy-until time, so an open can queue
+        behind a window claimed by a session running *ahead* on the shared
+        timeline even if the slot was idle at the opener's own virtual
+        time.  This is a deliberate conservative approximation (queueing
+        may be overestimated, never missed): the scheduler's frontier-first
+        order makes it deterministic, and it matches the batch-granular
+        coarseness the drive modes already accept.  Exact sharing would
+        need per-slot busy *interval* bookkeeping.
+        """
+        if self.max_concurrent is None or self.profile.unavailable:
+            return at_ms, None
+        # Reuse a slot already free at ``at_ms`` before queueing behind one.
+        for index, busy_until in enumerate(self._slots):
+            if busy_until <= at_ms:
+                return at_ms, index
+        if len(self._slots) < self.max_concurrent:
+            self._slots.append(at_ms)
+            return at_ms, len(self._slots) - 1
+        index = min(range(len(self._slots)), key=self._slots.__getitem__)
+        return max(at_ms, self._slots[index]), index
+
+    def _release_slot(self, slot: int, at_ms: float) -> None:
+        """Free a slot earlier than projected (reader closed mid-stream)."""
+        if 0 <= slot < len(self._slots) and at_ms < self._slots[slot]:
+            self._slots[slot] = at_ms
+
+    def reset_concurrency(self) -> None:
+        """Forget slot occupancy (benchmark repetitions restart virtual time)."""
+        self._slots = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -124,9 +196,19 @@ class SourceConnection:
     collector) can choose which input to service first.
     """
 
-    def __init__(self, source: DataSource, opened_at_ms: float) -> None:
+    def __init__(
+        self,
+        source: DataSource,
+        opened_at_ms: float,
+        slot: int | None = None,
+        requested_at_ms: float | None = None,
+    ) -> None:
         self.source = source
+        #: When the stream actually starts — past ``requested_at_ms`` when
+        #: the connection queued for a slot on a concurrency-bounded source.
         self.opened_at_ms = opened_at_ms
+        self.requested_at_ms = opened_at_ms if requested_at_ms is None else requested_at_ms
+        self._slot = slot
         self._cursor = 0
         self._closed = False
         relation = source.relation
@@ -237,9 +319,21 @@ class SourceConnection:
         self.source.stats.tuples_sent += stop - start
         return rows, arrivals_out
 
-    def close(self) -> None:
-        """Tear down the connection (collector `deactivate` uses this)."""
+    @property
+    def queued_ms(self) -> float:
+        """How long this connection waited for a slot before streaming."""
+        return self.opened_at_ms - self.requested_at_ms
+
+    def close(self, at_ms: float | None = None) -> None:
+        """Tear down the connection (collector `deactivate` uses this).
+
+        ``at_ms`` (the closer's virtual time) lets a concurrency-bounded
+        source free the connection slot earlier than the projected end of
+        the stream when the reader abandons it mid-transfer.
+        """
         self._closed = True
+        if self._slot is not None and at_ms is not None:
+            self.source._release_slot(self._slot, at_ms)
 
     def remaining(self) -> int:
         """Tuples not yet delivered (0 for unavailable sources)."""

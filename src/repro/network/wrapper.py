@@ -91,9 +91,14 @@ class Wrapper:
         self._connection = self.source.open(at_ms=self.clock.now)
 
     def close(self) -> None:
-        """Close the connection; further fetches raise."""
+        """Close the connection; further fetches raise.
+
+        The close is stamped with the clock's current virtual time so a
+        concurrency-bounded source can free the connection slot for queued
+        sessions as soon as this reader abandons the stream.
+        """
         if self._connection is not None:
-            self._connection.close()
+            self._connection.close(at_ms=self.clock.now)
 
     def reset(self) -> None:
         """Drop the connection so the wrapper can be reopened (rescheduling)."""

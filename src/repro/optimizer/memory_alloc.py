@@ -4,6 +4,17 @@ The optimizer divides the query's memory pool among its join operators in
 proportion to their estimated build sizes (with a floor so that no join
 starves), following the memory-allocation-as-optimization-decision view the
 paper takes from Bouganim et al. and Nag & DeWitt.
+
+Under the multi-query server the "pool" is no longer a fixed per-query
+number: :func:`negotiate_memory` restates the same division against what the
+server-wide broker can *actually* provide right now (free capacity plus
+everything revocable from other sessions' leases), and
+:func:`negotiate_plan_memory` rewrites a finished plan's per-join allotments
+accordingly at admission time.  The runtime grants that follow are still
+individual broker leases — a grant the broker cannot honour in full triggers
+real revocations then — but negotiating first means a plan admitted under
+pressure *starts* with honest allotments instead of discovering the squeeze
+one overflow at a time.
 """
 
 from __future__ import annotations
@@ -116,3 +127,60 @@ def allocate_memory(
                 reduction = int(excess * surplus / above_total)
                 allocations[op] = max(MIN_JOIN_ALLOTMENT_BYTES, allocations[op] - reduction)
     return allocations
+
+
+def negotiate_memory(
+    requests: list[JoinMemoryRequest], broker, requested_pool_bytes: int | None
+) -> dict[str, int | None]:
+    """:func:`allocate_memory` against a broker's attainable capacity.
+
+    ``requested_pool_bytes`` is the single-tenant pool the optimizer assumed
+    (``None`` = demand-driven: the joins' estimated needs with the
+    allocator's 25% headroom).  The broker answers with what it could
+    provide right now — free capacity plus every other lease's revocable
+    headroom, never below one floor allotment per join — and the standard
+    proportional division runs against that answer.  No lease is taken
+    here; the runtime grants negotiate (and revoke) for real.
+    """
+    if not requests:
+        return {}
+    demand_total = sum(
+        int(max(1, request.estimated_build_bytes) * 1.25) for request in requests
+    )
+    requested = demand_total if requested_pool_bytes is None else min(
+        requested_pool_bytes, demand_total
+    )
+    floor_total = MIN_JOIN_ALLOTMENT_BYTES * len(requests)
+    requested = max(requested, floor_total)
+    if broker is None or broker.capacity_bytes is None:
+        return allocate_memory(requests, requested_pool_bytes)
+    attainable = broker.attainable_bytes(requested, floor_bytes=floor_total)
+    return allocate_memory(requests, attainable)
+
+
+def negotiate_plan_memory(plan, broker) -> dict[str, int]:
+    """Rewrite a plan's join allotments to what the broker can provide.
+
+    Walks every fragment for join nodes that already carry a bounded
+    ``memory_limit_bytes`` (the optimizer's single-tenant allotment, which
+    doubles as the demand estimate), renegotiates the set against the
+    broker, and writes the results back onto the specs.  Returns the new
+    allotments by operator id.
+    """
+    nodes = {}
+    for fragment in plan.fragments:
+        for node in fragment.root.walk():
+            if getattr(node, "memory_limit_bytes", None) is not None:
+                nodes[node.operator_id] = node
+    if not nodes:
+        return {}
+    requests = [
+        JoinMemoryRequest(operator_id, estimated_build_bytes=node.memory_limit_bytes)
+        for operator_id, node in nodes.items()
+    ]
+    requested = sum(node.memory_limit_bytes for node in nodes.values())
+    allocations = negotiate_memory(requests, broker, requested)
+    for operator_id, allotment in allocations.items():
+        if allotment is not None:
+            nodes[operator_id].memory_limit_bytes = allotment
+    return {op: alloc for op, alloc in allocations.items() if alloc is not None}

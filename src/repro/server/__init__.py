@@ -1,0 +1,38 @@
+"""The multi-query server subsystem.
+
+Tukwila is a data-integration *server*: many users issue overlapping queries
+against the same slow, bursty sources.  This package makes that concurrency a
+first-class engine concept:
+
+* :mod:`repro.server.clock` — one shared virtual timeline
+  (:class:`ServerClock`) with per-session views (:class:`SessionClock`);
+* :mod:`repro.server.broker` — the server-wide :class:`MemoryBroker` that
+  turns operator budgets into revocable leases;
+* :mod:`repro.server.session` — :class:`QuerySession`, a query as a
+  resumable unit of work (yielding at batch/fragment boundaries and on
+  source waits);
+* :mod:`repro.server.scheduler` — :class:`QueryServer`, the cooperative
+  event-driven scheduler plus the shared source layer wiring.
+"""
+
+from repro.server.broker import (
+    DEFAULT_LEASE_FLOOR_BYTES,
+    BrokerStats,
+    MemoryBroker,
+    RevocationRecord,
+)
+from repro.server.clock import ServerClock, SessionClock
+from repro.server.scheduler import QueryServer
+from repro.server.session import QuerySession, SessionStatus
+
+__all__ = [
+    "BrokerStats",
+    "DEFAULT_LEASE_FLOOR_BYTES",
+    "MemoryBroker",
+    "QueryServer",
+    "QuerySession",
+    "RevocationRecord",
+    "ServerClock",
+    "SessionClock",
+    "SessionStatus",
+]

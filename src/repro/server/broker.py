@@ -1,0 +1,271 @@
+"""The server-wide memory broker.
+
+Single-query Tukwila divides one fixed pool among a plan's joins (Section
+3.1.1).  The multi-query server replaces the fixed pool with a
+:class:`MemoryBroker`: every bounded operator budget becomes a *lease*
+against the server's total capacity, and admission of a new query can
+*revoke* (shrink) existing leases down to a floor.  Revocation triggers the
+victim's Section 4.2 overflow resolution immediately (via
+:meth:`~repro.storage.memory.MemoryBudget.revoke_to` and the owner's
+``on_revoke`` handler — a bucket flush to the encoded columnar spill path),
+so reclaimed bytes are real before the new lease is granted.
+
+The broker also aggregates live usage: pools propagate every budget
+reserve/release upward, so ``broker.used_bytes`` equals the sum of resident
+bytes across every operator of every session — the per-operator
+``budget.used == sum(resident_bytes)`` invariant of the spill tests, lifted
+server-wide.  The throughput benchmark asserts exactly that equality after
+every revocation via the :attr:`on_revocation` observer hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import MemoryBudgetError
+from repro.storage.memory import MemoryBudget, MemoryPool
+
+#: Smallest lease a revocation will leave behind (matches the optimizer's
+#: per-join floor, so a revoked join degenerates to the same minimum the
+#: allocator would have granted under a tiny pool).
+DEFAULT_LEASE_FLOOR_BYTES = 64 * 1024
+
+
+@dataclass
+class RevocationRecord:
+    """One lease shrink applied under cross-query pressure."""
+
+    victim: str
+    victim_pool: str
+    requestor: str
+    taken_bytes: int
+    new_limit_bytes: int
+
+
+@dataclass
+class BrokerStats:
+    """Counters the server reports alongside per-session stats."""
+
+    leases_granted: int = 0
+    leases_released: int = 0
+    revocations: int = 0
+    bytes_revoked: int = 0
+    peak_used_bytes: int = 0
+    peak_granted_bytes: int = 0
+
+
+@dataclass
+class _Lease:
+    budget: MemoryBudget
+    size: int
+    floor: int
+
+
+class MemoryBroker:
+    """Grants, tracks, and revokes memory leases across query sessions.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Server-wide capacity; ``None`` disables enforcement (every lease is
+        granted as requested — the single-query behaviour).
+    floor_bytes:
+        No revocation shrinks a lease below this floor, and no grant under
+        pressure returns less than it.  The floor may oversubscribe capacity
+        slightly — admitting a query with the minimum workable allotment is
+        preferred over refusing it, exactly as the optimizer's allocator
+        prefers starving joins over failing the plan.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        name: str = "server",
+        floor_bytes: int = DEFAULT_LEASE_FLOOR_BYTES,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise MemoryBudgetError(f"broker capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self.floor_bytes = floor_bytes
+        self.stats = BrokerStats()
+        self.revocations: list[RevocationRecord] = []
+        #: Observer called as ``on_revocation(broker, record)`` after each
+        #: lease shrink (and after the victim's overflow resolution ran), the
+        #: hook the benchmark uses to assert the server-wide budget invariant
+        #: at every revocation point.
+        self.on_revocation: Callable[["MemoryBroker", RevocationRecord], None] | None = None
+        self._pools: list[MemoryPool] = []
+        self._leases: dict[int, _Lease] = {}
+        self._granted = 0
+        self._used = 0
+
+    # -- registration -------------------------------------------------------------------
+
+    def register_pool(self, pool: MemoryPool) -> None:
+        """Attach a session pool (called by ``MemoryPool(broker=...)``)."""
+        self._pools.append(pool)
+
+    @property
+    def pools(self) -> list[MemoryPool]:
+        return list(self._pools)
+
+    # -- accounting ---------------------------------------------------------------------
+
+    @property
+    def granted_bytes(self) -> int:
+        """Sum of all outstanding lease sizes."""
+        return self._granted
+
+    @property
+    def used_bytes(self) -> int:
+        """Live reserved bytes across every budget of every registered pool."""
+        return self._used
+
+    @property
+    def available_bytes(self) -> int | None:
+        if self.capacity_bytes is None:
+            return None
+        return max(0, self.capacity_bytes - self._granted)
+
+    def note_reserve(self, nbytes: int) -> None:
+        self._used += nbytes
+        if self._used > self.stats.peak_used_bytes:
+            self.stats.peak_used_bytes = self._used
+
+    def note_release(self, nbytes: int) -> None:
+        self._used = max(0, self._used - nbytes)
+
+    # -- leases -------------------------------------------------------------------------
+
+    def lease(self, budget: MemoryBudget, nbytes: int) -> int:
+        """Lease up to ``nbytes`` for ``budget``; returns the granted size.
+
+        Under pressure the broker first revokes what it can from other
+        leases (largest first, down to their floors); whatever capacity that
+        frees bounds the grant, but never below the floor.
+        """
+        if nbytes <= 0:
+            raise MemoryBudgetError(f"lease must be positive, got {nbytes}")
+        granted = nbytes
+        floor = min(nbytes, self.floor_bytes)
+        if self.capacity_bytes is not None:
+            available = self.capacity_bytes - self._granted
+            if available < nbytes:
+                available += self._revoke_for(nbytes - available, requestor=budget.name)
+                # Never grant more than was requested: the floor of a small
+                # request is the request itself, not the server-wide floor.
+                granted = max(floor, min(nbytes, available))
+        self._leases[id(budget)] = _Lease(budget, granted, floor)
+        self._granted += granted
+        self.stats.leases_granted += 1
+        if self._granted > self.stats.peak_granted_bytes:
+            self.stats.peak_granted_bytes = self._granted
+        return granted
+
+    def release_lease(self, budget: MemoryBudget) -> None:
+        """Return a budget's lease to the pool of free capacity (no-op if unleased)."""
+        lease = self._leases.pop(id(budget), None)
+        if lease is not None:
+            self._granted = max(0, self._granted - lease.size)
+            self.stats.leases_released += 1
+
+    def resize_lease(self, budget: MemoryBudget, new_size: int) -> int:
+        """Renegotiate one lease (the ``alter memory allotment`` rule action).
+
+        Shrinks take effect verbatim; growth is bounded by what the broker
+        can free, so the returned size may be less than requested.
+        """
+        lease = self._leases.get(id(budget))
+        if lease is None:
+            return new_size
+        delta = new_size - lease.size
+        if delta <= 0:
+            lease.size = new_size
+            self._granted = max(0, self._granted + delta)
+            return new_size
+        if self.capacity_bytes is not None:
+            available = self.capacity_bytes - self._granted
+            if available < delta:
+                available += self._revoke_for(
+                    delta - available, requestor=budget.name, exclude=budget
+                )
+            delta = max(0, min(delta, available))
+        lease.size += delta
+        self._granted += delta
+        if self._granted > self.stats.peak_granted_bytes:
+            self.stats.peak_granted_bytes = self._granted
+        return lease.size
+
+    def attainable_bytes(self, demand_bytes: int, floor_bytes: int = 0) -> int:
+        """How much a new lease of ``demand_bytes`` could get right now.
+
+        A dry run of :meth:`lease` — counts free capacity plus everything
+        revocable — used by the optimizer's allocation step to *negotiate*
+        a plan's memory before the grants happen (no lease is taken and no
+        revocation is performed here).
+        """
+        if self.capacity_bytes is None:
+            return demand_bytes
+        available = self.capacity_bytes - self._granted
+        revocable = sum(
+            max(0, lease.size - lease.floor) for lease in self._leases.values()
+        )
+        return max(floor_bytes, min(demand_bytes, available + revocable))
+
+    # -- revocation ---------------------------------------------------------------------
+
+    def _revoke_for(
+        self, needed_bytes: int, requestor: str, exclude: MemoryBudget | None = None
+    ) -> int:
+        """Shrink existing leases (largest headroom first) to free ``needed_bytes``.
+
+        Each victim's budget is shrunk via
+        :meth:`~repro.storage.memory.MemoryBudget.revoke_to`, which runs the
+        owner's overflow resolution when usage exceeds the new limit — the
+        Section 4.2 machinery fires mid-build, in the victim's own virtual
+        time.  ``exclude`` protects the requestor's own lease during a
+        growth renegotiation (self-revocation would spill the requestor's
+        buckets only to hand the bytes straight back).  Returns the bytes
+        actually freed.
+        """
+        freed = 0
+        while freed < needed_bytes:
+            victim = None
+            headroom = 0
+            for lease in self._leases.values():
+                if exclude is not None and lease.budget is exclude:
+                    continue
+                slack = lease.size - lease.floor
+                if slack > headroom:
+                    victim, headroom = lease, slack
+            if victim is None:
+                break
+            take = min(headroom, needed_bytes - freed)
+            victim.size -= take
+            self._granted -= take
+            freed += take
+            record = RevocationRecord(
+                victim=victim.budget.name,
+                victim_pool=victim.budget.pool.name if victim.budget.pool else "",
+                requestor=requestor,
+                taken_bytes=take,
+                new_limit_bytes=victim.size,
+            )
+            # The shrink below may flush buckets / spill key sets in the
+            # victim's context before control returns here.
+            victim.budget.revoke_to(victim.size)
+            self.revocations.append(record)
+            self.stats.revocations += 1
+            self.stats.bytes_revoked += take
+            if self.on_revocation is not None:
+                self.on_revocation(self, record)
+        return freed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "unbounded" if self.capacity_bytes is None else f"{self.capacity_bytes}B"
+        return (
+            f"MemoryBroker({self.name!r}, granted={self._granted}B, "
+            f"used={self._used}B, capacity={cap})"
+        )

@@ -1,0 +1,231 @@
+"""The query server: cooperative event-driven scheduling of many sessions.
+
+:class:`QueryServer` is the multi-query face of the engine.  It owns the
+shared virtual timeline (:class:`~repro.server.clock.ServerClock`), the
+server-wide :class:`~repro.server.broker.MemoryBroker`, and one cross-session
+:class:`~repro.network.cache.SourceCache`; every submitted query becomes a
+:class:`~repro.server.session.QuerySession` with its own clock view, a
+broker-backed memory pool, and shared access to the source layer.
+
+Scheduling is conservative discrete-event simulation: the scheduler always
+steps the session with the **earliest next event** (its clock position, or
+the source arrival it is blocked on).  Running the frontier session first
+makes all shared state causal — a cache fill, a broker revocation, or a
+connection-slot release observed by any session happened at a virtual time
+no later than that session's own clock — and it is what overlaps one
+session's network stalls with another session's CPU: while the frontier
+session sleeps toward an arrival at ``T``, every other session whose next
+event precedes ``T`` gets the timeline.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import DataSourceCatalog
+from repro.engine.context import EngineConfig, ExecutionContext
+from repro.engine.iterators import DEFAULT_BATCH_SIZE
+from repro.engine.stats import ServerStats
+from repro.network.cache import SourceCache
+from repro.plan.fragments import QueryPlan
+from repro.plan.physical import OperatorSpec
+from repro.server.broker import MemoryBroker
+from repro.server.clock import ServerClock
+from repro.server.session import QuerySession
+from repro.storage.memory import MemoryPool
+
+
+class QueryServer:
+    """Runs N concurrent query sessions over one shared virtual timeline.
+
+    Parameters
+    ----------
+    catalog:
+        The shared data-source catalog (sources, statistics, overlap).
+    engine_config:
+        Default per-session engine tunables (a submit may override).
+    memory_capacity_bytes:
+        Server-wide memory capacity enforced by the broker; ``None``
+        disables cross-query memory pressure.
+    source_cache:
+        The cross-session source cache; created automatically (completion-
+        based admission, no expiry) when omitted.
+    """
+
+    def __init__(
+        self,
+        catalog: DataSourceCatalog,
+        engine_config: EngineConfig | None = None,
+        memory_capacity_bytes: int | None = None,
+        source_cache: SourceCache | None = None,
+        name: str = "server",
+    ) -> None:
+        self.catalog = catalog
+        self.engine_config = engine_config or EngineConfig()
+        self.name = name
+        self.clock = ServerClock()
+        self.broker = MemoryBroker(memory_capacity_bytes, name=f"{name}-broker")
+        self.source_cache = source_cache if source_cache is not None else SourceCache()
+        self.sessions: dict[str, QuerySession] = {}
+        self.scheduler_slices = 0
+        self._counter = 0
+
+    # -- admission ----------------------------------------------------------------------
+
+    def _session_context(
+        self,
+        session_id: str,
+        arrival_ms: float | None,
+        engine_config: EngineConfig | None,
+        columnar: bool | None,
+    ) -> ExecutionContext:
+        clock = self.clock.session_clock(session_id, start_ms=arrival_ms)
+        pool = MemoryPool(name=session_id, broker=self.broker)
+        context = ExecutionContext(
+            self.catalog,
+            clock=clock,
+            memory_pool=pool,
+            config=engine_config or self.engine_config,
+            query_name=session_id,
+            source_cache=self.source_cache,
+            session_id=session_id,
+        )
+        if columnar is not None:
+            context.columnar = columnar
+        return context
+
+    def _next_session_id(self, name: str | None) -> str:
+        self._counter += 1
+        session_id = name or f"session-{self._counter}"
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already exists")
+        return session_id
+
+    def submit(
+        self,
+        root_spec: OperatorSpec,
+        name: str | None = None,
+        *,
+        result_name: str | None = None,
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
+        arrival_ms: float | None = None,
+        engine_config: EngineConfig | None = None,
+        columnar: bool | None = None,
+    ) -> QuerySession:
+        """Admit a session over a hand-built operator tree.
+
+        ``arrival_ms`` staggers admission on the shared timeline (a user who
+        shows up later); it is clamped to the server's causal frontier, so a
+        session can never start in the past.
+        """
+        session_id = self._next_session_id(name)
+        context = self._session_context(session_id, arrival_ms, engine_config, columnar)
+        session = QuerySession(
+            session_id,
+            context,
+            admission_index=self._counter,
+            root_spec=root_spec,
+            result_name=result_name,
+            batch_size=batch_size,
+        )
+        self.sessions[session_id] = session
+        return session
+
+    def submit_plan(
+        self,
+        plan: QueryPlan,
+        name: str | None = None,
+        *,
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
+        arrival_ms: float | None = None,
+        engine_config: EngineConfig | None = None,
+        columnar: bool | None = None,
+    ) -> QuerySession:
+        """Admit a session over a full query plan (fragments, rules, events).
+
+        The plan's per-join memory allotments are *negotiated* against the
+        broker before execution: under cross-query pressure the session's
+        joins start with what the server can actually provide (free capacity
+        plus everything revocable) rather than the optimizer's single-tenant
+        assumption.
+        """
+        from repro.optimizer.memory_alloc import negotiate_plan_memory
+
+        session_id = self._next_session_id(name)
+        context = self._session_context(session_id, arrival_ms, engine_config, columnar)
+        negotiate_plan_memory(plan, self.broker)
+        session = QuerySession(
+            session_id,
+            context,
+            admission_index=self._counter,
+            plan=plan,
+            batch_size=batch_size,
+        )
+        self.sessions[session_id] = session
+        return session
+
+    # -- the scheduler loop -------------------------------------------------------------
+
+    def run(self) -> ServerStats:
+        """Drive every unfinished session to completion; returns server stats.
+
+        One scheduling decision per quantum: pick the unfinished session
+        whose next event is earliest on the shared timeline (ties break by
+        admission order) and advance it one step.  Deterministic by
+        construction — virtual times and admission order fully decide the
+        interleaving.
+        """
+        while True:
+            runnable = [s for s in self.sessions.values() if not s.finished]
+            if not runnable:
+                break
+            session = min(runnable, key=lambda s: (s.next_event_ms, s.admission_index))
+            session.step()
+            self.scheduler_slices += 1
+        return self.stats()
+
+    def run_serially(self) -> ServerStats:
+        """Back-to-back baseline: finish each session before starting the next.
+
+        Uses the same sessions, clocks, broker, and cache — only the
+        interleaving differs — so the gap between :meth:`run` and this is
+        purely the scheduler's overlap (the benchmark instead compares
+        against fully isolated runs, which also removes sharing).
+        """
+        for session in sorted(self.sessions.values(), key=lambda s: s.admission_index):
+            while not session.finished:
+                session.step()
+                self.scheduler_slices += 1
+        return self.stats()
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """Server-level metrics: per-session summaries plus shared-layer counters."""
+        stats = ServerStats(server_name=self.name)
+        for session in sorted(self.sessions.values(), key=lambda s: s.admission_index):
+            summary = session.summary
+            if not session.finished:
+                # Snapshot a live session's clock breakdown.
+                clock = session.context.clock
+                summary.wait_ms = clock.stats.wait_ms
+                summary.cpu_ms = clock.stats.cpu_ms
+                summary.io_ms = clock.stats.io_ms
+            stats.sessions.append(summary)
+        stats.scheduler_slices = self.scheduler_slices
+        stats.revocations = self.broker.stats.revocations
+        stats.bytes_revoked = self.broker.stats.bytes_revoked
+        stats.cross_session_cache_hits = self.source_cache.stats.cross_session_hits
+        stats.source_queued_ms = sum(
+            source.stats.queued_ms for source in self._sources()
+        )
+        stats.makespan_ms = self.clock.completion_ms
+        return stats
+
+    def _sources(self):
+        return [self.catalog.source(name) for name in self.catalog.source_names]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        done = sum(1 for s in self.sessions.values() if s.finished)
+        return (
+            f"QueryServer({self.name!r}, sessions={len(self.sessions)}, "
+            f"finished={done}, frontier={self.clock.frontier:.2f}ms)"
+        )

@@ -1,0 +1,217 @@
+"""Query sessions: one user's query as a resumable unit of server work.
+
+A :class:`QuerySession` owns one :class:`~repro.engine.context.ExecutionContext`
+(session clock on the shared timeline, broker-backed memory pool, the
+server's shared source cache) and a *step generator* — either the executor's
+resumable :meth:`~repro.engine.executor.QueryExecutor.steps` over a full
+:class:`~repro.plan.fragments.QueryPlan`, or a batch loop over a hand-built
+operator tree (the benchmark path).  The generator yields a
+:class:`~repro.engine.executor.StepEvent` at every batch/fragment boundary
+and before blocking on a source, which is where the cooperative scheduler
+takes over and may run another session instead.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.engine.builder import build_operator
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import ExecutionOutcome, QueryExecutor, StepEvent, wait_hint
+from repro.engine.iterators import DEFAULT_BATCH_SIZE
+from repro.engine.operators.materialize import Materialize
+from repro.engine.stats import SessionSummary, TupleTimeline
+from repro.plan.fragments import QueryPlan
+from repro.plan.physical import OperatorSpec, OperatorType
+from repro.storage.relation import Relation
+
+
+class SessionStatus(str, Enum):
+    """Lifecycle of a session on the scheduler."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    WAITING = "waiting"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+class QuerySession:
+    """One resumable query on the server's shared virtual timeline.
+
+    Use :meth:`QueryServer.submit` / :meth:`QueryServer.submit_plan` to
+    create sessions; the scheduler drives them through :meth:`step`.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        context: ExecutionContext,
+        admission_index: int,
+        *,
+        plan: QueryPlan | None = None,
+        root_spec: OperatorSpec | None = None,
+        result_name: str | None = None,
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if (plan is None) == (root_spec is None):
+            raise ValueError("a session takes exactly one of plan= or root_spec=")
+        self.session_id = session_id
+        self.context = context
+        self.admission_index = admission_index
+        self.batch_size = batch_size
+        self.status = SessionStatus.PENDING
+        self.summary = SessionSummary(
+            session_id=session_id, submitted_at_ms=context.clock.now
+        )
+        context.stats.session_id = session_id
+        #: Virtual time of the session's next scheduling event: its clock
+        #: position, or the arrival it is blocked on while waiting.
+        self.next_event_ms = context.clock.now
+        self.result: Relation | None = None
+        self.result_cardinality = 0
+        self.timeline = TupleTimeline()
+        self.outcome: ExecutionOutcome | None = None
+        self.error: str | None = None
+        self.executor: QueryExecutor | None = None
+        if plan is not None:
+            self.executor = QueryExecutor(context, batch_size=batch_size)
+            self._plan = plan
+            self._gen = self.executor.steps(plan)
+        else:
+            self._plan = None
+            self._result_name = result_name or f"{session_id}_result"
+            self._gen = self._tree_steps(root_spec)
+
+    # -- scheduler interface ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (SessionStatus.COMPLETED, SessionStatus.FAILED)
+
+    def step(self) -> bool:
+        """Run one quantum; returns ``False`` once the session is finished.
+
+        A quantum ends at the generator's next yield: after a batch crossed
+        the fragment root, after a fragment completed, or when the plan is
+        about to block on a source arrival (the session then reports that
+        arrival as its next event so the scheduler can run someone else
+        through the stall).
+        """
+        if self.finished:
+            return False
+        self.status = SessionStatus.RUNNING
+        try:
+            event: StepEvent = next(self._gen)
+        except StopIteration:
+            self._complete()
+            return False
+        except Exception as exc:  # noqa: BLE001 - one session's failure is contained
+            self.error = str(exc)
+            self._finish(SessionStatus.FAILED)
+            return False
+        self.summary.slices += 1
+        if event.kind == "wait" and event.wait_until_ms is not None:
+            self.summary.waits += 1
+            self.status = SessionStatus.WAITING
+            self.next_event_ms = event.wait_until_ms
+        else:
+            self.next_event_ms = self.context.clock.now
+        return True
+
+    def run_to_completion(self) -> None:
+        """Drive this session alone (no interleaving) until it finishes."""
+        while self.step():
+            pass
+
+    # -- completion ---------------------------------------------------------------------
+
+    def _complete(self) -> None:
+        if self.executor is not None:
+            self.outcome = self.executor.outcome
+            if self.outcome is not None:
+                if self.outcome.answer is not None:
+                    self.result = self.outcome.answer
+                    self.result_cardinality = self.outcome.answer.cardinality
+                self.timeline = self.outcome.stats.output_timeline
+                if self.outcome.completed:
+                    self._finish(SessionStatus.COMPLETED)
+                else:
+                    # Replan/reschedule requests surface as failures at the
+                    # session level: the server has no replanning driver, so
+                    # a plan that stopped for one never produced its answer
+                    # and must not count as a completed session.  The full
+                    # ExecutionOutcome stays on ``self.outcome`` for callers
+                    # that want to replan and resubmit.
+                    self.error = (
+                        self.outcome.error
+                        or f"execution ended with {self.outcome.status.value}"
+                    )
+                    self._finish(SessionStatus.FAILED)
+                return
+        self._finish(SessionStatus.COMPLETED)
+
+    def _finish(self, status: SessionStatus) -> None:
+        self.status = status
+        clock = self.context.clock
+        summary = self.summary
+        summary.status = status.value
+        summary.completed_at_ms = clock.now
+        summary.result_cardinality = self.result_cardinality
+        summary.wait_ms = clock.stats.wait_ms
+        summary.cpu_ms = clock.stats.cpu_ms
+        summary.io_ms = clock.stats.io_ms
+        self.next_event_ms = clock.now
+        server = getattr(clock, "server", None)
+        if server is not None:
+            server.finish(self.session_id)
+
+    # -- the operator-tree drive (benchmark/test path) ----------------------------------
+
+    def _tree_steps(self, spec: OperatorSpec):
+        """Drive one operator tree exactly like the bench harness, but resumable."""
+        context = self.context
+        root = build_operator(spec, context)
+        if spec.operator_type != OperatorType.MATERIALIZE:
+            root = Materialize(
+                f"{self.session_id}-mat", context, root, result_name=self._result_name
+            )
+        root.open()
+        produced = 0
+        timeline = self.timeline
+        try:
+            if self.batch_size is None:
+                while True:
+                    wait_until = wait_hint(root, context.clock)
+                    if wait_until is not None:
+                        yield StepEvent("wait", context.clock.now, wait_until_ms=wait_until)
+                    row = root.next()
+                    if row is None:
+                        break
+                    produced += 1
+                    timeline.record(context.clock.now, produced)
+                    yield StepEvent("batch", context.clock.now)
+            else:
+                size = 1
+                while True:
+                    wait_until = wait_hint(root, context.clock)
+                    if wait_until is not None:
+                        yield StepEvent("wait", context.clock.now, wait_until_ms=wait_until)
+                    batch = root.next_batch(size)
+                    if not batch:
+                        break
+                    produced += len(batch)
+                    timeline.record(context.clock.now, produced)
+                    size = min(size * 4, self.batch_size)
+                    yield StepEvent("batch", context.clock.now)
+        finally:
+            root.close()
+        self.result = context.local_store.get(self._result_name)
+        self.result_cardinality = produced
+        context.stats.completion_time_ms = context.clock.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuerySession({self.session_id!r}, {self.status.value}, "
+            f"next_event={self.next_event_ms:.2f}ms)"
+        )

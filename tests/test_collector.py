@@ -254,3 +254,105 @@ class TestDedupAccounting:
         # only boxing allowed is the tie-break single-row fallback, never one
         # Row per filtered tuple... the batch path pulls whole bounded runs.
         assert boxed < 20
+
+
+class TestDedupSpill:
+    """A bounded (or revoked) dedup budget spills the key set to disk."""
+
+    def test_bounded_budget_spills_and_dedup_stays_exact(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(
+            context,
+            ["bib-main", "bib-mirror"],
+            dedup_keys=["bib.isbn"],
+            dedup_budget_bytes=200,  # a handful of keys
+        )
+        collector.open()
+        produced = 0
+        while True:
+            batch = collector.next_batch(16)
+            if not batch:
+                break
+            produced += len(batch)
+        # Duplicate suppression is exact despite the spills.
+        assert produced == 20
+        assert collector.dedup_spills >= 1
+        assert collector._spilled_key_count >= 1
+        # The resident set was released on every spill: usage stays bounded
+        # (at most the keys remembered since the last spill).
+        assert collector.budget.used_bytes <= 200
+        # The spilled keys went through the simulated disk and membership
+        # scans re-read them with real I/O charges.
+        assert context.disk.stats.tuples_written >= collector._spilled_key_count
+        assert context.disk.stats.bytes_read > 0
+
+    def test_results_match_unbounded_run(self, bib_catalog):
+        def run(dedup_budget_bytes):
+            context = ExecutionContext(bib_catalog)
+            collector = make_collector(
+                context,
+                ["bib-main", "bib-mirror", "bib-partial"],
+                dedup_keys=["bib.isbn"],
+                dedup_budget_bytes=dedup_budget_bytes,
+            )
+            collector.open()
+            rows = []
+            while True:
+                batch = collector.next_batch(32)
+                if not batch:
+                    break
+                rows.extend(batch.rows())
+            collector.close()
+            return rows
+
+        unbounded = run(None)
+        spilled = run(150)
+        assert {row["isbn"] for row in spilled} == {row["isbn"] for row in unbounded}
+        assert len(spilled) == len(unbounded) == 20
+
+    def test_tuple_path_consults_spilled_keys(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(
+            context,
+            ["bib-main", "bib-mirror"],
+            dedup_keys=["bib.isbn"],
+            dedup_budget_bytes=200,
+        )
+        collector.open()
+        rows = list(collector.iterate())
+        assert len(rows) == 20
+        assert collector.dedup_spills >= 1
+
+    def test_revocation_spills_immediately(self, bib_catalog):
+        context = ExecutionContext(bib_catalog)
+        collector = make_collector(
+            context,
+            ["bib-main", "bib-mirror"],
+            dedup_keys=["bib.isbn"],
+            dedup_budget_bytes=64 * 1024,
+        )
+        collector.open()
+        first = collector.next_batch(8)
+        assert first
+        held = collector.budget.used_bytes
+        assert held > 0
+        # A broker-style revocation shrinks the allotment below usage: the
+        # key set moves to disk at once instead of silently overstaying.
+        collector.budget.revoke_to(64)
+        assert collector.dedup_spills == 1
+        # The key payloads left memory; only the per-key hash digest (which
+        # lets fresh keys skip the spill-file scan) stays charged.
+        from repro.engine.operators.collector import DEDUP_DIGEST_BYTES
+
+        assert (
+            collector.budget.used_bytes
+            == collector._spilled_key_count * DEDUP_DIGEST_BYTES
+        )
+        # ...and the rest of the union still deduplicates exactly.
+        produced = len(first)
+        while True:
+            batch = collector.next_batch(16)
+            if not batch:
+                break
+            produced += len(batch)
+        assert produced == 20

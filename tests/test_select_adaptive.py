@@ -107,3 +107,66 @@ class TestAdaptivePredicateOrdering:
                 baseline = counts
             else:
                 assert counts == baseline
+
+
+DICT_ROWS = 2000
+DICT_DISTINCT = 8
+
+
+@pytest.fixture
+def string_catalog():
+    items = make_relation(
+        "item",
+        ["sku:int", "color:str"],
+        [(i, f"color{i % DICT_DISTINCT}") for i in range(DICT_ROWS)],
+    )
+    catalog = DataSourceCatalog()
+    catalog.register_source(DataSource("item", items, lan()))
+    return catalog
+
+
+def run_string_select(catalog, encoded: bool, batch_size: int = 256):
+    context = ExecutionContext(catalog, config=EngineConfig(encoded_columns=encoded))
+    select = Select(
+        "sel",
+        context,
+        WrapperScan("scan_item", context, "item"),
+        [SelectionPredicate("item", "color", "=", "color3")],
+        adaptive=False,
+    )
+    select.open()
+    rows = []
+    while True:
+        batch = select.next_batch(batch_size)
+        if not batch:
+            break
+        rows.extend(batch)
+    select.close()
+    return select, rows
+
+
+class TestDictionaryAwareSelect:
+    """String predicates evaluate once per distinct dictionary entry."""
+
+    def test_comparator_runs_once_per_distinct_value(self, string_catalog):
+        encoded, encoded_rows = run_string_select(string_catalog, encoded=True)
+        plain, plain_rows = run_string_select(string_catalog, encoded=False)
+        assert multiset(encoded_rows) == multiset(plain_rows)
+        assert len(encoded_rows) == DICT_ROWS // DICT_DISTINCT
+        # Plain columns compare every row; the dictionary-aware path pays
+        # one comparator call per distinct entry, ever.
+        assert plain.comparator_calls == DICT_ROWS
+        assert encoded.comparator_calls == DICT_DISTINCT
+
+    def test_mask_is_memoized_across_batches(self, string_catalog):
+        # Many small batches over the same dictionary: the memoized mask
+        # serves every batch without re-evaluating already-seen entries.
+        select, rows = run_string_select(string_catalog, encoded=True, batch_size=16)
+        assert len(rows) == DICT_ROWS // DICT_DISTINCT
+        assert select.comparator_calls == DICT_DISTINCT
+
+    def test_selectivity_counters_stay_row_based(self, string_catalog):
+        select, _ = run_string_select(string_catalog, encoded=True)
+        tested, passed = select._observed[0]
+        assert tested == DICT_ROWS
+        assert passed == DICT_ROWS // DICT_DISTINCT
