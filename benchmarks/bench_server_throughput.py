@@ -34,8 +34,6 @@ import json
 import time
 from pathlib import Path
 
-import pytest
-
 from repro.bench.harness import build_deployment, run_operator_tree
 from repro.bench.reporting import format_table
 from repro.engine.context import EngineConfig

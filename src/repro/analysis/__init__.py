@@ -1,0 +1,49 @@
+"""Engine invariant analysis: AST lint rules and the static plan validator.
+
+The engine's correctness rests on conventions that no type checker enforces:
+all time flows through the virtual clocks, every memory reservation is paired
+with a release so ``broker.used == sum(resident_bytes)`` holds, hot paths
+never box :class:`~repro.storage.tuples.Row` objects, and a plan's joins only
+consume bindings their inputs actually produce.  This package turns those
+conventions into checked invariants:
+
+* :mod:`repro.analysis.linter` — an AST lint framework that walks the source
+  tree and reports violations as ``file:line rule-id message`` findings, with
+  ``# repro: allow[rule-id]`` pragmas for the deliberate exceptions.  The
+  project rules live in :mod:`repro.analysis.rules`.
+* :mod:`repro.analysis.plan_check` — a static validator for physical operator
+  trees, run before execution (``EngineConfig(validate_plans=True)``, the
+  default): schema compatibility at unions and joins, dependent-join bind
+  keys actually produced by the left input, allotments not below the broker
+  floor, and dictionary-encoding consistency across join keys.
+
+Run the linter from the repo root with ``python -m repro.analysis src/repro``
+(exit status 0 = clean); the same pass runs as a tier-1 test and a CI job.
+"""
+
+from repro.analysis.linter import Finding, LintReport, ModuleSource, Rule, run_lint
+from repro.analysis.plan_check import (
+    PlanCheckFinding,
+    PlanValidator,
+    check_plan,
+    check_tree,
+    validate_plan,
+    validate_tree,
+)
+from repro.analysis.rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "ModuleSource",
+    "PlanCheckFinding",
+    "PlanValidator",
+    "Rule",
+    "check_plan",
+    "check_tree",
+    "rule_by_id",
+    "run_lint",
+    "validate_plan",
+    "validate_tree",
+]

@@ -1,0 +1,95 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Lints the given files/directories (default: the ``repro`` package itself)
+with every registered rule and prints findings as ``path:line rule-id
+message``, one per line, sorted.  Exit status: 0 when clean, 1 when any
+finding (or unparsable file) was reported, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.linter import run_lint
+from repro.analysis.rules import ALL_RULES, rule_by_id
+
+
+def _default_target() -> Path:
+    return Path(__file__).resolve().parents[1]  # the repro package directory
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST lint pass enforcing the engine's invariants "
+        "(clock, memory, encoding, exception discipline).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule id and its invariant, then exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULE-ID[,RULE-ID...]",
+        help="run only the named rules (comma separated)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print findings only",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}: {rule.summary}")
+        return 0
+
+    rules = ALL_RULES
+    if options.select:
+        try:
+            rules = tuple(
+                rule_by_id(rule_id.strip())
+                for rule_id in options.select.split(",")
+                if rule_id.strip()
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if not rules:
+            print("error: --select named no rules", file=sys.stderr)
+            return 2
+
+    paths = options.paths or [_default_target()]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+
+    report = run_lint(paths, rules=rules)
+    for finding in sorted(report.findings):
+        print(finding.render())
+    for path, message in report.parse_errors:
+        print(f"{path}:0 parse-error {message}")
+    if not options.quiet:
+        summary = (
+            f"{len(report.findings)} finding(s), "
+            f"{report.suppressed} suppressed, "
+            f"{report.files_checked} file(s) checked"
+        )
+        print(summary, file=sys.stderr)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Rule ``wall-clock``: all time flows through the virtual clocks.
+
+The engine's determinism (result parity across drive modes, byte-exact
+virtual-time accounting, the server's conservative discrete-event schedule)
+depends on *no* engine code reading the machine clock.  Real time may only be
+observed by the clock authorities themselves (``network/simclock.py``,
+``server/clock.py`` — which today never touch it either, but own the
+abstraction) and by benchmark harness code, whose whole point is measuring
+wall seconds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import ModuleSource, Rule
+
+#: ``time.<attr>`` calls/imports that read or depend on the machine clock.
+WALL_CLOCK_TIME_NAMES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+
+#: ``datetime``/``date`` constructors that capture "now".
+DATETIME_NOW_NAMES = frozenset({"now", "utcnow", "today"})
+
+#: Modules that own the clock abstraction and may observe real time.
+CLOCK_AUTHORITY_SUFFIXES = (
+    "repro/network/simclock.py",
+    "repro/server/clock.py",
+)
+
+#: Directory names whose code measures real wall seconds by design.
+BENCH_DIRECTORIES = ("bench", "benchmarks")
+
+
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    summary = (
+        "engine code must not read the machine clock (time.time/perf_counter/"
+        "datetime.now); only the clock authorities and bench harnesses may"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[tuple[int, str]]:
+        if module.matches(*CLOCK_AUTHORITY_SUFFIXES) or module.has_role("clock-authority"):
+            return
+        if module.in_directory(*BENCH_DIRECTORIES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in WALL_CLOCK_TIME_NAMES:
+                        yield (
+                            node.lineno,
+                            f"imports wall-clock function time.{alias.name}; "
+                            "use the context's SimClock/ServerClock instead",
+                        )
+            elif isinstance(node, ast.Call):
+                label = _wall_clock_call(node.func)
+                if label is not None:
+                    yield (
+                        node.lineno,
+                        f"calls wall-clock function {label}; "
+                        "use the context's SimClock/ServerClock instead",
+                    )
+
+
+def _wall_clock_call(func: ast.expr) -> str | None:
+    """Label a call target that reads the machine clock, or ``None``."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        if value.id == "time" and func.attr in WALL_CLOCK_TIME_NAMES:
+            return f"time.{func.attr}"
+        if value.id in ("datetime", "date") and func.attr in DATETIME_NOW_NAMES:
+            return f"{value.id}.{func.attr}"
+    elif isinstance(value, ast.Attribute):
+        # datetime.datetime.now(...) / datetime.date.today(...)
+        if value.attr in ("datetime", "date") and func.attr in DATETIME_NOW_NAMES:
+            return f"{value.attr}.{func.attr}"
+    return None

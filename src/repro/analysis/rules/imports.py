@@ -1,0 +1,43 @@
+"""Rule ``conftest-import``: never import from a module named ``conftest``.
+
+A top-level module named ``conftest`` is ambiguous between ``tests/`` and
+``benchmarks/`` and once broke pytest collection entirely (see ROADMAP
+"Running tests & benchmarks").  Shared helpers live in ``tests/helpers.py``
+and ``benchmarks/bench_support.py``; importing ``conftest`` by name is always
+a latent collection bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import ModuleSource, Rule
+
+
+class ConftestImportRule(Rule):
+    rule_id = "conftest-import"
+    summary = (
+        "never `from conftest import ...` — the top-level name is ambiguous "
+        "between tests/ and benchmarks/; use helpers.py / bench_support.py"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "conftest" or (
+                    node.module and node.module.startswith("conftest.")
+                ):
+                    yield (
+                        node.lineno,
+                        "imports from conftest; move shared helpers to "
+                        "tests/helpers.py or benchmarks/bench_support.py",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "conftest" or alias.name.startswith("conftest."):
+                        yield (
+                            node.lineno,
+                            "imports conftest as a module; move shared helpers to "
+                            "tests/helpers.py or benchmarks/bench_support.py",
+                        )

@@ -1,0 +1,172 @@
+"""Rules ``memory-pairing`` and ``budget-mutation``: reserve/release discipline.
+
+The server-wide invariant ``broker.used_bytes == sum(resident_bytes)`` only
+holds if every byte an operator reserves against a :class:`MemoryBudget` is
+eventually released by the same owner, and if nobody edits the usage
+counters behind the accounting protocol's back.
+
+``memory-pairing`` is a static pairing analysis over class bodies: a class
+that calls ``reserve``/``try_reserve``/``force_reserve`` on some receiver
+must also call ``release`` (or ``close``) on that receiver somewhere in the
+class, and a class that takes a pool ``grant`` must hold a matching
+``revoke``/``release_lease`` path.  Reachability is approximated by
+presence — the runtime spill-parity tests assert the dynamic half of the
+invariant; this rule catches the PR that forgets the release path entirely.
+
+``budget-mutation`` forbids direct writes to the usage counters
+(``used_bytes``/``_used``/``_granted``, ``stats.reserved``) and to budget
+limits (``limit_bytes``) outside the owning modules — all other code must go
+through ``reserve``/``release``/``resize``/``revoke_to`` so the pool and
+broker totals stay propagated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import ModuleSource, Rule
+
+ACQUIRE_METHODS = frozenset({"reserve", "try_reserve", "force_reserve"})
+RELEASE_METHODS = frozenset({"release", "close"})
+GRANT_METHODS = frozenset({"grant"})
+GRANT_RELEASE_METHODS = frozenset({"revoke", "release_lease", "close"})
+
+#: Modules that implement the accounting protocol itself.  Their classes
+#: delegate between the acquire/release primitives they define (for example
+#: ``MemoryBudget.reserve`` calling ``self.try_reserve``), which the pairing
+#: heuristic would misread as client code.
+MEMORY_AUTHORITY_SUFFIXES = (
+    "repro/storage/memory.py",
+    "repro/server/broker.py",
+)
+
+#: Usage-counter attribute names nobody may assign to outside the owners.
+USAGE_COUNTER_ATTRS = frozenset({"used_bytes", "_used", "_granted"})
+
+
+def _receiver_tail(func: ast.expr) -> str | None:
+    """Trailing identifier of a method call's receiver (``self.budget`` -> ``budget``)."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+class MemoryPairingRule(Rule):
+    rule_id = "memory-pairing"
+    summary = (
+        "a class reserving budget bytes (reserve/try_reserve/force_reserve) or "
+        "taking a pool grant must hold a matching release/revoke in the same class"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[tuple[int, str]]:
+        if module.matches(*MEMORY_AUTHORITY_SUFFIXES) or module.has_role("memory-authority"):
+            return
+        classes = [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]
+        class_nodes = {id(c): set(map(id, ast.walk(c))) for c in classes}
+        # Code outside any class pairs at module scope.
+        in_class: set[int] = set().union(*class_nodes.values()) if class_nodes else set()
+        module_calls = [
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, ast.Call) and id(n) not in in_class
+        ]
+        scopes: list[tuple[str, list[ast.Call]]] = [
+            (c.name, [n for n in ast.walk(c) if isinstance(n, ast.Call)]) for c in classes
+        ]
+        if module_calls:
+            scopes.append(("<module>", module_calls))
+        for scope_name, calls in scopes:
+            yield from self._check_scope(scope_name, calls)
+
+    def _check_scope(
+        self, scope_name: str, calls: list[ast.Call]
+    ) -> Iterator[tuple[int, str]]:
+        acquires: dict[str, tuple[int, str]] = {}
+        grants: list[tuple[int, str]] = []
+        release_tails: set[str] = set()
+        has_grant_release = False
+        for call in calls:
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            tail = _receiver_tail(func)
+            if tail is None:
+                continue
+            method = func.attr
+            if method in ACQUIRE_METHODS:
+                acquires.setdefault(tail, (call.lineno, method))
+            elif method in RELEASE_METHODS:
+                release_tails.add(tail)
+            if method in GRANT_METHODS and tail.endswith("pool"):
+                grants.append((call.lineno, f"{tail}.{method}"))
+            elif method in GRANT_RELEASE_METHODS:
+                has_grant_release = True
+        for tail, (lineno, method) in sorted(acquires.items(), key=lambda kv: kv[1][0]):
+            if tail in release_tails:
+                continue
+            yield (
+                lineno,
+                f"{scope_name} calls {tail}.{method}() but never releases on "
+                f"{tail!r}; pair every reservation with a release (or revoke "
+                "the grant) so broker.used == sum(resident_bytes) holds",
+            )
+        if grants and not has_grant_release:
+            lineno, label = grants[0]
+            yield (
+                lineno,
+                f"{scope_name} takes a budget via {label}() but never revokes "
+                "or releases the lease; grants must be returned to the pool",
+            )
+
+
+class BudgetMutationRule(Rule):
+    rule_id = "budget-mutation"
+    summary = (
+        "usage counters (used_bytes/_used/_granted, stats.reserved) and budget "
+        "limits may only be assigned inside storage/memory.py and server/broker.py"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[tuple[int, str]]:
+        if module.matches(*MEMORY_AUTHORITY_SUFFIXES) or module.has_role("memory-authority"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    message = self._mutation_message(target)
+                    if message is not None:
+                        yield (node.lineno, message)
+
+    @staticmethod
+    def _mutation_message(target: ast.expr) -> str | None:
+        if not isinstance(target, ast.Attribute):
+            return None
+        attr = target.attr
+        if attr in USAGE_COUNTER_ATTRS:
+            return (
+                f"assigns to usage counter .{attr}; go through "
+                "reserve()/release() so pool and broker totals stay propagated"
+            )
+        if attr == "reserved" and isinstance(target.value, ast.Attribute):
+            if target.value.attr == "stats":
+                return (
+                    "assigns to .stats.reserved directly; use "
+                    "MemoryStats.reserve()/release()"
+                )
+        if attr == "limit_bytes":
+            receiver = target.value
+            tail = receiver.id if isinstance(receiver, ast.Name) else (
+                receiver.attr if isinstance(receiver, ast.Attribute) else ""
+            )
+            if "budget" in tail or tail in ("pool", "broker"):
+                return (
+                    f"assigns to {tail}.limit_bytes directly; use resize() or "
+                    "revoke_to() so broker leases stay renegotiated"
+                )
+        return None

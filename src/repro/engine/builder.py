@@ -22,8 +22,15 @@ from repro.errors import PlanError
 from repro.plan.physical import JoinImplementation, OperatorSpec, OperatorType
 
 
-def build_operator(spec: OperatorSpec, context: ExecutionContext) -> Operator:
+def build_operator(
+    spec: OperatorSpec, context: ExecutionContext, validate: bool | None = None
+) -> Operator:
     """Instantiate the runtime operator tree described by ``spec``.
+
+    When ``validate`` is true (default: ``context.config.validate_plans``),
+    the tree is first checked statically — schema compatibility, key
+    bindings, encoding consistency — and a violation raises
+    :class:`~repro.errors.PlanValidationError` before any operator exists.
 
     Raises
     ------
@@ -31,7 +38,18 @@ def build_operator(spec: OperatorSpec, context: ExecutionContext) -> Operator:
         If the spec uses an unknown operator type, implementation, or is
         missing required parameters.
     """
-    children = [build_operator(child, context) for child in spec.children]
+    if validate is None:
+        validate = context.config.validate_plans
+    if validate:
+        from repro.analysis.plan_check import check_tree
+
+        check_tree(
+            spec,
+            context.catalog,
+            encoded=context.config.encoded_columns,
+            local_store=context.local_store,
+        )
+    children = [build_operator(child, context, validate=False) for child in spec.children]
     params = spec.params
     operator_type = spec.operator_type
 

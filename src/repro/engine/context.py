@@ -71,6 +71,14 @@ class EngineConfig:
         source are served locally.
     source_cache_max_age_ms:
         Expiry for cached source data (``None`` = never expires).
+    validate_plans:
+        When true (the default), plans are statically validated before any
+        runtime operator is built: schema compatibility at unions/joins,
+        dependent-join bind keys produced by the left input, join-key
+        encoding consistency, and (at server admission) memory allotments
+        not below the broker floor.  A violation raises
+        :class:`~repro.errors.PlanValidationError` with every finding,
+        instead of failing mid-stream with a partially executed plan.
     """
 
     per_tuple_cpu_ms: float = DEFAULT_CPU_COST_MS
@@ -83,6 +91,7 @@ class EngineConfig:
     encoded_columns: bool = True
     enable_source_caching: bool = False
     source_cache_max_age_ms: float | None = None
+    validate_plans: bool = True
 
 
 class ExecutionContext:

@@ -19,8 +19,6 @@ loop; only the wall-clock bookkeeping is bulk).
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
 from repro.engine.operators.joins.base import JoinOperator

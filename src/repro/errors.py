@@ -44,6 +44,19 @@ class RuleError(PlanError):
     """An event-condition-action rule is malformed or violates restrictions."""
 
 
+class PlanValidationError(PlanError):
+    """A plan failed static validation before execution.
+
+    Carries the individual :class:`~repro.analysis.plan_check.PlanCheckFinding`
+    records in ``findings`` so callers can report every violation, not just
+    the first.
+    """
+
+    def __init__(self, message: str, findings: list | None = None) -> None:
+        super().__init__(message)
+        self.findings = list(findings or [])
+
+
 class OptimizationError(TukwilaError):
     """The optimizer failed to produce a plan."""
 

@@ -15,7 +15,6 @@ from repro.errors import SourceTimeoutError, SourceUnavailableError
 from repro.network.simclock import SimClock
 from repro.network.source import DataSource, SourceConnection
 from repro.storage.batch import typed_transpose
-from repro.storage.columns import make_dictionaries
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 

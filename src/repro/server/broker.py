@@ -20,7 +20,7 @@ every revocation via the :attr:`on_revocation` observer hook.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import MemoryBudgetError

@@ -152,6 +152,17 @@ class QueryServer:
         session_id = self._next_session_id(name)
         context = self._session_context(session_id, arrival_ms, engine_config, columnar)
         negotiate_plan_memory(plan, self.broker)
+        if context.config.validate_plans:
+            from repro.analysis.plan_check import check_plan
+
+            # After negotiation every bounded allotment must sit at or above
+            # the broker floor — a sub-floor allotment could never be granted.
+            check_plan(
+                plan,
+                self.catalog,
+                encoded=context.config.encoded_columns,
+                enforce_floor=True,
+            )
         session = QuerySession(
             session_id,
             context,

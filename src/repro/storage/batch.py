@@ -135,6 +135,7 @@ class Batch:
             return cls.from_columns(schema, columns, arrivals)
         rows: list[Row] = []
         for part in parts:
+            # repro: allow[hot-path-row] row-backed concat: inputs are already boxed
             rows.extend(part.rows())
         return cls.from_rows(schema, rows)
 
@@ -172,7 +173,7 @@ class Batch:
         rows = self._rows
         if rows is None:
             schema = self.schema
-            make = Row.make
+            make = Row.make  # repro: allow[hot-path-row] declared tuple-path boundary
             columns = self._columns
             if columns:
                 rows = [
@@ -185,12 +186,13 @@ class Batch:
         return rows
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self.rows())
+        return iter(self.rows())  # repro: allow[hot-path-row] tuple-drive compatibility
 
     def __getitem__(self, index: int) -> Row:
         if self._rows is not None:
             return self._rows[index]
         values = tuple(column[index] for column in self._columns)
+        # repro: allow[hot-path-row] single-row accessor is a declared boundary
         return Row.make(self.schema, values, self.arrivals[index])
 
     # -- vectorized derivation --------------------------------------------------
@@ -222,7 +224,7 @@ class Batch:
         """Re-stamp onto ``schema`` (same arity); columns are aliased, not copied."""
         if self._columns is not None:
             return Batch.from_columns(schema, self._columns, self.arrivals)
-        make = Row.make
+        make = Row.make  # repro: allow[hot-path-row] row-backed re-stamp keeps rows rows
         return Batch.from_rows(
             schema, [make(schema, row.values, row.arrival) for row in self._rows]
         )

@@ -762,12 +762,13 @@ class ColumnarPartition:
 
     def row_at(self, index: int) -> Row:
         """One row boxed as a :class:`Row` (compatibility/tuple-path accessor)."""
+        # repro: allow[hot-path-row] declared tuple-path boundary accessor
         return Row.make(self.schema, self.value_tuple(index), self.arrivals[index])
 
     def rows(self) -> list[Row]:
         """All rows boxed (compatibility/tuple-path accessor)."""
         schema = self.schema
-        make = Row.make
+        make = Row.make  # repro: allow[hot-path-row] declared tuple-path boundary
         if not len(self.arrivals):
             return []
         return [

@@ -461,7 +461,7 @@ class OverflowFile:
         string objects (no per-row string construction).
         """
         schema = self.schema
-        make = Row.make
+        make = Row.make  # repro: allow[hot-path-row] row-at-a-time spill view re-boxes by design
         for chunk in self.read_chunks():
             columns = chunk.columns
             for i, (arrival, marked) in enumerate(zip(chunk.arrivals, chunk.marked)):
@@ -471,7 +471,7 @@ class OverflowFile:
     def peek(self) -> list[tuple[Row, bool]]:
         """Contents without charging I/O (for tests and debugging)."""
         schema = self.schema
-        make = Row.make
+        make = Row.make  # repro: allow[hot-path-row] debugging/test peek, never on the hot path
         out: list[tuple[Row, bool]] = []
         for chunk in self._chunks:
             columns = chunk.columns

@@ -571,6 +571,7 @@ class BucketedHashTable:
         """All resident rows, bucket by bucket (boxed; tests and debugging)."""
         for bucket in self.buckets:
             if bucket.partition is not None:
+                # repro: allow[hot-path-row] boxed inspection view, tests/debugging only
                 yield from bucket.partition.rows()
 
     def overflow_chunks(self, index: int) -> Iterator[SpillChunk]:

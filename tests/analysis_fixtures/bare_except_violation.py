@@ -1,0 +1,18 @@
+"""Fixture for rule ``bare-except``: a handler that catches everything.
+
+Never imported — parsed by the analyzer tests only.
+"""
+
+
+def swallow_all(action) -> None:
+    try:
+        action()
+    except:  # VIOLATION: catches KeyboardInterrupt/SystemExit too  # noqa: E722
+        raise RuntimeError("failed")
+
+
+def swallow_all_suppressed(action) -> None:
+    try:
+        action()
+    except:  # repro: allow[bare-except] fixture twin  # noqa: E722
+        raise RuntimeError("failed")

@@ -1,0 +1,12 @@
+"""Fixture for rule ``budget-mutation``: direct mutation of a usage counter.
+
+Never imported — parsed by the analyzer tests only.
+"""
+
+
+def forge_usage(broker, nbytes: int) -> None:
+    broker.used_bytes += nbytes  # VIOLATION: usage counters belong to their owners
+
+
+def forge_usage_suppressed(broker, nbytes: int) -> None:
+    broker.used_bytes += nbytes  # repro: allow[budget-mutation] fixture twin

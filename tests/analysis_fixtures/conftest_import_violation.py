@@ -1,0 +1,10 @@
+"""Fixture for rule ``conftest-import``: importing the ambiguous module name.
+
+Never imported (it would fail if it were) — parsed by the analyzer tests only.
+"""
+
+from conftest import tiny_tpcd  # VIOLATION: ambiguous between tests/ and benchmarks/
+
+from conftest import helpers  # repro: allow[conftest-import] fixture twin
+
+__all__ = ["tiny_tpcd", "helpers"]

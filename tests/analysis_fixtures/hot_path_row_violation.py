@@ -1,0 +1,15 @@
+"""Fixture for rule ``hot-path-row``: Row boxing in a declared hot-path module.
+
+The module-role marker below opts this file into the hot-path scope even
+though its path is not one of the known storage modules.  Never imported —
+parsed by the analyzer tests only.
+"""
+# repro: module-role[hot-path]
+
+
+def box_row(Row, schema, values):
+    return Row(schema, values)  # VIOLATION: Row construction on a hot path
+
+
+def box_row_suppressed(Row, schema, values):
+    return Row(schema, values)  # repro: allow[hot-path-row] fixture twin

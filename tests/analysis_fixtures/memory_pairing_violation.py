@@ -1,0 +1,21 @@
+"""Fixture for rule ``memory-pairing``: a reserve with no reachable release.
+
+Never imported — parsed by the analyzer tests only.
+"""
+
+
+class LeakyOperator:
+    def __init__(self, budget):
+        self.budget = budget
+
+    def open(self, nbytes: int) -> None:
+        self.budget.reserve(nbytes)  # VIOLATION: no release/close in this class
+
+
+class SuppressedOperator:
+    def __init__(self, budget):
+        self.budget = budget
+
+    def open(self, nbytes: int) -> None:
+        # repro: allow[memory-pairing] fixture twin: released by the pool owner
+        self.budget.reserve(nbytes)

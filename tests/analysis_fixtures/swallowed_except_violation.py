@@ -1,0 +1,18 @@
+"""Fixture for rule ``swallowed-except``: a broad handler that does nothing.
+
+Never imported — parsed by the analyzer tests only.
+"""
+
+
+def ignore_failures(action) -> None:
+    try:
+        action()
+    except Exception:  # VIOLATION: the error silently disappears
+        pass
+
+
+def ignore_failures_suppressed(action) -> None:
+    try:
+        action()
+    except Exception:  # repro: allow[swallowed-except] fixture twin
+        pass

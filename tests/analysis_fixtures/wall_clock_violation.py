@@ -1,0 +1,15 @@
+"""Fixture for rule ``wall-clock``: one seeded violation plus a suppressed twin.
+
+Never imported — the analyzer tests parse this file and assert the rule
+fires on exactly the marked line and stays quiet on the suppressed one.
+"""
+
+import time
+
+
+def stamp_now() -> float:
+    return time.time()  # VIOLATION: wall clock outside the clock authorities
+
+
+def stamp_now_suppressed() -> float:
+    return time.time()  # repro: allow[wall-clock] fixture twin, deliberately suppressed

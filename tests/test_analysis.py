@@ -1,0 +1,155 @@
+"""The engine invariant analyzer: rules, pragmas, fixtures, and the real tree.
+
+Three layers of coverage:
+
+* the shipped source tree lints clean (this is the tier-1 gate the CI
+  ``analysis`` job also enforces);
+* every registered rule fires on exactly its seeded violation in
+  ``tests/analysis_fixtures/`` and is silenced by the ``# repro:
+  allow[rule-id]`` pragma on the suppressed twin;
+* the ``python -m repro.analysis`` CLI reports findings and exit codes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, run_lint
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.linter import ModuleSource, lint_module
+from repro.analysis.rules import rule_by_id
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+SOURCE_TREE = Path(__file__).parents[1] / "src" / "repro"
+
+#: rule id -> its seeded-violation fixture.  Every registered rule must have
+#: one; the completeness test below enforces that.
+FIXTURE_FOR_RULE = {
+    "wall-clock": "wall_clock_violation.py",
+    "memory-pairing": "memory_pairing_violation.py",
+    "budget-mutation": "budget_mutation_violation.py",
+    "hot-path-row": "hot_path_row_violation.py",
+    "conftest-import": "conftest_import_violation.py",
+    "bare-except": "bare_except_violation.py",
+    "swallowed-except": "swallowed_except_violation.py",
+}
+
+
+def violation_line(fixture: Path) -> int:
+    """Line number carrying the fixture's single ``VIOLATION`` marker."""
+    lines = fixture.read_text(encoding="utf-8").splitlines()
+    marked = [i for i, line in enumerate(lines, start=1) if "VIOLATION" in line]
+    assert len(marked) == 1, f"{fixture.name} must carry exactly one VIOLATION marker"
+    return marked[0]
+
+
+class TestRealTree:
+    def test_shipped_tree_lints_clean(self):
+        report = run_lint([SOURCE_TREE])
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.clean, f"invariant violations in src/repro:\n{rendered}"
+        assert report.files_checked > 50  # the whole package was actually walked
+
+    def test_boundary_pragmas_are_exercised(self):
+        # The hot-path modules box rows only at pragma-declared boundaries;
+        # if this drops to zero the pragmas (or the rule) went dead.
+        report = run_lint([SOURCE_TREE])
+        assert report.suppressed >= 10
+
+
+class TestRuleFixtures:
+    def test_every_rule_has_a_fixture(self):
+        assert {rule.rule_id for rule in ALL_RULES} == set(FIXTURE_FOR_RULE)
+
+    @pytest.mark.parametrize("rule_id", sorted(FIXTURE_FOR_RULE))
+    def test_rule_fires_exactly_on_seeded_violation(self, rule_id):
+        fixture = FIXTURES / FIXTURE_FOR_RULE[rule_id]
+        report = run_lint([fixture], rules=(rule_by_id(rule_id),))
+        assert len(report.findings) == 1, [f.render() for f in report.findings]
+        finding = report.findings[0]
+        assert finding.rule_id == rule_id
+        assert finding.line == violation_line(fixture)
+        assert report.suppressed == 1  # the pragma'd twin was seen and silenced
+
+    @pytest.mark.parametrize("rule_id", sorted(FIXTURE_FOR_RULE))
+    def test_no_cross_talk_between_rules(self, rule_id):
+        # Running *all* rules over a fixture reports only that fixture's rule:
+        # each fixture seeds exactly one kind of violation.
+        fixture = FIXTURES / FIXTURE_FOR_RULE[rule_id]
+        report = run_lint([fixture])
+        assert {f.rule_id for f in report.findings} == {rule_id}
+
+    def test_finding_render_format(self):
+        fixture = FIXTURES / FIXTURE_FOR_RULE["wall-clock"]
+        report = run_lint([fixture])
+        line = violation_line(fixture)
+        assert report.findings[0].render().startswith(f"{fixture}:{line} wall-clock ")
+
+
+class TestPragmas:
+    def test_pragma_on_previous_line(self):
+        module = ModuleSource(
+            "inline.py",
+            "import time\n"
+            "# repro: allow[wall-clock] next line is sanctioned\n"
+            "t = time.time()\n",
+        )
+        findings, suppressed = lint_module(module, [rule_by_id("wall-clock")])
+        assert not findings and suppressed == 1
+
+    def test_wildcard_pragma(self):
+        module = ModuleSource(
+            "inline.py", "import time\nt = time.time()  # repro: allow[*]\n"
+        )
+        findings, suppressed = lint_module(module, [rule_by_id("wall-clock")])
+        assert not findings and suppressed == 1
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        module = ModuleSource(
+            "inline.py", "import time\nt = time.time()  # repro: allow[bare-except]\n"
+        )
+        findings, _ = lint_module(module, [rule_by_id("wall-clock")])
+        assert len(findings) == 1
+
+    def test_module_role_widens_rule_scope(self):
+        body = "def f(Row, s, v):\n    return Row(s, v)\n"
+        neutral = ModuleSource("somewhere.py", body)
+        findings, _ = lint_module(neutral, [rule_by_id("hot-path-row")])
+        assert not findings  # not a hot-path module, rule does not apply
+        hot = ModuleSource("somewhere.py", "# repro: module-role[hot-path]\n" + body)
+        findings, _ = lint_module(hot, [rule_by_id("hot-path-row")])
+        assert len(findings) == 1
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert analysis_main([str(SOURCE_TREE), "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one_and_print(self, capsys):
+        fixture = FIXTURES / FIXTURE_FOR_RULE["bare-except"]
+        assert analysis_main([str(fixture)]) == 1
+        out = capsys.readouterr().out
+        assert f"{fixture}:" in out and "bare-except" in out
+
+    def test_select_restricts_rules(self, capsys):
+        fixture = FIXTURES / FIXTURE_FOR_RULE["bare-except"]
+        assert analysis_main([str(fixture), "--select", "wall-clock", "--quiet"]) == 0
+        assert analysis_main([str(fixture), "--select", "bare-except", "--quiet"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert analysis_main([str(FIXTURES), "--select", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert analysis_main(["definitely/not/here.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert f"{rule.rule_id}:" in out

@@ -156,7 +156,7 @@ class TestPolicyBehaviour:
         collector.open()
         collector.next()
         collector.activate_child("scan_bib-mirror")
-        rows = list(collector.iterate())
+        list(collector.iterate())
         assert collector.tuples_per_child["scan_bib-mirror"] == 20
 
     def test_threshold_events_emitted_per_child(self, bib_catalog):

@@ -21,9 +21,8 @@ from __future__ import annotations
 import pytest
 
 from repro.catalog.catalog import DataSourceCatalog
-from repro.engine.context import EngineConfig
 from repro.network.cache import SourceCache
-from repro.network.profiles import NetworkProfile, lan
+from repro.network.profiles import NetworkProfile
 from repro.network.source import DataSource
 from repro.plan.fragments import Fragment, QueryPlan
 from repro.plan.physical import join, wrapper_scan
