@@ -72,12 +72,15 @@ def run_policy(policy: str, primary_dead: bool):
     root.open()
     produced = 0
     distinct = set()
+    failed_with = None
     try:
         for row in root.iterate():
             produced += 1
             distinct.add(row["key"])
-    except Exception:
-        pass  # a plain union with a dead child cannot finish; report what it got
+    except Exception as exc:
+        # A plain union with a dead child cannot finish; report the partial
+        # results together with what cut the run short.
+        failed_with = type(exc).__name__
     root.close()
     contacted = sum(
         1
@@ -91,6 +94,7 @@ def run_policy(policy: str, primary_dead: bool):
         "distinct": len(distinct),
         "sources_contacted": contacted,
         "completion_ms": context.clock.now,
+        "failed_with": failed_with,
     }
 
 

@@ -11,6 +11,12 @@ conventions into checked invariants:
   tree and reports violations as ``file:line rule-id message`` findings, with
   ``# repro: allow[rule-id]`` pragmas for the deliberate exceptions.  The
   project rules live in :mod:`repro.analysis.rules`.
+* :mod:`repro.analysis.dataflow` — the shared flow-analysis core: per-function
+  CFGs (with exception/finally/``with`` edges), a project-wide call graph
+  resolved over the import structure, bottom-up effect summaries (cached
+  per-module by content hash), and a forward taint engine.  The flow-aware
+  rules (``clock-taint``, ``lease-lifecycle``, ``step-effect``) are built
+  on it via the :class:`~repro.analysis.linter.ProjectRule` interface.
 * :mod:`repro.analysis.plan_check` — a static validator for physical operator
   trees, run before execution (``EngineConfig(validate_plans=True)``, the
   default): schema compatibility at unions and joins, dependent-join bind
@@ -21,7 +27,15 @@ Run the linter from the repo root with ``python -m repro.analysis src/repro``
 (exit status 0 = clean); the same pass runs as a tier-1 test and a CI job.
 """
 
-from repro.analysis.linter import Finding, LintReport, ModuleSource, Rule, run_lint
+from repro.analysis.dataflow import AnalysisProject, build_cfg
+from repro.analysis.linter import (
+    Finding,
+    LintReport,
+    ModuleSource,
+    ProjectRule,
+    Rule,
+    run_lint,
+)
 from repro.analysis.plan_check import (
     PlanCheckFinding,
     PlanValidator,
@@ -34,12 +48,15 @@ from repro.analysis.rules import ALL_RULES, rule_by_id
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisProject",
     "Finding",
     "LintReport",
     "ModuleSource",
     "PlanCheckFinding",
     "PlanValidator",
+    "ProjectRule",
     "Rule",
+    "build_cfg",
     "check_plan",
     "check_tree",
     "rule_by_id",

@@ -2,17 +2,22 @@
 
 Lints the given files/directories (default: the ``repro`` package itself)
 with every registered rule and prints findings as ``path:line rule-id
-message``, one per line, sorted.  Exit status: 0 when clean, 1 when any
-finding (or unparsable file) was reported, 2 on usage errors.
+message``, one per line, sorted.  ``--format json`` emits a
+machine-readable report; ``--format github`` emits workflow-annotation
+lines so CI findings annotate the PR diff.  ``--output FILE`` writes the
+JSON report to a file regardless of the display format (the CI artifact).
+Exit status: 0 when clean, 1 when any finding (or unparsable file) was
+reported, 2 on usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.analysis.linter import run_lint
+from repro.analysis.linter import LintReport, run_lint
 from repro.analysis.rules import ALL_RULES, rule_by_id
 
 
@@ -20,11 +25,42 @@ def _default_target() -> Path:
     return Path(__file__).resolve().parents[1]  # the repro package directory
 
 
+def report_document(report: LintReport) -> dict:
+    """The JSON document for ``--format json`` and ``--output``."""
+    return {
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "rule": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in sorted(report.findings)
+        ],
+        "parse_errors": [
+            {"path": path, "message": message} for path, message in report.parse_errors
+        ],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "files_checked": report.files_checked,
+            "clean": report.clean,
+        },
+    }
+
+
+def _parse_rules(spec: str) -> tuple:
+    return tuple(
+        rule_by_id(rule_id.strip()) for rule_id in spec.split(",") if rule_id.strip()
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="AST lint pass enforcing the engine's invariants "
-        "(clock, memory, encoding, exception discipline).",
+        description="Flow-aware lint pass enforcing the engine's invariants "
+        "(clock taint, lease lifecycle, scheduler effects, encoding, "
+        "exception discipline).",
     )
     parser.add_argument(
         "paths",
@@ -43,6 +79,25 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the named rules (comma separated)",
     )
     parser.add_argument(
+        "--ignore",
+        metavar="RULE-ID[,RULE-ID...]",
+        help="run every rule except the named ones (the relaxed-ruleset knob; "
+        "composes with --select)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="findings as plain text (default), one JSON document, or GitHub "
+        "workflow ::error annotations",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        type=Path,
+        help="also write the JSON report to FILE (independent of --format)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the summary line; print findings only",
@@ -57,16 +112,22 @@ def main(argv: list[str] | None = None) -> int:
     rules = ALL_RULES
     if options.select:
         try:
-            rules = tuple(
-                rule_by_id(rule_id.strip())
-                for rule_id in options.select.split(",")
-                if rule_id.strip()
-            )
+            rules = _parse_rules(options.select)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
         if not rules:
             print("error: --select named no rules", file=sys.stderr)
+            return 2
+    if options.ignore:
+        try:
+            ignored = {rule.rule_id for rule in _parse_rules(options.ignore)}
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        rules = tuple(rule for rule in rules if rule.rule_id not in ignored)
+        if not rules:
+            print("error: --ignore removed every rule", file=sys.stderr)
             return 2
 
     paths = options.paths or [_default_target()]
@@ -77,11 +138,26 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     report = run_lint(paths, rules=rules)
-    for finding in sorted(report.findings):
-        print(finding.render())
-    for path, message in report.parse_errors:
-        print(f"{path}:0 parse-error {message}")
-    if not options.quiet:
+    document = report_document(report)
+    if options.output is not None:
+        options.output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    if options.format == "json":
+        print(json.dumps(document, indent=2))
+    elif options.format == "github":
+        for finding in sorted(report.findings):
+            print(
+                f"::error file={finding.path},line={finding.line},"
+                f"title={finding.rule_id}::{finding.message}"
+            )
+        for path, message in report.parse_errors:
+            print(f"::error file={path},line=1,title=parse-error::{message}")
+    else:
+        for finding in sorted(report.findings):
+            print(finding.render())
+        for path, message in report.parse_errors:
+            print(f"{path}:0 parse-error {message}")
+    if not options.quiet and options.format != "json":
         summary = (
             f"{len(report.findings)} finding(s), "
             f"{report.suppressed} suppressed, "

@@ -1,0 +1,257 @@
+"""Project-wide function index and name-resolved call graph.
+
+Python's dynamism rules out a sound points-to analysis inside a linter,
+so the graph is resolved by *name* over the project's actual import
+structure, erring toward over-approximation:
+
+- ``name(...)`` resolves through the module's imports (``from x import f``),
+  then module-level and enclosing-scope definitions, then project classes
+  (a constructor call targets ``__init__``);
+- ``self.m(...)`` / ``cls.m(...)`` resolves to the enclosing class's method
+  if it has one, otherwise to *every* project method named ``m`` (a
+  subclass may provide it);
+- ``alias.f(...)`` where ``alias`` is an imported module resolves to that
+  module's top-level ``f``;
+- any other ``recv.m(...)`` resolves to every project function named ``m``.
+
+Over-approximation is the right failure mode for the rules built on top:
+``step-effect`` must never miss a side effect reachable from a probe, and
+a spurious edge at worst produces a finding a pragma can silence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str  # "repro.engine.executor.QueryExecutor._wait_hint"
+    module: str  # dotted module name
+    name: str  # simple name
+    cls: str | None  # enclosing class name, if a method
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str  # posix path of the defining module
+    lineno: int = 0
+    is_generator: bool = False
+
+    def __post_init__(self) -> None:
+        self.lineno = self.node.lineno
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with its resolution inputs."""
+
+    kind: str  # "name" | "self-attr" | "attr"
+    name: str  # called simple name / attribute
+    receiver: str | None  # receiver expression tail ("pool", "clock", module alias)
+    lineno: int
+    node: ast.Call
+
+
+def module_name_for(posix_path: str) -> str:
+    """Dotted module name from a src-relative posix path.
+
+    ``src/repro/engine/executor.py`` → ``repro.engine.executor``; paths
+    outside a ``src`` root fall back to the path with separators swapped,
+    which keeps fixture modules distinct from project modules.
+    """
+    parts = posix_path.split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _receiver_tail(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _is_generator(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    nested: set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if node is fn:
+                continue
+            for sub in ast.walk(node):
+                nested.add(id(sub))
+    for node in ast.walk(fn):
+        if id(node) not in nested and isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+@dataclass
+class ModuleFacts:
+    """Per-module inputs to the call graph: defs, imports, classes."""
+
+    module: str
+    path: str
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)  # by qualname
+    imports: dict[str, str] = field(default_factory=dict)  # alias -> target
+    classes: dict[str, list[str]] = field(default_factory=dict)  # class -> method qualnames
+
+
+def collect_module_facts(tree: ast.Module, posix_path: str) -> ModuleFacts:
+    module = module_name_for(posix_path)
+    facts = ModuleFacts(module=module, path=posix_path)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                facts.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports are not used in this tree
+            for alias in node.names:
+                facts.imports[alias.asname or alias.name] = f"{node.module}:{alias.name}"
+
+    def visit_body(body, prefix: str, cls: str | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                info = FunctionInfo(
+                    qualname=qualname,
+                    module=module,
+                    name=node.name,
+                    cls=cls,
+                    node=node,
+                    path=posix_path,
+                    is_generator=_is_generator(node),
+                )
+                facts.functions[qualname] = info
+                if cls is not None:
+                    facts.classes.setdefault(cls, []).append(qualname)
+                # Nested definitions keep their enclosing function in the
+                # qualname but are *not* methods of the class.
+                visit_body(node.body, qualname, None)
+            elif isinstance(node, ast.ClassDef):
+                facts.classes.setdefault(node.name, [])
+                visit_body(node.body, f"{prefix}.{node.name}", node.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                visit_body(node.body, prefix, cls)
+
+    visit_body(tree.body, module, None)
+    return facts
+
+
+def collect_call_sites(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[CallSite]:
+    """Every call expression in ``fn``'s own body (not nested defs)."""
+    sites: list[CallSite] = []
+    nested: set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+            for sub in ast.walk(node):
+                nested.add(id(sub))
+    for node in ast.walk(fn):
+        if id(node) in nested or not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            sites.append(CallSite("name", func.id, None, node.lineno, node))
+        elif isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+                sites.append(CallSite("self-attr", func.attr, value.id, node.lineno, node))
+            else:
+                sites.append(
+                    CallSite("attr", func.attr, _receiver_tail(value), node.lineno, node)
+                )
+    return sites
+
+
+class CallGraph:
+    """Name-resolved call graph over a set of project modules."""
+
+    def __init__(self, module_facts: list[ModuleFacts]):
+        self.modules = {facts.module: facts for facts in module_facts}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.by_name: dict[str, list[str]] = {}
+        self.methods_by_name: dict[str, list[str]] = {}
+        self.class_methods: dict[tuple[str, str], str] = {}
+        self.module_level: dict[tuple[str, str], str] = {}
+        for facts in module_facts:
+            for qualname, info in facts.functions.items():
+                self.functions[qualname] = info
+                self.by_name.setdefault(info.name, []).append(qualname)
+                if info.cls is not None:
+                    self.methods_by_name.setdefault(info.name, []).append(qualname)
+                    self.class_methods[(info.cls, info.name)] = qualname
+                elif qualname == f"{facts.module}.{info.name}":
+                    self.module_level[(facts.module, info.name)] = qualname
+        self._edges: dict[str, list[tuple[str, CallSite]]] = {}
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(self, caller: FunctionInfo, site: CallSite) -> list[str]:
+        """Project functions a call site may target (empty: external call)."""
+        if site.kind == "name":
+            return self._resolve_name(caller, site.name)
+        if site.kind == "self-attr":
+            if caller.cls is not None:
+                own = self.class_methods.get((caller.cls, site.name))
+                if own is not None:
+                    return [own]
+            return list(self.methods_by_name.get(site.name, ()))
+        # attr call: imported-module attribute, else any project def by name.
+        facts = self.modules.get(caller.module)
+        if facts is not None and site.receiver in facts.imports:
+            target = facts.imports[site.receiver]
+            if ":" not in target:
+                qual = self.module_level.get((target, site.name))
+                return [qual] if qual is not None else []
+        return list(self.by_name.get(site.name, ()))
+
+    def _resolve_name(self, caller: FunctionInfo, name: str) -> list[str]:
+        facts = self.modules.get(caller.module)
+        if facts is not None:
+            imported = facts.imports.get(name)
+            if imported is not None and ":" in imported:
+                mod, attr = imported.split(":", 1)
+                qual = self.module_level.get((mod, attr))
+                if qual is not None:
+                    return [qual]
+                # Imported class: a constructor call targets __init__.
+                target_facts = self.modules.get(mod)
+                if target_facts is not None and attr in target_facts.classes:
+                    init = self.class_methods.get((attr, "__init__"))
+                    return [init] if init is not None else []
+                return []
+            # Nested function of the caller, then module scope, then a
+            # same-module class constructor.
+            nested = f"{caller.qualname}.{name}"
+            if nested in self.functions:
+                return [nested]
+            qual = self.module_level.get((caller.module, name))
+            if qual is not None:
+                return [qual]
+            if name in facts.classes:
+                init = self.class_methods.get((name, "__init__"))
+                return [init] if init is not None else []
+        return []
+
+    # -- edges -------------------------------------------------------------------
+
+    def callees(self, qualname: str) -> list[tuple[str, CallSite]]:
+        """Resolved ``(callee_qualname, site)`` pairs for one function."""
+        cached = self._edges.get(qualname)
+        if cached is not None:
+            return cached
+        info = self.functions[qualname]
+        edges: list[tuple[str, CallSite]] = []
+        for site in collect_call_sites(info.node):
+            for target in self.resolve(info, site):
+                edges.append((target, site))
+        self._edges[qualname] = edges
+        return edges

@@ -1,0 +1,158 @@
+"""Side-effect extraction and bottom-up effect summaries.
+
+Each function gets a set of *direct* effects — syntactic evidence that
+executing it mutates engine state the deterministic scheduler cares
+about — and a *summary* that unions the direct effects of everything
+reachable from it over the call graph.  The ``step-effect`` rule then
+checks that probe functions (``peek_arrival`` and everything feeding a
+``StepEvent("wait", …)``) have empty summaries.
+
+Direct effects are cheap, purely local facts, which makes them the unit
+of caching: :mod:`repro.analysis.dataflow.project` persists them
+per-module keyed by content hash, so re-runs only re-extract effects for
+modules whose text changed.  Summary propagation is always recomputed —
+it depends on the whole call graph, and a stale cross-module summary is
+exactly the kind of unsoundness a checker must not have.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.dataflow.callgraph import CallGraph
+
+#: Virtual-clock mutators: unambiguous regardless of receiver spelling.
+CLOCK_MUTATORS = frozenset(
+    {
+        "advance_to",
+        "consume_cpu",
+        "consume_io",
+        "consume_cpu_overlapped",
+        "consume_io_overlapped",
+    }
+)
+
+#: Clock mutators only when called on something that looks like a clock
+#: (``charge``/``reset`` are common names on unrelated objects).
+CLOCK_MUTATORS_ON_CLOCK = frozenset({"charge", "reset"})
+
+#: Budget/lease mutators: unambiguous method names.
+BUDGET_MUTATORS = frozenset(
+    {
+        "try_reserve",
+        "force_reserve",
+        "revoke_to",
+        "release_lease",
+        "resize_lease",
+        "note_reserve",
+        "note_release",
+        "_note_reserve",
+        "_note_release",
+    }
+)
+
+#: Budget mutators only on budget-ish receivers (``release`` alone is the
+#: name of half the cleanup methods in any codebase).
+BUDGET_MUTATORS_ON_BUDGET = frozenset({"reserve", "release", "grant", "lease", "revoke"})
+
+_BUDGET_RECEIVERS = ("budget", "pool", "broker")
+_CACHE_RECEIVERS = ("cache", "feed")
+_SOURCE_RECEIVERS = ("source", "wrapper", "connection")
+_CLOCK_RECEIVERS = ("clock",)
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One direct side effect: ``kind`` is clock/budget/cache/source."""
+
+    kind: str
+    detail: str
+    path: str
+    line: int
+
+    def render(self) -> str:
+        return f"{self.kind} effect `{self.detail}` at {self.path}:{self.line}"
+
+
+def _receiver_mentions(receiver: str | None, fragments: tuple[str, ...]) -> bool:
+    if receiver is None:
+        return False
+    lowered = receiver.lower()
+    return any(fragment in lowered for fragment in fragments)
+
+
+def classify_effect_call(name: str, receiver: str | None) -> tuple[str, str] | None:
+    """(kind, detail) when an attribute call ``receiver.name(...)`` is an effect."""
+    if name in CLOCK_MUTATORS:
+        return ("clock", name)
+    if name in CLOCK_MUTATORS_ON_CLOCK and _receiver_mentions(receiver, _CLOCK_RECEIVERS):
+        return ("clock", name)
+    if name in BUDGET_MUTATORS:
+        return ("budget", name)
+    if name in BUDGET_MUTATORS_ON_BUDGET and _receiver_mentions(
+        receiver, _BUDGET_RECEIVERS
+    ):
+        return ("budget", name)
+    if name == "fill" and _receiver_mentions(receiver, _CACHE_RECEIVERS):
+        return ("cache", name)
+    if name == "open" and _receiver_mentions(receiver, _SOURCE_RECEIVERS):
+        return ("source", name)
+    return None
+
+
+def direct_effects(fn: ast.FunctionDef | ast.AsyncFunctionDef, path: str) -> list[Effect]:
+    """Direct effects of one function body (nested defs excluded)."""
+    nested: set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+            for sub in ast.walk(node):
+                nested.add(id(sub))
+    effects: list[Effect] = []
+    seen: set[tuple[str, str, int]] = set()
+    for node in ast.walk(fn):
+        if id(node) in nested or not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        value = func.value
+        if isinstance(value, ast.Attribute):
+            receiver = value.attr
+        elif isinstance(value, ast.Name):
+            receiver = value.id
+        else:
+            receiver = None
+        classified = classify_effect_call(func.attr, receiver)
+        if classified is None:
+            continue
+        kind, detail = classified
+        key = (kind, detail, node.lineno)
+        if key not in seen:
+            seen.add(key)
+            effects.append(Effect(kind, detail, path, node.lineno))
+    return effects
+
+
+def propagate_summaries(
+    graph: CallGraph, direct: dict[str, list[Effect]]
+) -> dict[str, frozenset[Effect]]:
+    """Bottom-up transitive effect summaries over the call graph.
+
+    Iterative fixpoint (the graph has cycles through recursion and
+    name-based over-approximation); monotone, so it terminates.
+    """
+    summaries: dict[str, set[Effect]] = {
+        name: set(direct.get(name, ())) for name in graph.functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in graph.functions:
+            current = summaries[name]
+            before = len(current)
+            for callee, _site in graph.callees(name):
+                current |= summaries.get(callee, set())
+            if len(current) != before:
+                changed = True
+    return {name: frozenset(effects) for name, effects in summaries.items()}

@@ -1,0 +1,159 @@
+"""The whole-project view shared by flow-aware rules.
+
+:class:`AnalysisProject` owns the expensive artifacts — module facts,
+the call graph, direct effects, propagated effect summaries — and builds
+each lazily on first use, so a ``--select`` run of purely syntactic rules
+never pays for the call graph.
+
+Direct effects are cached per module, keyed by a content hash: a re-run
+over an unchanged module loads its effect facts from the cache instead
+of re-walking its AST.  Only the *local* facts are cached; summary
+propagation is recomputed every run because it depends on every other
+module in the project.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Iterable
+
+from repro.analysis.dataflow.callgraph import (
+    CallGraph,
+    collect_module_facts,
+)
+from repro.analysis.dataflow.effects import (
+    Effect,
+    direct_effects,
+    propagate_summaries,
+)
+
+#: Override the effect-fact cache location (CI points this at a workspace
+#: path it persists between steps); empty string disables the cache.
+CACHE_ENV = "REPRO_ANALYSIS_CACHE"
+
+_CACHE_VERSION = 1
+
+
+def _cache_path() -> str | None:
+    override = os.environ.get(CACHE_ENV)
+    if override is not None:
+        return override or None
+    return os.path.join(tempfile.gettempdir(), "repro-analysis-effects.json")
+
+
+def _load_cache(path: str | None) -> dict:
+    if path is None:
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("version") != _CACHE_VERSION:
+        return {}
+    modules = data.get("modules")
+    return modules if isinstance(modules, dict) else {}
+
+
+def _store_cache(path: str | None, modules: dict) -> None:
+    if path is None:
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": _CACHE_VERSION, "modules": modules}, handle)
+    except OSError:
+        pass  # the cache is an optimization; never fail the lint run for it
+
+
+class AnalysisProject:
+    """Lazily-built project-wide analysis state over parsed modules.
+
+    ``modules`` are :class:`~repro.analysis.linter.ModuleSource` objects
+    (anything with ``posix``/``text``/``tree`` works, which keeps this
+    package import-independent from the lint framework).
+    """
+
+    def __init__(self, modules: Iterable) -> None:
+        self.modules = [m for m in modules if getattr(m, "tree", None) is not None]
+        self.by_path = {module.posix: module for module in self.modules}
+        self._graph: CallGraph | None = None
+        self._direct: dict[str, list[Effect]] | None = None
+        self._summaries: dict[str, frozenset[Effect]] | None = None
+
+    def module_for(self, posix_path: str):
+        return self.by_path.get(posix_path)
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            facts = [
+                collect_module_facts(module.tree, module.posix)
+                for module in self.modules
+            ]
+            self._graph = CallGraph(facts)
+        return self._graph
+
+    @property
+    def direct_effects(self) -> dict[str, list[Effect]]:
+        """Direct (non-transitive) effects per function qualname."""
+        if self._direct is None:
+            self._direct = self._collect_direct_effects()
+        return self._direct
+
+    @property
+    def effect_summaries(self) -> dict[str, frozenset[Effect]]:
+        """Transitive effect summaries per function qualname."""
+        if self._summaries is None:
+            self._summaries = propagate_summaries(self.graph, self.direct_effects)
+        return self._summaries
+
+    # -- direct-effect cache -------------------------------------------------------
+
+    def _collect_direct_effects(self) -> dict[str, list[Effect]]:
+        cache_path = _cache_path()
+        cache = _load_cache(cache_path)
+        graph = self.graph
+        by_module: dict[str, list[str]] = {}
+        for qualname, info in graph.functions.items():
+            by_module.setdefault(info.path, []).append(qualname)
+
+        direct: dict[str, list[Effect]] = {}
+        dirty = False
+        for module in self.modules:
+            digest = hashlib.sha256(module.text.encode("utf-8")).hexdigest()
+            entry = cache.get(module.posix)
+            qualnames = by_module.get(module.posix, [])
+            if (
+                isinstance(entry, dict)
+                and entry.get("hash") == digest
+                and isinstance(entry.get("effects"), dict)
+                and set(entry["effects"]) == set(qualnames)
+            ):
+                try:
+                    for qualname in qualnames:
+                        direct[qualname] = [
+                            Effect(kind, detail, module.posix, int(line))
+                            for kind, detail, line in entry["effects"][qualname]
+                        ]
+                    continue
+                except (TypeError, ValueError):
+                    pass  # malformed entry: fall through and recompute
+            fresh: dict[str, list[Effect]] = {}
+            for qualname in qualnames:
+                info = graph.functions[qualname]
+                fresh[qualname] = direct_effects(info.node, module.posix)
+            direct.update(fresh)
+            cache[module.posix] = {
+                "hash": digest,
+                "effects": {
+                    qualname: [[e.kind, e.detail, e.line] for e in effects]
+                    for qualname, effects in fresh.items()
+                },
+            }
+            dirty = True
+        if dirty:
+            _store_cache(cache_path, cache)
+        return direct

@@ -1,0 +1,336 @@
+"""Forward taint propagation over CFGs with call-graph summaries.
+
+The engine is generic: a rule supplies ``classify_source`` (is this call
+a taint source, and what label does it carry?) and optionally
+``classify_call_sink`` (is this call itself a sink for tainted
+arguments?).  The engine then runs a forward, flow-sensitive dataflow on
+each function's CFG and propagates three kinds of facts *across*
+functions via bottom-up summaries:
+
+- ``returns_srcs``: source origins a function can return;
+- ``param_returns``: parameter positions that flow to the return value;
+- ``param_sinks``: parameter positions that flow into engine state inside
+  the callee (attribute/subscript stores), with the sink's location.
+
+Sinks are attribute stores, subscript stores, and rule-designated calls.
+A tainted value reaching a sink is reported *at the sink* with the
+source's provenance; a source whose value never reaches a sink is
+reported at the source call itself (the call alone is already a
+determinism hazard).  Either way each source occurrence yields exactly
+one class of finding, so ``# repro: allow[...]`` pragmas have one obvious
+line to land on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.dataflow.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.analysis.dataflow.cfg import STMT, build_cfg
+
+#: Origin tuples: ("src", path, line, label) | ("param", index)
+Origin = tuple
+
+_MAX_PASSES = 8
+
+
+@dataclass
+class FnTaint:
+    """Interprocedural taint summary of one function."""
+
+    returns_srcs: set[Origin] = field(default_factory=set)
+    param_returns: set[int] = field(default_factory=set)
+    param_sinks: dict[int, set[tuple[str, int, str]]] = field(default_factory=dict)
+
+    def snapshot(self) -> tuple:
+        return (
+            frozenset(self.returns_srcs),
+            frozenset(self.param_returns),
+            frozenset((k, frozenset(v)) for k, v in self.param_sinks.items()),
+        )
+
+
+@dataclass
+class TaintResult:
+    #: (path, line) -> label, for every source call in a tracked module.
+    occurrences: dict[tuple[str, int], str]
+    #: (path, line, sink description) -> set of "src" origins reaching it.
+    sinks: dict[tuple[str, int, str], set[Origin]]
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    return [a.arg for a in args.posonlyargs + args.args]
+
+
+class TaintAnalysis:
+    def __init__(
+        self,
+        graph: CallGraph,
+        classify_source: Callable[[ast.Call, FunctionInfo], str | None],
+        classify_call_sink: Callable[[ast.Call], str | None] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.classify_source = classify_source
+        self.classify_call_sink = classify_call_sink
+        self.summaries: dict[str, FnTaint] = {
+            name: FnTaint() for name in graph.functions
+        }
+        self.occurrences: dict[tuple[str, int], str] = {}
+        self.sinks: dict[tuple[str, int, str], set[Origin]] = {}
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self) -> TaintResult:
+        functions = list(self.graph.functions.values())
+        for _ in range(_MAX_PASSES):
+            changed = False
+            for info in functions:
+                before = self.summaries[info.qualname].snapshot()
+                self._analyze_function(info)
+                if self.summaries[info.qualname].snapshot() != before:
+                    changed = True
+            if not changed:
+                break
+        return TaintResult(self.occurrences, self.sinks)
+
+    # -- per-function dataflow -----------------------------------------------------
+
+    def _analyze_function(self, info: FunctionInfo) -> None:
+        cfg = build_cfg(info.node, info.qualname)
+        params = _param_names(info.node)
+        entry_env = {name: {("param", index)} for index, name in enumerate(params)}
+        in_states: dict[int, dict[str, set[Origin]]] = {cfg.entry: entry_env}
+        worklist = [cfg.entry]
+        seen = {cfg.entry}
+        visits: dict[int, int] = {}
+        while worklist:
+            index = worklist.pop()
+            visits[index] = visits.get(index, 0) + 1
+            if visits[index] > 50:  # safety valve on pathological graphs
+                continue
+            env = {name: set(origins) for name, origins in in_states[index].items()}
+            node = cfg.nodes[index]
+            if node.kind == STMT and node.stmt is not None:
+                self._transfer(node.stmt, env, info)
+            for succ, _kind in cfg.successors(index):
+                changed = self._merge(in_states.setdefault(succ, {}), env)
+                # A node must be visited at least once even when the merged
+                # state is empty (zero-param functions start with no facts).
+                if (changed or succ not in seen) and succ not in worklist:
+                    seen.add(succ)
+                    worklist.append(succ)
+
+    @staticmethod
+    def _merge(target: dict[str, set[Origin]], source: dict[str, set[Origin]]) -> bool:
+        changed = False
+        for name, origins in source.items():
+            have = target.get(name)
+            if have is None:
+                target[name] = set(origins)
+                changed = True
+            elif not origins <= have:
+                have |= origins
+                changed = True
+        return changed
+
+    # -- transfer ----------------------------------------------------------------
+
+    def _transfer(self, stmt: ast.stmt, env: dict[str, set[Origin]], info) -> None:
+        summary = self.summaries[info.qualname]
+        if isinstance(stmt, ast.Assign):
+            origins = self._eval(stmt.value, env, info)
+            for target in stmt.targets:
+                self._assign(target, origins, env, info)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            origins = self._eval(stmt.value, env, info)
+            self._assign(stmt.target, origins, env, info)
+        elif isinstance(stmt, ast.AugAssign):
+            origins = self._eval(stmt.value, env, info)
+            if isinstance(stmt.target, ast.Name):
+                origins = origins | env.get(stmt.target.id, set())
+            self._assign(stmt.target, origins, env, info)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                for origin in self._eval(stmt.value, env, info):
+                    if origin[0] == "src":
+                        summary.returns_srcs.add(origin)
+                    else:
+                        summary.param_returns.add(origin[1])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            origins = self._eval(stmt.iter, env, info)
+            self._assign(stmt.target, origins, env, info, weak=True)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                origins = self._eval(item.context_expr, env, info)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, origins, env, info)
+        else:
+            # Evaluate header expressions for their side conditions (source
+            # occurrences, call sinks): Expr, If, While, Raise, Assert, ...
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env, info)
+
+    def _assign(
+        self,
+        target: ast.expr,
+        origins: set[Origin],
+        env: dict[str, set[Origin]],
+        info,
+        weak: bool = False,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if weak:
+                env[target.id] = env.get(target.id, set()) | origins
+            else:
+                env[target.id] = set(origins)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, origins, env, info, weak=weak)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, origins, env, info, weak=weak)
+        elif isinstance(target, ast.Attribute):
+            desc = f"attribute store to .{target.attr}"
+            self._record_sink(origins, info.path, target.lineno, desc, info)
+        elif isinstance(target, ast.Subscript):
+            self._record_sink(origins, info.path, target.lineno, "subscript store", info)
+
+    def _record_sink(
+        self, origins: set[Origin], path: str, line: int, desc: str, info
+    ) -> None:
+        if not origins:
+            return
+        srcs = {o for o in origins if o[0] == "src"}
+        if srcs:
+            self.sinks.setdefault((path, line, desc), set()).update(srcs)
+        summary = self.summaries[info.qualname]
+        for origin in origins:
+            if origin[0] == "param":
+                summary.param_sinks.setdefault(origin[1], set()).add((path, line, desc))
+
+    # -- expression evaluation -----------------------------------------------------
+
+    def _eval(self, expr: ast.expr, env: dict[str, set[Origin]], info) -> set[Origin]:
+        if isinstance(expr, ast.Name):
+            return set(env.get(expr.id, ()))
+        if isinstance(expr, ast.Constant):
+            return set()
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env, info)
+        if isinstance(expr, ast.Lambda):
+            return set()
+        if isinstance(expr, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return self._eval(expr.value, env, info) if expr.value is not None else set()
+        origins: set[Origin] = set()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                origins |= self._eval(child, env, info)
+            elif isinstance(child, ast.comprehension):
+                origins |= self._eval(child.iter, env, info)
+        return origins
+
+    def _eval_call(self, call: ast.Call, env: dict[str, set[Origin]], info) -> set[Origin]:
+        label = self.classify_source(call, info)
+        if label is not None:
+            self.occurrences[(info.path, call.lineno)] = label
+            return {("src", info.path, call.lineno, label)}
+
+        arg_origins = [self._eval(arg, env, info) for arg in call.args]
+        kw_origins = {
+            kw.arg: self._eval(kw.value, env, info)
+            for kw in call.keywords
+            if kw.arg is not None
+        }
+        star_origins: set[Origin] = set()
+        for kw in call.keywords:
+            if kw.arg is None:
+                star_origins |= self._eval(kw.value, env, info)
+
+        receiver_origins: set[Origin] = set()
+        if isinstance(call.func, ast.Attribute):
+            receiver_origins = self._eval(call.func.value, env, info)
+
+        if self.classify_call_sink is not None:
+            desc = self.classify_call_sink(call)
+            if desc is not None:
+                combined: set[Origin] = set()
+                for origins in arg_origins:
+                    combined |= origins
+                for origins in kw_origins.values():
+                    combined |= origins
+                self._record_sink(combined | star_origins, info.path, call.lineno, desc, info)
+
+        site = _site_for(call)
+        targets = self.graph.resolve(info, site) if site is not None else []
+        if not targets:
+            # External/builtin call: conservatively, tainted inputs taint
+            # the result (min(), float(), method calls on tainted values).
+            result: set[Origin] = set(receiver_origins)
+            for origins in arg_origins:
+                result |= origins
+            for origins in kw_origins.values():
+                result |= origins
+            return result | star_origins
+
+        result = set()
+        for target in targets:
+            callee = self.graph.functions[target]
+            callee_summary = self.summaries[target]
+            binding = self._bind_args(
+                site, callee, arg_origins, kw_origins, receiver_origins
+            )
+            result |= callee_summary.returns_srcs
+            for index in callee_summary.param_returns:
+                result |= binding.get(index, set())
+            # Snapshot: when caller == callee (self-recursion) recording a
+            # sink mutates the dict being iterated.
+            for index, sink_locs in list(callee_summary.param_sinks.items()):
+                passed = binding.get(index, set())
+                if not passed:
+                    continue
+                for path, line, desc in list(sink_locs):
+                    self._record_sink(passed, path, line, desc, info)
+        return result
+
+    @staticmethod
+    def _bind_args(
+        site: CallSite,
+        callee: FunctionInfo,
+        arg_origins: list[set[Origin]],
+        kw_origins: dict[str, set[Origin]],
+        receiver_origins: set[Origin],
+    ) -> dict[int, set[Origin]]:
+        """Map call-site argument origins onto callee parameter indexes."""
+        params = _param_names(callee.node)
+        binding: dict[int, set[Origin]] = {}
+        offset = 0
+        if callee.cls is not None and site.kind in ("self-attr", "attr"):
+            offset = 1
+            if receiver_origins:
+                binding[0] = set(receiver_origins)
+        for position, origins in enumerate(arg_origins):
+            index = position + offset
+            if index < len(params) and origins:
+                binding.setdefault(index, set()).update(origins)
+        for name, origins in kw_origins.items():
+            if origins and name in params:
+                binding.setdefault(params.index(name), set()).update(origins)
+        return binding
+
+
+def _site_for(call: ast.Call) -> CallSite | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return CallSite("name", func.id, None, call.lineno, call)
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+            return CallSite("self-attr", func.attr, value.id, call.lineno, call)
+        receiver = value.id if isinstance(value, ast.Name) else (
+            value.attr if isinstance(value, ast.Attribute) else None
+        )
+        return CallSite("attr", func.attr, receiver, call.lineno, call)
+    return None

@@ -108,6 +108,25 @@ class Rule:
         return f"<Rule {self.rule_id}>"
 
 
+class ProjectRule(Rule):
+    """Base class for flow-aware rules that need the whole project.
+
+    Instead of :meth:`check` (which project rules leave empty), subclasses
+    implement :meth:`check_project` against an
+    :class:`~repro.analysis.dataflow.project.AnalysisProject` — the shared
+    call graph / effect summary / taint view over *every* module in the
+    run — and yield ``(module, line, message)`` triples.  Findings still
+    flow through the same pragma machinery: an ``# repro: allow[rule-id]``
+    on (or above) the reported line suppresses the finding.
+    """
+
+    def check(self, module: ModuleSource) -> Iterator[tuple[int, str]]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[tuple[ModuleSource, int, str]]:
+        raise NotImplementedError
+
+
 @dataclass
 class LintReport:
     """Outcome of one lint run over a set of files."""
@@ -160,7 +179,10 @@ def run_lint(
 
         rules = ALL_RULES
     rules = list(rules)
+    local_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
     report = LintReport()
+    modules: list[ModuleSource] = []
     for path in iter_python_files(paths):
         try:
             module = ModuleSource(path)
@@ -168,8 +190,22 @@ def run_lint(
             report.parse_errors.append((str(path), str(exc)))
             continue
         report.files_checked += 1
-        findings, suppressed = lint_module(module, rules)
+        modules.append(module)
+        findings, suppressed = lint_module(module, local_rules)
         report.findings.extend(findings)
         report.suppressed += suppressed
+    if project_rules and modules:
+        # Imported lazily so syntactic-only runs never load the dataflow core.
+        from repro.analysis.dataflow.project import AnalysisProject
+
+        project = AnalysisProject(modules)
+        for rule in project_rules:
+            for module, line, message in rule.check_project(project):
+                if module.allowed(rule.rule_id, line):
+                    report.suppressed += 1
+                    continue
+                report.findings.append(
+                    Finding(str(module.path), line, rule.rule_id, message)
+                )
     report.findings.sort()
     return report

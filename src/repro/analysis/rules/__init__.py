@@ -8,16 +8,21 @@ register the instance in :data:`ALL_RULES`.
 from __future__ import annotations
 
 from repro.analysis.linter import Rule
-from repro.analysis.rules.clock import WallClockRule
+from repro.analysis.rules.clock import ClockTaintRule
 from repro.analysis.rules.exceptions import BareExceptRule, SwallowedExceptRule
 from repro.analysis.rules.imports import ConftestImportRule
-from repro.analysis.rules.memory import BudgetMutationRule, MemoryPairingRule
+from repro.analysis.rules.leases import LeaseLifecycleRule
+from repro.analysis.rules.memory import BudgetMutationRule
 from repro.analysis.rules.rows import HotPathRowRule
+from repro.analysis.rules.scheduler import StepEffectRule
 
-#: Every registered rule, in reporting order.
+#: Every registered rule, in reporting order.  ``clock-taint`` subsumed the
+#: syntactic ``wall-clock`` rule and ``lease-lifecycle`` replaced the
+#: class-granularity ``memory-pairing`` heuristic in PR 7.
 ALL_RULES: tuple[Rule, ...] = (
-    WallClockRule(),
-    MemoryPairingRule(),
+    ClockTaintRule(),
+    LeaseLifecycleRule(),
+    StepEffectRule(),
     BudgetMutationRule(),
     HotPathRowRule(),
     ConftestImportRule(),

@@ -1,23 +1,16 @@
-"""Rules ``memory-pairing`` and ``budget-mutation``: reserve/release discipline.
+"""Rule ``budget-mutation``: nobody edits usage counters behind the protocol.
 
 The server-wide invariant ``broker.used_bytes == sum(resident_bytes)`` only
-holds if every byte an operator reserves against a :class:`MemoryBudget` is
-eventually released by the same owner, and if nobody edits the usage
-counters behind the accounting protocol's back.
+holds if nobody edits the usage counters behind the accounting protocol's
+back: direct writes to ``used_bytes``/``_used``/``_granted``,
+``stats.reserved``, and budget ``limit_bytes`` are forbidden outside the
+owning modules — all other code must go through
+``reserve``/``release``/``resize``/``revoke_to`` so the pool and broker
+totals stay propagated.
 
-``memory-pairing`` is a static pairing analysis over class bodies: a class
-that calls ``reserve``/``try_reserve``/``force_reserve`` on some receiver
-must also call ``release`` (or ``close``) on that receiver somewhere in the
-class, and a class that takes a pool ``grant`` must hold a matching
-``revoke``/``release_lease`` path.  Reachability is approximated by
-presence — the runtime spill-parity tests assert the dynamic half of the
-invariant; this rule catches the PR that forgets the release path entirely.
-
-``budget-mutation`` forbids direct writes to the usage counters
-(``used_bytes``/``_used``/``_granted``, ``stats.reserved``) and to budget
-limits (``limit_bytes``) outside the owning modules — all other code must go
-through ``reserve``/``release``/``resize``/``revoke_to`` so the pool and
-broker totals stay propagated.
+(The release-pairing half of the discipline lives in the path-sensitive
+``lease-lifecycle`` rule, :mod:`repro.analysis.rules.leases`, which
+replaced the class-granularity ``memory-pairing`` heuristic.)
 """
 
 from __future__ import annotations
@@ -27,15 +20,10 @@ from typing import Iterator
 
 from repro.analysis.linter import ModuleSource, Rule
 
-ACQUIRE_METHODS = frozenset({"reserve", "try_reserve", "force_reserve"})
-RELEASE_METHODS = frozenset({"release", "close"})
-GRANT_METHODS = frozenset({"grant"})
-GRANT_RELEASE_METHODS = frozenset({"revoke", "release_lease", "close"})
-
 #: Modules that implement the accounting protocol itself.  Their classes
 #: delegate between the acquire/release primitives they define (for example
-#: ``MemoryBudget.reserve`` calling ``self.try_reserve``), which the pairing
-#: heuristic would misread as client code.
+#: ``MemoryBudget.reserve`` calling ``self.try_reserve``), which pairing
+#: heuristics would misread as client code.
 MEMORY_AUTHORITY_SUFFIXES = (
     "repro/storage/memory.py",
     "repro/server/broker.py",
@@ -55,74 +43,6 @@ def _receiver_tail(func: ast.expr) -> str | None:
     if isinstance(value, ast.Attribute):
         return value.attr
     return None
-
-
-class MemoryPairingRule(Rule):
-    rule_id = "memory-pairing"
-    summary = (
-        "a class reserving budget bytes (reserve/try_reserve/force_reserve) or "
-        "taking a pool grant must hold a matching release/revoke in the same class"
-    )
-
-    def check(self, module: ModuleSource) -> Iterator[tuple[int, str]]:
-        if module.matches(*MEMORY_AUTHORITY_SUFFIXES) or module.has_role("memory-authority"):
-            return
-        classes = [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]
-        class_nodes = {id(c): set(map(id, ast.walk(c))) for c in classes}
-        # Code outside any class pairs at module scope.
-        in_class: set[int] = set().union(*class_nodes.values()) if class_nodes else set()
-        module_calls = [
-            n
-            for n in ast.walk(module.tree)
-            if isinstance(n, ast.Call) and id(n) not in in_class
-        ]
-        scopes: list[tuple[str, list[ast.Call]]] = [
-            (c.name, [n for n in ast.walk(c) if isinstance(n, ast.Call)]) for c in classes
-        ]
-        if module_calls:
-            scopes.append(("<module>", module_calls))
-        for scope_name, calls in scopes:
-            yield from self._check_scope(scope_name, calls)
-
-    def _check_scope(
-        self, scope_name: str, calls: list[ast.Call]
-    ) -> Iterator[tuple[int, str]]:
-        acquires: dict[str, tuple[int, str]] = {}
-        grants: list[tuple[int, str]] = []
-        release_tails: set[str] = set()
-        has_grant_release = False
-        for call in calls:
-            func = call.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            tail = _receiver_tail(func)
-            if tail is None:
-                continue
-            method = func.attr
-            if method in ACQUIRE_METHODS:
-                acquires.setdefault(tail, (call.lineno, method))
-            elif method in RELEASE_METHODS:
-                release_tails.add(tail)
-            if method in GRANT_METHODS and tail.endswith("pool"):
-                grants.append((call.lineno, f"{tail}.{method}"))
-            elif method in GRANT_RELEASE_METHODS:
-                has_grant_release = True
-        for tail, (lineno, method) in sorted(acquires.items(), key=lambda kv: kv[1][0]):
-            if tail in release_tails:
-                continue
-            yield (
-                lineno,
-                f"{scope_name} calls {tail}.{method}() but never releases on "
-                f"{tail!r}; pair every reservation with a release (or revoke "
-                "the grant) so broker.used == sum(resident_bytes) holds",
-            )
-        if grants and not has_grant_release:
-            lineno, label = grants[0]
-            yield (
-                lineno,
-                f"{scope_name} takes a budget via {label}() but never revokes "
-                "or releases the lease; grants must be returned to the pool",
-            )
 
 
 class BudgetMutationRule(Rule):

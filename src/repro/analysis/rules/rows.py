@@ -10,6 +10,10 @@ materializing ``.rows()`` is only legal at the declared row-boundary
 methods, each of which carries a ``# repro: allow[hot-path-row]`` pragma
 naming why the boxing is the point (tuple-path compatibility accessors, the
 row-spill baseline view).
+
+Modules opt in by declaring ``# repro: module-role[hot-path]`` — there is
+no hardcoded module list, so a new columnar module joins the invariant's
+scope by carrying the role marker, not by editing this rule.
 """
 
 from __future__ import annotations
@@ -19,25 +23,16 @@ from typing import Iterator
 
 from repro.analysis.linter import ModuleSource, Rule
 
-#: The storage hot-path modules: every per-row operation here multiplies by
-#: the dataset size.
-HOT_PATH_SUFFIXES = (
-    "repro/storage/columns.py",
-    "repro/storage/batch.py",
-    "repro/storage/hash_table.py",
-    "repro/storage/disk.py",
-)
-
-
 class HotPathRowRule(Rule):
     rule_id = "hot-path-row"
     summary = (
-        "hot-path storage modules must not construct Row objects (Row()/"
-        "Row.make) or materialize .rows() outside pragma-declared boundaries"
+        "modules declaring `# repro: module-role[hot-path]` must not construct "
+        "Row objects (Row()/Row.make) or materialize .rows() outside "
+        "pragma-declared boundaries"
     )
 
     def check(self, module: ModuleSource) -> Iterator[tuple[int, str]]:
-        if not (module.matches(*HOT_PATH_SUFFIXES) or module.has_role("hot-path")):
+        if not module.has_role("hot-path"):
             return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):

@@ -501,8 +501,12 @@ class DynamicCollector(Operator):
         return Batch.from_rows(schema, out)
 
     def _do_close(self) -> None:
-        if self.budget.used_bytes:
-            self.budget.release(self.budget.used_bytes)
-        self._seen_keys = set()
-        self._spilled_digest = set()
-        self.context.memory_pool.revoke(f"{self.operator_id}-dedup")
+        try:
+            if self.budget.used_bytes:
+                self.budget.release(self.budget.used_bytes)
+        finally:
+            # Even if the release raises, the dedup lease must go back so
+            # broker.used == sum(resident_bytes) holds.
+            self._seen_keys = set()
+            self._spilled_digest = set()
+            self.context.memory_pool.revoke(f"{self.operator_id}-dedup")

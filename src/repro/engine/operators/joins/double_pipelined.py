@@ -219,9 +219,13 @@ class DoublePipelinedJoin(JoinOperator):
         self._out = _OutputColumns(self._left_width + self._right_width)
 
     def _do_close(self) -> None:
-        for table in self._tables:
-            table.release_all()
-        self.context.memory_pool.revoke(self.operator_id)
+        try:
+            for table in self._tables:
+                table.release_all()
+        finally:
+            # Even if releasing a table raises mid-flush, the pool lease
+            # must go back so broker.used == sum(resident_bytes) holds.
+            self.context.memory_pool.revoke(self.operator_id)
 
     # -- child selection (the data-driven behaviour) ---------------------------------------------
 

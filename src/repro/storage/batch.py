@@ -23,6 +23,8 @@ Batches are immutable by contract: once a column list is handed to
 copying them.
 """
 
+# repro: module-role[hot-path] -- per-row work here multiplies by the dataset size
+
 from __future__ import annotations
 
 from typing import Any, Iterator, Sequence

@@ -40,6 +40,8 @@ assemble output with per-column gathers without ever materializing
 :class:`~repro.storage.tuples.Row` objects.
 """
 
+# repro: module-role[hot-path] -- per-row work here multiplies by the dataset size
+
 from __future__ import annotations
 
 from array import array

@@ -18,6 +18,8 @@ in all three drive modes, because the table's representation never changes
 with the drive.
 """
 
+# repro: module-role[hot-path] -- per-row work here multiplies by the dataset size
+
 from __future__ import annotations
 
 from typing import Any, Iterator, Sequence

@@ -266,6 +266,10 @@ class MemoryPool:
         budget = MemoryBudget(nbytes, name=operator_name, on_overflow=on_overflow, pool=self)
         if nbytes is not None:
             if self.broker is not None:
+                # The pool-exceeded raise below releases the lease first; the
+                # unpaired raise path would need the broker to turn None right
+                # after a broker lease, which cannot happen.
+                # repro: allow[lease-lifecycle] infeasible branch-correlated path
                 granted = self.broker.lease(budget, nbytes)
                 budget.limit_bytes = granted
                 nbytes = granted

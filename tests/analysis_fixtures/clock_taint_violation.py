@@ -1,0 +1,27 @@
+"""Fixture for rule ``clock-taint``: wall-clock taint through a helper call.
+
+The source (``time.time()``) lives in a helper; the violation is the
+*sink* two assignments later in a different function — the interprocedural
+case the syntactic ``wall-clock`` rule could never see.  Never imported —
+the analyzer tests parse this file and assert the rule fires on exactly
+the marked line and stays quiet on the suppressed twin.
+"""
+
+import time
+
+
+def observe_now() -> float:
+    return time.time()
+
+
+class TaintedOperator:
+    def open(self) -> None:
+        started = observe_now()
+        self.started_at_ms = started  # VIOLATION: machine time flows into state
+
+
+class SuppressedOperator:
+    def open(self) -> None:
+        started = observe_now()
+        # repro: allow[clock-taint] fixture twin, deliberately suppressed
+        self.started_at_ms = started

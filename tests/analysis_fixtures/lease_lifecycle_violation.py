@@ -1,0 +1,25 @@
+"""Fixture for rule ``lease-lifecycle``: a lease that leaks only on the
+except-path.
+
+The normal path releases the grant (``budget.close()``); the leak exists
+solely on the exception edge out of ``source.load()`` — the path-sensitive
+case the class-granularity ``memory-pairing`` heuristic could never see.
+Never imported — parsed by the analyzer tests only.
+"""
+
+
+class LeakingBuild:
+    def build(self, memory_pool, source) -> None:
+        budget = memory_pool.grant("build", 1 << 20)  # VIOLATION: leaks if load() raises
+        rows = source.load()
+        self.rows = list(rows)
+        budget.close()
+
+
+class SuppressedBuild:
+    def build(self, memory_pool, source) -> None:
+        # repro: allow[lease-lifecycle] fixture twin, deliberately suppressed
+        budget = memory_pool.grant("build", 1 << 20)
+        rows = source.load()
+        self.rows = list(rows)
+        budget.close()

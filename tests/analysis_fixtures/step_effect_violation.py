@@ -1,0 +1,38 @@
+"""Fixture for rule ``step-effect``: a clock mutation two calls below a
+``peek_arrival`` probe.
+
+The probe itself looks innocent; the effect sits two frames down the call
+graph — the bottom-up summary propagation is what reaches it.  Never
+imported — parsed by the analyzer tests only.
+"""
+
+
+class EffectfulProbe:
+    def __init__(self, clock):
+        self.clock = clock
+
+    def peek_arrival(self):
+        return self._peek_helper()
+
+    def _peek_helper(self):
+        return self._advance_and_read()
+
+    def _advance_and_read(self):
+        self.clock.consume_cpu(0.1)  # VIOLATION: probe mutates the clock
+        return self.clock.now
+
+
+class SuppressedProbe:
+    def __init__(self, clock):
+        self.clock = clock
+
+    def peek_arrival(self):
+        return self._quiet_helper()
+
+    def _quiet_helper(self):
+        return self._quiet_advance()
+
+    def _quiet_advance(self):
+        # repro: allow[step-effect] fixture twin, deliberately suppressed
+        self.clock.consume_cpu(0.1)
+        return self.clock.now

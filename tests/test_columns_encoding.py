@@ -274,7 +274,7 @@ class TestRunLengthArrivals:
         assert arrivals[5] == 3.0
         assert arrivals[-1] == 3.0
         with pytest.raises(IndexError):
-            arrivals[6]
+            _ = arrivals[6]
 
     def test_slice_preserves_runs(self):
         arrivals = RunLengthArrivals([1.0] * 4 + [2.0] * 4)

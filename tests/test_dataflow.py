@@ -1,0 +1,469 @@
+"""The analyzer's dataflow core: CFG shape, call graph, effects, taint, cache.
+
+These are unit tests for :mod:`repro.analysis.dataflow` — the machinery
+underneath the flow-aware rules.  The rule-level behaviour (what fires
+where) lives in ``test_analysis.py``; here we pin the *graphs*: which
+edges a ``try/finally`` contributes, how a name call resolves through
+imports, that effect summaries are transitive, and that the per-module
+effect cache invalidates on content change.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+
+from repro.analysis.dataflow import (
+    AnalysisProject,
+    TaintAnalysis,
+    build_cfg,
+    classify_effect_call,
+    collect_call_sites,
+    collect_module_facts,
+    direct_effects,
+    module_name_for,
+    propagate_summaries,
+)
+from repro.analysis.dataflow.callgraph import CallGraph
+from repro.analysis.dataflow.cfg import EXCEPT, FINALLY, STMT
+from repro.analysis.dataflow.project import CACHE_ENV
+from repro.analysis.linter import ModuleSource
+
+
+def fn_from(source: str, name: str | None = None):
+    """First (or named) function definition parsed from ``source``."""
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if name is None or node.name == name:
+                return node
+    raise AssertionError("no function definition found")
+
+
+def node_at_line(cfg, line: int):
+    """The statement node whose header starts at ``line`` (1-based in fn)."""
+    matches = [
+        n
+        for n in cfg.statement_nodes()
+        if n.stmt is not None and n.stmt.lineno == line
+    ]
+    assert matches, f"no statement node at line {line}"
+    return matches[0]
+
+
+def project_from(files: dict[str, str]) -> AnalysisProject:
+    modules = [
+        ModuleSource(path, textwrap.dedent(text)) for path, text in files.items()
+    ]
+    return AnalysisProject(modules)
+
+
+class TestCfg:
+    def test_straight_line_reaches_exit(self):
+        cfg = build_cfg(fn_from("def f():\n    x = 1\n    y = 2\n"))
+        node = node_at_line(cfg, 3)
+        assert (cfg.exit, "normal") in cfg.successors(node.index)
+
+    def test_raising_call_gets_except_edge_to_raise_exit(self):
+        cfg = build_cfg(fn_from("def f(s):\n    s.load()\n"))
+        node = node_at_line(cfg, 2)
+        kinds = {kind for _t, kind in cfg.successors(node.index)}
+        assert EXCEPT in kinds
+        assert any(t == cfg.raise_exit for t, k in cfg.successors(node.index) if k == EXCEPT)
+
+    def test_nonraising_call_gets_no_except_edge(self):
+        cfg = build_cfg(fn_from("def f(xs):\n    xs.append(1)\n"))
+        node = node_at_line(cfg, 2)
+        assert all(kind != EXCEPT for _t, kind in cfg.successors(node.index))
+
+    def test_try_except_routes_raise_to_handler(self):
+        cfg = build_cfg(
+            fn_from(
+                """
+                def f(s):
+                    try:
+                        s.load()
+                    except ValueError:
+                        s.recover()
+                """
+            )
+        )
+        load = node_at_line(cfg, 4)
+        except_targets = [t for t, k in cfg.successors(load.index) if k == EXCEPT]
+        assert except_targets
+        # The handler body is reachable from the exceptional edge, not from
+        # the raise-exit.
+        assert cfg.raise_exit not in except_targets
+
+    def test_finally_receives_both_normal_and_exceptional_flow(self):
+        cfg = build_cfg(
+            fn_from(
+                """
+                def f(s):
+                    try:
+                        s.load()
+                    finally:
+                        s.close()
+                """
+            )
+        )
+        load = node_at_line(cfg, 4)
+        targets = cfg.successors(load.index)
+        # Normal completion and the exception both funnel into the finally
+        # placeholder; the finally tail can then fall through *or* re-raise.
+        finally_targets = {t for t, _k in targets}
+        close = node_at_line(cfg, 6)
+        reachable_kinds = set()
+        for target in finally_targets:
+            for t2, _k2 in cfg.successors(target):
+                if t2 == close.index:
+                    reachable_kinds.add("found")
+        assert "found" in reachable_kinds or close.index in finally_targets
+        tail_targets = {t for t, _k in cfg.successors(close.index)}
+        assert cfg.exit in tail_targets
+        assert cfg.raise_exit in tail_targets
+
+    def test_return_routes_through_enclosing_finally(self):
+        cfg = build_cfg(
+            fn_from(
+                """
+                def f(s):
+                    try:
+                        return s.load()
+                    finally:
+                        s.close()
+                """
+            )
+        )
+        ret = node_at_line(cfg, 4)
+        # The return must NOT go straight to exit; it detours via finally.
+        kinds = dict()
+        for t, k in cfg.successors(ret.index):
+            kinds[t] = k
+        assert cfg.exit not in kinds
+        assert FINALLY in kinds.values()
+
+    def test_with_block_gets_exit_node_on_all_paths(self):
+        cfg = build_cfg(
+            fn_from(
+                """
+                def f(s):
+                    with s.open() as h:
+                        h.read()
+                    return 1
+                """
+            )
+        )
+        with_exits = [n for n in cfg.nodes if n.kind == "with-exit"]
+        assert len(with_exits) == 1
+        read = node_at_line(cfg, 4)
+        assert any(t == with_exits[0].index for t, _k in cfg.successors(read.index))
+
+    def test_loop_has_back_edge(self):
+        cfg = build_cfg(
+            fn_from(
+                """
+                def f(xs):
+                    for x in xs:
+                        x = x
+                    return 1
+                """
+            )
+        )
+        header = node_at_line(cfg, 3)
+        body = node_at_line(cfg, 4)
+        assert any(t == header.index for t, _k in cfg.successors(body.index))
+
+    def test_nested_def_is_a_single_binding_node(self):
+        cfg = build_cfg(
+            fn_from(
+                """
+                def f(s):
+                    def g():
+                        s.load()
+                    return g
+                """,
+                name="f",
+            )
+        )
+        # The nested body contributes no nodes of its own — exactly one
+        # statement node for the def plus one for the return.
+        assert len(cfg.statement_nodes()) == 2
+
+
+class TestCallGraph:
+    def test_module_name_for_src_layout(self):
+        assert module_name_for("src/repro/engine/executor.py") == "repro.engine.executor"
+        assert module_name_for("src/repro/engine/__init__.py") == "repro.engine"
+        assert (
+            module_name_for("tests/analysis_fixtures/x.py") == "tests.analysis_fixtures.x"
+        )
+
+    def test_name_call_resolves_through_from_import(self):
+        project = project_from(
+            {
+                "src/repro/util.py": """
+                    def helper():
+                        return 1
+                """,
+                "src/repro/user.py": """
+                    from repro.util import helper
+
+                    def caller():
+                        return helper()
+                """,
+            }
+        )
+        graph = project.graph
+        edges = graph.callees("repro.user.caller")
+        assert [callee for callee, _site in edges] == ["repro.util.helper"]
+
+    def test_self_attr_resolves_to_own_class_method(self):
+        project = project_from(
+            {
+                "src/repro/a.py": """
+                    class A:
+                        def run(self):
+                            return self.step()
+                        def step(self):
+                            return 1
+
+                    class B:
+                        def step(self):
+                            return 2
+                """,
+            }
+        )
+        edges = project.graph.callees("repro.a.A.run")
+        assert [callee for callee, _site in edges] == ["repro.a.A.step"]
+
+    def test_self_attr_falls_back_to_all_methods_of_that_name(self):
+        project = project_from(
+            {
+                "src/repro/a.py": """
+                    class Base:
+                        def run(self):
+                            return self.step()
+
+                    class ImplOne:
+                        def step(self):
+                            return 1
+
+                    class ImplTwo:
+                        def step(self):
+                            return 2
+                """,
+            }
+        )
+        edges = project.graph.callees("repro.a.Base.run")
+        assert {callee for callee, _site in edges} == {
+            "repro.a.ImplOne.step",
+            "repro.a.ImplTwo.step",
+        }
+
+    def test_constructor_call_targets_init(self):
+        project = project_from(
+            {
+                "src/repro/a.py": """
+                    class Thing:
+                        def __init__(self):
+                            self.x = 1
+
+                    def make():
+                        return Thing()
+                """,
+            }
+        )
+        edges = project.graph.callees("repro.a.make")
+        assert [callee for callee, _site in edges] == ["repro.a.Thing.__init__"]
+
+    def test_nested_function_resolution(self):
+        project = project_from(
+            {
+                "src/repro/a.py": """
+                    def outer():
+                        def inner():
+                            return 1
+                        return inner()
+                """,
+            }
+        )
+        edges = project.graph.callees("repro.a.outer")
+        assert [callee for callee, _site in edges] == ["repro.a.outer.inner"]
+
+    def test_generator_detection_ignores_nested_defs(self):
+        facts = collect_module_facts(
+            ast.parse(
+                textwrap.dedent(
+                    """
+                    def gen():
+                        yield 1
+
+                    def not_gen():
+                        def inner():
+                            yield 2
+                        return inner
+                    """
+                )
+            ),
+            "src/repro/g.py",
+        )
+        assert facts.functions["repro.g.gen"].is_generator
+        assert not facts.functions["repro.g.not_gen"].is_generator
+        assert facts.functions["repro.g.not_gen.inner"].is_generator
+
+    def test_call_sites_exclude_nested_defs(self):
+        fn = fn_from(
+            """
+            def outer(s):
+                s.load()
+                def inner(t):
+                    t.fetch()
+            """,
+            name="outer",
+        )
+        names = {site.name for site in collect_call_sites(fn)}
+        assert names == {"load"}
+
+
+class TestEffects:
+    def test_classify_receiver_sensitivity(self):
+        assert classify_effect_call("consume_cpu", "anything") == ("clock", "consume_cpu")
+        assert classify_effect_call("charge", "clock") == ("clock", "charge")
+        assert classify_effect_call("charge", "account") is None
+        assert classify_effect_call("reserve", "budget") == ("budget", "reserve")
+        assert classify_effect_call("reserve", "table") is None
+        assert classify_effect_call("fill", "cache") == ("cache", "fill")
+        assert classify_effect_call("open", "source") == ("source", "open")
+        assert classify_effect_call("open", "window") is None
+
+    def test_direct_effects_exclude_nested_defs(self):
+        fn = fn_from(
+            """
+            def f(clock):
+                def g(clock):
+                    clock.consume_io(1)
+                clock.consume_cpu(2)
+            """,
+            name="f",
+        )
+        details = {e.detail for e in direct_effects(fn, "x.py")}
+        assert details == {"consume_cpu"}
+
+    def test_summaries_are_transitive(self):
+        project = project_from(
+            {
+                "src/repro/a.py": """
+                    def top(clock):
+                        return middle(clock)
+
+                    def middle(clock):
+                        return bottom(clock)
+
+                    def bottom(clock):
+                        clock.consume_cpu(1)
+
+                    def pure():
+                        return 1
+                """,
+            }
+        )
+        summaries = propagate_summaries(project.graph, project.direct_effects)
+        assert {e.detail for e in summaries["repro.a.top"]} == {"consume_cpu"}
+        assert summaries["repro.a.pure"] == frozenset()
+
+
+class TestTaint:
+    @staticmethod
+    def _classify(call, info):
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "time" and func.attr == "time":
+                return "time.time"
+        return None
+
+    def test_zero_parameter_function_body_is_analyzed(self):
+        # Regression: the worklist must visit nodes at least once even when
+        # the entry environment is empty (no parameters, no facts).
+        project = project_from(
+            {
+                "src/repro/a.py": """
+                    def observe():
+                        return time.time()
+                """,
+            }
+        )
+        result = TaintAnalysis(project.graph, self._classify).run()
+        assert ("src/repro/a.py", 3) in result.occurrences
+
+    def test_taint_flows_through_helper_into_attribute_store(self):
+        project = project_from(
+            {
+                "src/repro/a.py": """
+                    def observe():
+                        return time.time()
+
+                    class Op:
+                        def open(self):
+                            started = observe()
+                            self.started_at = started
+                """,
+            }
+        )
+        result = TaintAnalysis(project.graph, self._classify).run()
+        sink_lines = {line for _p, line, _d in result.sinks}
+        assert sink_lines == {8}
+        ((_, _, desc),) = result.sinks.keys()
+        assert desc == "attribute store to .started_at"
+
+    def test_untainted_assignment_is_not_a_sink_hit(self):
+        project = project_from(
+            {
+                "src/repro/a.py": """
+                    class Op:
+                        def open(self, n):
+                            self.count = n + 1
+                """,
+            }
+        )
+        result = TaintAnalysis(project.graph, self._classify).run()
+        assert not result.sinks and not result.occurrences
+
+
+class TestEffectCache:
+    def test_cache_stores_and_invalidates_on_content_change(self, tmp_path, monkeypatch):
+        cache_file = tmp_path / "effects.json"
+        monkeypatch.setenv(CACHE_ENV, str(cache_file))
+
+        text_v1 = "def f(clock):\n    clock.consume_cpu(1)\n"
+        project = project_from({"src/repro/a.py": text_v1})
+        direct = project.direct_effects
+        assert {e.detail for e in direct["repro.a.f"]} == {"consume_cpu"}
+        stored = json.loads(cache_file.read_text(encoding="utf-8"))
+        assert "src/repro/a.py" in stored["modules"]
+
+        # Unchanged text: served from cache (same facts come back).
+        again = project_from({"src/repro/a.py": text_v1}).direct_effects
+        assert {e.detail for e in again["repro.a.f"]} == {"consume_cpu"}
+
+        # Changed text: the stale entry must not leak through.
+        text_v2 = "def f(clock):\n    clock.consume_io(2)\n"
+        fresh = project_from({"src/repro/a.py": text_v2}).direct_effects
+        assert {e.detail for e in fresh["repro.a.f"]} == {"consume_io"}
+
+    def test_corrupt_cache_is_tolerated(self, tmp_path, monkeypatch):
+        cache_file = tmp_path / "effects.json"
+        cache_file.write_text("{not json", encoding="utf-8")
+        monkeypatch.setenv(CACHE_ENV, str(cache_file))
+        project = project_from(
+            {"src/repro/a.py": "def f(clock):\n    clock.consume_cpu(1)\n"}
+        )
+        assert {e.detail for e in project.direct_effects["repro.a.f"]} == {"consume_cpu"}
+
+    def test_empty_env_disables_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, "")
+        project = project_from(
+            {"src/repro/a.py": "def f(clock):\n    clock.consume_cpu(1)\n"}
+        )
+        assert {e.detail for e in project.direct_effects["repro.a.f"]} == {"consume_cpu"}
