@@ -1,0 +1,252 @@
+"""Partitioned parallel execution: Figure 3a at 1/2/4 exchange lanes.
+
+The exchange operator hash-partitions each join's inputs by key code across N
+worker lanes that run as session-style step generators on the shared virtual
+timeline.  This benchmark runs the Figure 3a plan
+``(lineitem ⋈ supplier) ⋈ orders`` in a CPU-bound configuration (fast LAN,
+non-trivial per-tuple CPU) and asserts:
+
+* **Speedup bar** — the 4-lane run's virtual wall clock is at least 2x lower
+  than the 1-lane run (partitioned probe/build CPU overlaps across lanes).
+* **Result transparency** — identical result multisets at every lane count.
+* **Budget invariant under lanes** — a contended two-session server run with
+  4-lane joins holds ``broker.used_bytes == sum(resident_bytes)`` at every
+  revocation, where residency is recomputed from the live hash tables of
+  every lane of every session (per-lane budgets are individual leases).
+
+Each run appends a record to ``BENCH_parallel.json`` at the repo root (the
+accumulating perf-history artifact, uploaded by CI).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench.harness import build_deployment, run_operator_tree
+from repro.bench.reporting import format_table
+from repro.engine.context import EngineConfig
+from repro.engine.operators import Exchange
+from repro.network.profiles import lan
+from repro.plan.physical import join, wrapper_scan
+from repro.server import QueryServer
+
+from bench_support import run_once, scale_mb
+
+TABLES = ["lineitem", "orders", "supplier"]
+
+LANE_COUNTS = [1, 2, 4]
+
+#: Virtual acceptance bar: 4 lanes at least this much below 1 lane.
+SPEEDUP_BAR = 2.0
+
+#: CPU-bound configuration: a fast LAN (1 Gbps, 1 ms setup) with non-trivial
+#: per-tuple CPU.  On the default 10 Mbps profile the workload is
+#: arrival-bound and no amount of CPU parallelism can beat data arrival.
+PROFILE_OVERRIDES = {"bandwidth_kbps": 125000.0, "initial_latency_ms": 1.0}
+PER_TUPLE_CPU_MS = 0.02
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def make_deployment():
+    return build_deployment(
+        scale_mb(0.5), TABLES, profile=lan(**PROFILE_OVERRIDES), seed=42
+    )
+
+
+def fig3a_plan(prefix: str = "fig3a", memory_bytes: int | None = None):
+    inner = join(
+        wrapper_scan("lineitem", operator_id=f"{prefix}_scan_l"),
+        wrapper_scan("supplier", operator_id=f"{prefix}_scan_s"),
+        ["lineitem.l_suppkey"],
+        ["supplier.s_suppkey"],
+        operator_id=f"{prefix}_inner",
+        memory_limit_bytes=memory_bytes,
+    )
+    return join(
+        inner,
+        wrapper_scan("orders", operator_id=f"{prefix}_scan_o"),
+        ["lineitem.l_orderkey"],
+        ["orders.o_orderkey"],
+        operator_id=f"{prefix}_outer",
+        memory_limit_bytes=memory_bytes,
+    )
+
+
+def engine_config(lanes: int) -> EngineConfig:
+    return EngineConfig(exchange_lanes=lanes, per_tuple_cpu_ms=PER_TUPLE_CPU_MS)
+
+
+def result_multiset(relation) -> dict:
+    counts: dict = {}
+    for row in relation.rows:
+        key = row.values
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def run_lane_sweep(deployment):
+    results = {}
+    for lanes in LANE_COUNTS:
+        results[lanes] = run_operator_tree(
+            fig3a_plan(),
+            deployment.catalog,
+            result_name=f"parallel_{lanes}",
+            engine_config=engine_config(lanes),
+        )
+    return results
+
+
+def server_resident_bytes(server) -> int:
+    """Resident bytes across every session, descending into exchange lanes."""
+    total = 0
+    operators = []
+    for session in server.sessions.values():
+        operators.extend(session.context.operators.values())
+    for operator in list(operators):
+        if isinstance(operator, Exchange):
+            operators.extend(operator.lane_operators)
+    for operator in operators:
+        for table in getattr(operator, "_tables", None) or ():
+            total += table.resident_bytes
+        inner = getattr(operator, "_inner_table", None)
+        if inner is not None:
+            total += inner.resident_bytes
+    return total
+
+
+def run_contended(deployment, lanes: int):
+    """Two sessions whose combined join memory exceeds the broker capacity."""
+    memory_bytes = 80 * 1024
+    server = QueryServer(
+        deployment.catalog,
+        engine_config=engine_config(lanes),
+        memory_capacity_bytes=int(memory_bytes * 1.5),
+    )
+    server.broker.floor_bytes = 8 * 1024
+    invariant_failures = []
+    revocation_count = [0]
+
+    def check_invariant(broker, record):
+        revocation_count[0] += 1
+        resident = server_resident_bytes(server)
+        if broker.used_bytes != resident:
+            invariant_failures.append(
+                f"after revoking {record.taken_bytes}B from {record.victim}: "
+                f"broker.used={broker.used_bytes} resident={resident}"
+            )
+
+    server.broker.on_revocation = check_invariant
+    sessions = [
+        server.submit(fig3a_plan("qa", memory_bytes), "qa"),
+        server.submit(fig3a_plan("qb", memory_bytes), "qb", arrival_ms=200.0),
+    ]
+    stats = server.run()
+    return sessions, stats, revocation_count[0], invariant_failures
+
+
+def run_workload():
+    deployment = make_deployment()
+    sweep = run_lane_sweep(deployment)
+    sessions, stats, revocations, invariant_failures = run_contended(deployment, 4)
+    return {
+        "sweep": sweep,
+        "sessions": sessions,
+        "stats": stats,
+        "revocations": revocations,
+        "invariant_failures": invariant_failures,
+    }
+
+
+def print_report(data) -> None:
+    sweep = data["sweep"]
+    base = sweep[1].completion_time_ms
+    rows = []
+    for lanes, result in sweep.items():
+        rows.append(
+            [
+                lanes,
+                result.cardinality,
+                round(result.time_to_first_tuple_ms, 1),
+                round(result.completion_time_ms, 1),
+                f"{base / result.completion_time_ms:.2f}x",
+            ]
+        )
+    print()
+    print(
+        f"Partitioned Fig-3a, CPU-bound LAN "
+        f"({PROFILE_OVERRIDES['bandwidth_kbps'] / 125.0:.0f} Mbps, "
+        f"{PER_TUPLE_CPU_MS} ms/tuple)"
+    )
+    print(format_table(["lanes", "rows", "first tuple ms", "completion ms", "speedup"], rows))
+    print(
+        f"contended server run (4 lanes x 2 sessions): "
+        f"{data['revocations']} revocations, "
+        f"{len(data['invariant_failures'])} invariant failures"
+    )
+
+
+def append_trajectory(data, speedups) -> None:
+    """Append one record to ``BENCH_parallel.json`` (perf history artifact)."""
+    sweep = data["sweep"]
+    record = {
+        "benchmark": "bench_parallel_pipeline",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale_mb": scale_mb(0.5),
+        "per_tuple_cpu_ms": PER_TUPLE_CPU_MS,
+        "completion_virtual_ms": {
+            str(lanes): round(result.completion_time_ms, 3)
+            for lanes, result in sweep.items()
+        },
+        "time_to_first_tuple_virtual_ms": {
+            str(lanes): round(result.time_to_first_tuple_ms, 3)
+            for lanes, result in sweep.items()
+        },
+        "speedup_vs_serial": {str(lanes): round(s, 4) for lanes, s in speedups.items()},
+        "cardinality": sweep[1].cardinality,
+        "contended_revocations": data["revocations"],
+    }
+    history = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_parallel_pipeline(benchmark):
+    data = run_once(benchmark, run_workload)
+    print_report(data)
+    sweep = data["sweep"]
+
+    # Result transparency: lane count never changes *what*, only *when*.
+    reference = result_multiset(sweep[1].relation)
+    assert reference
+    for lanes in LANE_COUNTS[1:]:
+        assert result_multiset(sweep[lanes].relation) == reference, (
+            f"{lanes}-lane multiset differs from serial run"
+        )
+
+    # Budget invariant under partition-parallel joins: per-lane budgets are
+    # individual broker leases and residency matches at every revocation.
+    for session in data["sessions"]:
+        assert session.status.value == "completed", (
+            f"{session.session_id}: {session.status} ({session.error})"
+        )
+    assert data["revocations"] >= 1, "contended run was meant to force revocations"
+    assert not data["invariant_failures"], data["invariant_failures"]
+
+    # The headline bar: 4 lanes at least 2x below 1 lane in virtual time.
+    base = sweep[1].completion_time_ms
+    speedups = {lanes: base / sweep[lanes].completion_time_ms for lanes in LANE_COUNTS}
+    append_trajectory(data, speedups)
+    assert speedups[4] >= SPEEDUP_BAR, (
+        f"4-lane completion {sweep[4].completion_time_ms:.1f}ms only "
+        f"{speedups[4]:.2f}x better than 1-lane {base:.1f}ms (need >= {SPEEDUP_BAR}x)"
+    )

@@ -150,6 +150,8 @@ class PlanValidator:
             return self._check_dependent_join(spec, child_schemas)
         if operator_type == OperatorType.MATERIALIZE:
             return child_schemas[0] if child_schemas else None
+        if operator_type == OperatorType.EXCHANGE:
+            return self._check_exchange(spec, child_schemas)
         return None  # unknown operator kinds are the builder's problem
 
     def _check_project(
@@ -192,6 +194,35 @@ class PlanValidator:
         if len(known) != len(child_schemas):
             return None  # an unknown child could widen the schema at runtime
         return first
+
+    def _check_exchange(
+        self, spec: OperatorSpec, child_schemas: list[Schema | None]
+    ) -> Schema | None:
+        """An exchange must be able to route: its partition key must be
+        produced by its input, and it needs at least one lane."""
+        lanes = spec.params.get("lanes")
+        if lanes is not None and (
+            isinstance(lanes, bool) or not isinstance(lanes, int) or lanes < 1
+        ):
+            self._report(
+                spec,
+                "bad-lane-count",
+                f"exchange lane count must be a positive integer, got {lanes!r}",
+            )
+        child_schema = child_schemas[0] if child_schemas else None
+        keys = spec.params.get("partition_keys")
+        if child_schema is not None and isinstance(keys, (list, tuple)):
+            for key in keys:
+                if self._resolve(child_schema, key) is None:
+                    self._report(
+                        spec,
+                        "unbound-key",
+                        f"partition key {key!r} is not produced by the exchange "
+                        f"input (schema {list(child_schema.names)}); rows could "
+                        f"not be routed by it",
+                    )
+        # Hash partition + arrival-ordered merge preserves the input schema.
+        return child_schema
 
     def _check_join(
         self, spec: OperatorSpec, child_schemas: list[Schema | None]

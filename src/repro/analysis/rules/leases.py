@@ -25,6 +25,12 @@ Three cooperating checks:
    before the return reaches it must not let the exception bypass it:
    the return belongs in a ``finally``.
 
+   The per-lane variant (2b): a teardown that returns *several* leases —
+   one per exchange lane, in sequence or in a loop — must survive any one
+   return call raising: the remaining lanes' grants still have to be
+   released on the exception edge, or the lanes that were not yet revoked
+   leak their budgets.
+
 3. **Attribute-held pairing** — acquisitions held on ``self`` keep the
    old class-granularity presence check: a class that reserves on some
    receiver must release on that receiver somewhere.
@@ -122,10 +128,23 @@ def _stmt_releases(stmt, handle: str) -> bool:
     return False
 
 
+#: Methods that retain their argument in a longer-lived container — the
+#: idiomatic per-lane setup loop (``budgets.append(pool.grant(...))`` or
+#: ``handles.append(budget)``) transfers ownership to whoever owns the
+#: container, same as an attribute store.
+_ESCAPE_SINK_METHODS = frozenset({"append", "add", "insert", "register", "setdefault"})
+
+
 def _stmt_escapes(stmt: ast.stmt, handle: str) -> bool:
     """Does ``stmt`` hand the handle to longer-lived ownership?"""
     if isinstance(stmt, ast.Return):
         return stmt.value is not None and handle in _names_in(stmt.value)
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        call = stmt.value
+        if isinstance(call.func, ast.Attribute) and call.func.attr in _ESCAPE_SINK_METHODS:
+            return any(
+                isinstance(arg, ast.Name) and arg.id == handle for arg in call.args
+            )
     if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
         value = stmt.value
         if value is None or handle not in _names_in(value):
@@ -276,6 +295,56 @@ def _skippable_return(cfg: CFG) -> tuple[int, str, int] | None:
     return None
 
 
+def _reaches_after(cfg: CFG, start: int, goals: set[int], avoid: set[int]) -> bool:
+    """Like :func:`_reaches`, but from ``start``'s *normal* successors only
+    (so a node can be its own goal — the loop-teardown case)."""
+    worklist = [succ for succ, kind in cfg.successors(start) if kind != EXCEPT]
+    seen: set[int] = set()
+    while worklist:
+        index = worklist.pop()
+        if index in seen or index in avoid:
+            continue
+        seen.add(index)
+        if index in goals:
+            return True
+        for succ, _kind in cfg.successors(index):
+            worklist.append(succ)
+    return False
+
+
+def _skippable_sibling_return(cfg: CFG) -> tuple[int, str] | None:
+    """Check 2b: one lane's lease return raising must not skip another's.
+
+    Multi-lane teardown returns one grant per lane, sequentially or in a
+    loop.  A lease-return call is itself a raiser (check 2 deliberately
+    exempts it — *its* lease is being returned either way); but when more
+    returns are still pending after it on the normal path, its exception
+    edge must not exit the function without passing them.  Returns the
+    ``(line, label)`` of the return whose failure skips the rest.
+    """
+    returns = _lease_return_nodes(cfg)
+    if not returns:
+        return None
+    return_indexes = {index for index, _line, _label in returns}
+    exits = {cfg.exit, cfg.raise_exit}
+    for index, line, label in returns:
+        node = cfg.nodes[index]
+        if node.stmt is None or not may_raise(node.stmt):
+            continue
+        # More lease returns run after this one on the normal path (another
+        # call site, or this same site on the next loop iteration)...
+        if not _reaches_after(cfg, index, return_indexes, avoid=set()):
+            continue
+        # ...and this call's exception edge can leave the function without
+        # passing any lease return at all.
+        for succ, kind in cfg.successors(index):
+            if kind != EXCEPT:
+                continue
+            if succ in exits or _reaches(cfg, succ, exits, avoid=return_indexes):
+                return (line, label)
+    return None
+
+
 class LeaseLifecycleRule(Rule):
     rule_id = "lease-lifecycle"
     summary = (
@@ -319,6 +388,17 @@ class LeaseLifecycleRule(Rule):
                         f"{fn.name}'s lease return {label}() can be skipped "
                         f"when line {raising} raises; move it into a finally "
                         "block so revocation cleanup cannot leak the lease",
+                    )
+                sibling = _skippable_sibling_return(cfg)
+                if sibling is not None:
+                    line, label = sibling
+                    yield (
+                        line,
+                        f"{fn.name} returns several leases (per-lane teardown "
+                        f"shape); if {label}() at line {line} raises, the "
+                        "remaining lanes' grants are never released — protect "
+                        "the rest with try/finally so every lane's budget is "
+                        "returned on every exit path",
                     )
         if not authority:
             yield from self._class_pairing(module)

@@ -18,8 +18,18 @@ from repro.engine.operators import (
     Union,
     WrapperScan,
 )
+from repro.engine.operators.exchange import Exchange
 from repro.errors import PlanError
+from repro.optimizer.memory_alloc import split_allotment_across_lanes
 from repro.plan.physical import JoinImplementation, OperatorSpec, OperatorType
+from repro.storage.schema import merge_union_schema
+
+#: Join implementations a lane can run: hash-based, so hash partitioning on
+#: the join key sends every matching pair to the same lane.
+_PARTITIONABLE_JOINS = (
+    JoinImplementation.DOUBLE_PIPELINED.value,
+    JoinImplementation.HYBRID_HASH.value,
+)
 
 
 def build_operator(
@@ -49,9 +59,20 @@ def build_operator(
             encoded=context.config.encoded_columns,
             local_store=context.local_store,
         )
+    operator_type = spec.operator_type
+
+    # Exchange insertion happens before children are built: the partitioned
+    # form builds each input subtree on its own worker clock, not on the
+    # consumer's clock.
+    if operator_type == OperatorType.EXCHANGE:
+        lanes = spec.params.get("lanes", context.config.exchange_lanes)
+        return _build_partitioned(spec.children[0], context, _checked_lane_count(spec, lanes))
+    implicit_lanes = context.config.exchange_lanes
+    if implicit_lanes > 1 and _is_partitionable(spec):
+        return _build_partitioned(spec, context, implicit_lanes)
+
     children = [build_operator(child, context, validate=False) for child in spec.children]
     params = spec.params
-    operator_type = spec.operator_type
 
     if operator_type == OperatorType.WRAPPER_SCAN:
         return WrapperScan(
@@ -163,6 +184,141 @@ def _build_join(spec: OperatorSpec, context: ExecutionContext, children: list[Op
             spec.operator_id, context, children[0], children[1], **common
         )
     raise PlanError(f"unknown join implementation {implementation!r}")
+
+
+def _checked_lane_count(spec: OperatorSpec, lanes) -> int:
+    if isinstance(lanes, bool) or not isinstance(lanes, int):
+        raise PlanError(f"exchange {spec.operator_id!r}: lane count must be an int, got {lanes!r}")
+    if lanes < 1:
+        raise PlanError(f"exchange {spec.operator_id!r}: lane count must be >= 1, got {lanes}")
+    return lanes
+
+
+def _is_partitionable(spec: OperatorSpec) -> bool:
+    """Can ``EngineConfig(exchange_lanes=N)`` wrap this node in an exchange?
+
+    Hash joins partition on their equi-join keys; the dynamic collector
+    partitions on its dedup keys (each lane then deduplicates its own hash
+    class, which together cover the whole stream).  Everything else — scans,
+    nested loops, dependent joins — runs serial.
+    """
+    if spec.operator_type == OperatorType.JOIN:
+        implementation = spec.implementation or JoinImplementation.DOUBLE_PIPELINED.value
+        return implementation in _PARTITIONABLE_JOINS
+    if spec.operator_type == OperatorType.COLLECTOR:
+        return bool(spec.params.get("dedup_keys"))
+    return False
+
+
+def _build_partitioned(spec: OperatorSpec, context: ExecutionContext, lanes: int) -> Operator:
+    """Wrap ``spec`` in an :class:`Exchange` running ``lanes`` copies of it.
+
+    Each input subtree is built on its own worker clock (derived from the
+    consumer's context) so producer scan/network time overlaps lane CPU; the
+    lane subtrees themselves are built lazily by the factory passed to the
+    exchange, one per lane on that lane's clock, with the operator's memory
+    allotment split across the lanes as individual broker leases.
+    """
+    if lanes == 1 or not _is_partitionable(spec):
+        # Nothing to parallelize: build the plain serial form.
+        return build_operator(spec, context, validate=False)
+    producers = [
+        build_operator(child, context.derive_worker(f"{spec.operator_id}.in{index}"), validate=False)
+        for index, child in enumerate(spec.children)
+    ]
+    estimated = spec.estimated_cardinality
+    lane_estimated = max(1, estimated // lanes) if estimated else None
+
+    if spec.operator_type == OperatorType.JOIN:
+        left_keys = list(_required(spec, "left_keys"))
+        right_keys = list(_required(spec, "right_keys"))
+        implementation = spec.implementation or JoinImplementation.DOUBLE_PIPELINED.value
+        overflow_method = spec.params.get("overflow_method", "left_flush")
+        allotments = split_allotment_across_lanes(spec.memory_limit_bytes, lanes)
+
+        def build_join_lane(index: int, lane_context: ExecutionContext, sources) -> Operator:
+            lane_id = f"{spec.operator_id}.lane{index}"
+            if implementation == JoinImplementation.DOUBLE_PIPELINED.value:
+                return DoublePipelinedJoin(
+                    lane_id,
+                    lane_context,
+                    sources[0],
+                    sources[1],
+                    left_keys=left_keys,
+                    right_keys=right_keys,
+                    memory_limit_bytes=allotments[index],
+                    overflow_method=overflow_method,
+                    estimated_cardinality=lane_estimated,
+                )
+            return HybridHashJoin(
+                lane_id,
+                lane_context,
+                sources[0],
+                sources[1],
+                left_keys=left_keys,
+                right_keys=right_keys,
+                memory_limit_bytes=allotments[index],
+                estimated_cardinality=lane_estimated,
+            )
+
+        return Exchange(
+            spec.operator_id,
+            context,
+            producers,
+            partition_keys=[left_keys, right_keys],
+            lanes=lanes,
+            build_lane=build_join_lane,
+            output_schema=producers[0].output_schema.join(producers[1].output_schema),
+            estimated_cardinality=estimated,
+        )
+
+    # COLLECTOR with dedup_keys: partition every mirror by the dedup key so
+    # duplicates of a row always land in the same lane's dedup table.
+    dedup_keys = list(_required(spec, "dedup_keys"))
+    initially_active = spec.params.get("initially_active")
+    active_positions = None
+    if initially_active:
+        child_ids = [child.operator_id for child in spec.children]
+        try:
+            active_positions = [child_ids.index(child_id) for child_id in initially_active]
+        except ValueError as exc:
+            raise PlanError(
+                f"collector {spec.operator_id!r}: initially_active names unknown child"
+            ) from exc
+    fallback = _as_bool(spec.params.get("fallback_on_failure", True))
+    dedup_budget = spec.params.get("dedup_budget_bytes")
+    lane_budget = max(1, int(dedup_budget) // lanes) if dedup_budget else None
+
+    def build_collector_lane(index: int, lane_context: ExecutionContext, sources) -> Operator:
+        active = (
+            [sources[position].operator_id for position in active_positions]
+            if active_positions is not None
+            else None
+        )
+        return DynamicCollector(
+            f"{spec.operator_id}.lane{index}",
+            lane_context,
+            list(sources),
+            initially_active=active,
+            fallback_on_failure=fallback,
+            dedup_keys=dedup_keys,
+            estimated_cardinality=lane_estimated,
+            dedup_budget_bytes=lane_budget,
+        )
+
+    schema = producers[0].output_schema
+    for producer in producers[1:]:
+        schema = merge_union_schema(schema, producer.output_schema)
+    return Exchange(
+        spec.operator_id,
+        context,
+        producers,
+        partition_keys=[dedup_keys for _ in producers],
+        lanes=lanes,
+        build_lane=build_collector_lane,
+        output_schema=schema,
+        estimated_cardinality=estimated,
+    )
 
 
 def _required(spec: OperatorSpec, key: str):

@@ -79,6 +79,15 @@ class EngineConfig:
         not below the broker floor.  A violation raises
         :class:`~repro.errors.PlanValidationError` with every finding,
         instead of failing mid-stream with a partially executed plan.
+    exchange_lanes:
+        Partition parallelism.  With N > 1 the builder wraps every
+        partitionable operator (hash joins, keyed collectors) in an
+        :class:`~repro.engine.operators.exchange.Exchange`: inputs are
+        hash-partitioned on the join/dedup key across N worker lanes, each
+        lane runs the operator on its own virtual clock (a session-style
+        step generator on the shared timeline), and the merge side
+        re-interleaves lane outputs deterministically.  ``1`` (the
+        default) executes every operator serially, exactly as before.
     """
 
     per_tuple_cpu_ms: float = DEFAULT_CPU_COST_MS
@@ -92,6 +101,7 @@ class EngineConfig:
     enable_source_caching: bool = False
     source_cache_max_age_ms: float | None = None
     validate_plans: bool = True
+    exchange_lanes: int = 1
 
 
 class ExecutionContext:
@@ -151,6 +161,48 @@ class ExecutionContext:
         #: Column-encoding switch (dictionary strings + run-length arrival
         #: stamps); orthogonal to the drive mode — see ``EngineConfig``.
         self.encoded_columns = self.config.encoded_columns
+
+    def derive_worker(self, label: str) -> "ExecutionContext":
+        """A worker context for one exchange execution site (lane or producer).
+
+        The worker shares everything whose identity matters across sites —
+        catalog, memory pool (so per-lane budgets are individual broker
+        leases), local store, cross-session source cache, config, the event
+        queue, and the runtime stats registry — but runs on its *own*
+        virtual clock and simulated disk, so its CPU, waits, and spill I/O
+        occupy their own span of the shared timeline instead of serializing
+        onto this context's clock.  Inside the multi-query server the worker
+        clock is registered on the server timeline
+        (:meth:`~repro.server.clock.ServerClock.lane_clock`); standalone it
+        is a plain :class:`SimClock` starting at this context's current time.
+        """
+        clock = self.clock
+        server = getattr(clock, "server", None)
+        if server is not None:
+            worker_clock = server.lane_clock(
+                getattr(clock, "session_id", self.stats.query_name), label, clock.now
+            )
+        else:
+            worker_clock = SimClock(start_ms=clock.now)
+        worker = ExecutionContext(
+            self.catalog,
+            clock=worker_clock,
+            memory_pool=self.memory_pool,
+            local_store=self.local_store,
+            config=self.config,
+            query_name=f"{self.stats.query_name}.{label}",
+            source_cache=self.source_cache,
+            session_id=self.session_id,
+        )
+        # Shared observability: worker operators report into this query's
+        # stats and event queue (their ids are lane-qualified, so there are
+        # no collisions).  Watched-event keys stay local — rules fire on the
+        # coordinating context, not inside lanes.
+        worker.stats = self.stats
+        worker.events = self.events
+        worker.columnar = self.columnar
+        worker.encoded_columns = self.encoded_columns
+        return worker
 
     @contextmanager
     def row_backed_pulls(self):

@@ -31,6 +31,12 @@ class Operator:
     state, statistics, and event emission.
     """
 
+    #: Multiplier on the per-tuple CPU charge for this operator's output.
+    #: 1.0 for operators that touch every value; exchange endpoints lower it
+    #: (routing and merging move encoded column references, not values) so a
+    #: serial merge point does not re-pay the work its lanes parallelized.
+    PER_TUPLE_CPU_FACTOR = 1.0
+
     def __init__(
         self,
         operator_id: str,
@@ -73,7 +79,9 @@ class Operator:
             return None
         row = self._next()
         if row is not None:
-            self.context.clock.consume_cpu(self.context.config.per_tuple_cpu_ms)
+            self.context.clock.consume_cpu(
+                self.context.config.per_tuple_cpu_ms * self.PER_TUPLE_CPU_FACTOR
+            )
             self._stats.record_output(self.context.clock.now)
         return row
 
@@ -114,7 +122,7 @@ class Operator:
             # tuple-at-a-time drive produces by interleaving the same charges
             # between arrival waits.
             clock.consume_cpu_overlapped(
-                len(batch) * self.context.config.per_tuple_cpu_ms,
+                len(batch) * self.context.config.per_tuple_cpu_ms * self.PER_TUPLE_CPU_FACTOR,
                 max(0.0, clock.stats.wait_ms - wait_before),
             )
             self._stats.record_output_batch(len(batch), clock.now)
@@ -140,7 +148,7 @@ class Operator:
         batch = self._next_batch_bounded(max_rows, arrival_bound)
         if batch:
             clock.consume_cpu_overlapped(
-                len(batch) * self.context.config.per_tuple_cpu_ms,
+                len(batch) * self.context.config.per_tuple_cpu_ms * self.PER_TUPLE_CPU_FACTOR,
                 max(0.0, clock.stats.wait_ms - wait_before),
             )
             self._stats.record_output_batch(len(batch), clock.now)

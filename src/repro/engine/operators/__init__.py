@@ -2,6 +2,7 @@
 
 from repro.engine.operators.choose import ChooseNode
 from repro.engine.operators.collector import DynamicCollector
+from repro.engine.operators.exchange import Exchange, ExchangeSource
 from repro.engine.operators.joins import (
     DependentJoin,
     DoublePipelinedJoin,
@@ -20,6 +21,8 @@ __all__ = [
     "DependentJoin",
     "DoublePipelinedJoin",
     "DynamicCollector",
+    "Exchange",
+    "ExchangeSource",
     "HybridHashJoin",
     "JoinOperator",
     "Materialize",

@@ -1,0 +1,453 @@
+"""Partition-parallel execution: the ``Exchange`` / ``ExchangeSource`` pair.
+
+An :class:`Exchange` hash-partitions its input streams by key across N worker
+*lanes*.  Each lane is an independent operator subtree (built by a factory the
+planner supplies) running on its own worker clock registered on the server's
+shared virtual timeline, exactly like a session: the exchange steps whichever
+lane has the earliest next event, so the interleaving — and with it every
+result and every virtual-time statistic — is fully deterministic.  Producer
+subtrees likewise run on their own worker clocks, so scan and network time is
+overlapped with lane CPU instead of serialized in front of it.
+
+Data movement stays encoded end to end: the producer routes a batch by
+hashing the *canonical* key values (per-side dictionaries assign different
+codes to the same string, so codes themselves cannot be hashed), then ships
+per-lane slices built with :meth:`Batch.take` — a per-column gather of codes;
+strings never cross the lane boundary.  The merge side re-interleaves lane
+outputs by arrival stamp, earliest first, with the lane index as the
+deterministic tie-break.
+
+Causality on the timeline:
+
+* a routed batch becomes *available* to a lane at the producer clock's time
+  when it was routed; the lane's :class:`ExchangeSource` advances the lane
+  clock to that stamp before serving it (a lane cannot read data from its
+  producer's future);
+* a merged batch carries the lane clock's time when the lane emitted it; the
+  exchange advances the consumer clock to that stamp before handing it on;
+* at end of stream the consumer clock advances to the *makespan* — the
+  maximum over all producer and lane clocks — because the exchange is not
+  done until its slowest worker is.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, Sequence
+
+from repro.engine.context import ExecutionContext
+from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
+from repro.errors import ExecutionError
+from repro.storage.batch import Batch, BatchCursor
+from repro.storage.hash_table import bucket_of
+from repro.storage.schema import Schema
+from repro.storage.tuples import KeyBinder, Row
+
+#: CPU charge per routed row, as a fraction of the configured per-tuple cost.
+#: Routing hashes one key tuple and appends one index per row — cheaper than
+#: an operator that materializes or transforms the row, but not free; it is
+#: charged on the *producer's* clock, where the routing work happens.
+ROUTE_CPU_FACTOR = 0.25
+
+
+def _wait_hint(root: Operator, clock) -> float | None:
+    """Arrival time ``root``'s next pull would block for; ``None`` if ready.
+
+    Local twin of :func:`repro.engine.executor.wait_hint` (importing the
+    executor here would be circular: executor -> builder -> exchange).
+    """
+    arrival = root.peek_arrival()
+    if arrival is None:
+        return None
+    if arrival > clock.now and arrival != float("inf"):
+        return arrival
+    return None
+
+
+class ExchangeSource(Operator):
+    """Lane-side leaf: serves the batches routed to one lane from one input.
+
+    Pull-driven like every other operator — when its queue is empty and the
+    producer still has data, serving a pull *pumps* the exchange's producer
+    driver (which routes the resulting batch to all lanes, not just this
+    one).  An empty queue with a finished producer is this lane's end of
+    stream for that input.
+    """
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        exchange: "Exchange",
+        input_index: int,
+        schema: Schema,
+    ) -> None:
+        super().__init__(operator_id, context)
+        self._exchange = exchange
+        self._input_index = input_index
+        self._schema = schema
+        #: queued (available_ms, batch) pairs; available_ms is monotone
+        #: because the producer clock only moves forward between routings.
+        self._queue: deque[tuple[float, Batch]] = deque()
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def enqueue(self, available_ms: float, batch: Batch) -> None:
+        self._queue.append((available_ms, batch))
+
+    def peek_arrival(self) -> float | None:
+        if self.state in ("closed", "deactivated"):
+            return None
+        if self._queue:
+            return self._queue[0][0]
+        if self._exchange.producer_done(self._input_index):
+            return None
+        # Lower bound: the producer cannot route anything before its own next
+        # arrival.  Side-effect free — peeking never pumps.
+        return self._exchange.producer_peek(self._input_index)
+
+    def _ensure_queued(self) -> bool:
+        """Pump the producer until this lane has data or the stream ends."""
+        exchange = self._exchange
+        while not self._queue:
+            if exchange.producer_done(self._input_index):
+                return False
+            exchange.pump(self._input_index)
+        return True
+
+    def _serve(self, max_rows: int) -> Batch:
+        available, batch = self._queue.popleft()
+        if len(batch) > max_rows:
+            self._queue.appendleft((available, batch.slice(max_rows, len(batch))))
+            batch = batch.slice(0, max_rows)
+        self.context.clock.advance_to(available)
+        return batch
+
+    def _next(self) -> Row | None:
+        if not self._ensure_queued():
+            return None
+        return self._serve(1)[0]
+
+    def _next_batch(self, max_rows: int) -> Batch:
+        if not self._ensure_queued():
+            return Batch.empty(self._schema)
+        return self._serve(max_rows)
+
+    def _next_batch_bounded(self, max_rows: int, arrival_bound: float) -> Batch:
+        if not self._ensure_queued():
+            return Batch.empty(self._schema)
+        available, batch = self._queue[0]
+        if available >= arrival_bound:
+            return Batch.empty(self._schema)  # not end of stream: tie-break case
+        take = 0
+        for arrival in batch.arrivals:
+            if take >= max_rows or max(arrival, available) >= arrival_bound:
+                break
+            take += 1
+        if take == 0:
+            return Batch.empty(self._schema)
+        if take == len(batch):
+            return self._serve(take)
+        self._queue.popleft()
+        self._queue.appendleft((available, batch.slice(take, len(batch))))
+        self.context.clock.advance_to(available)
+        return batch.slice(0, take)
+
+
+class _ProducerDriver:
+    """One input stream: its operator root (on a worker clock) and routing keys."""
+
+    __slots__ = ("root", "binder", "done", "error")
+
+    def __init__(self, root: Operator, keys: Sequence[str]) -> None:
+        self.root = root
+        self.binder = KeyBinder(list(keys))
+        self.done = False
+        self.error: Exception | None = None
+
+
+class _Lane:
+    """One worker lane: its context, sources, subtree root, and step state."""
+
+    __slots__ = ("index", "context", "sources", "root", "steps", "next_event_ms", "finished", "output")
+
+    def __init__(self, index: int, context: ExecutionContext) -> None:
+        self.index = index
+        self.context = context
+        self.sources: list[ExchangeSource] = []
+        self.root: Operator | None = None
+        self.steps: Iterator[float] | None = None
+        self.next_event_ms = context.clock.now
+        self.finished = False
+        #: (produced_at_ms, batch) pairs awaiting the merge side.
+        self.output: deque[tuple[float, Batch]] = deque()
+
+
+class Exchange(Operator):
+    """Partition / parallel-execute / merge, on the shared virtual timeline.
+
+    ``children`` are the producer roots, each built on its own worker clock
+    (the builder derives those contexts).  ``build_lane(index, lane_context,
+    sources)`` constructs one lane's subtree over its :class:`ExchangeSource`
+    leaves — the planner decides what runs inside a lane (a hash join, a
+    deduplicating collector); the exchange only owns routing, stepping, and
+    merging.  ``partition_keys[i]`` names the key columns of input ``i``; a
+    row's lane is ``bucket_of(canonical key values, lanes)``, identical
+    across inputs so matching rows always meet in the same lane.
+
+    The merge is a pure handoff of already-produced batches (no per-value
+    work), hence ``PER_TUPLE_CPU_FACTOR = 0``: the per-tuple cost of the
+    parallelized work is paid on producer and lane clocks instead.
+    """
+
+    PER_TUPLE_CPU_FACTOR = 0.0
+
+    def __init__(
+        self,
+        operator_id: str,
+        context: ExecutionContext,
+        producers: list[Operator],
+        partition_keys: Sequence[Sequence[str]],
+        lanes: int,
+        build_lane: Callable[[int, ExecutionContext, list[ExchangeSource]], Operator],
+        output_schema: Schema,
+        estimated_cardinality: int | None = None,
+    ) -> None:
+        if lanes < 1:
+            raise ExecutionError(f"exchange {operator_id!r} needs at least one lane, got {lanes}")
+        if len(partition_keys) != len(producers):
+            raise ExecutionError(
+                f"exchange {operator_id!r}: {len(producers)} inputs but "
+                f"{len(partition_keys)} partition key lists"
+            )
+        super().__init__(
+            operator_id, context, children=producers, estimated_cardinality=estimated_cardinality
+        )
+        self.lane_count = lanes
+        self._build_lane = build_lane
+        self._schema = output_schema
+        self._producers = [
+            _ProducerDriver(root, keys) for root, keys in zip(producers, partition_keys)
+        ]
+        self._route_cpu_ms = context.config.per_tuple_cpu_ms * ROUTE_CPU_FACTOR
+        self._lanes: list[_Lane] | None = None
+        self._cursor: BatchCursor | None = None
+        self._drained = False
+
+    # -- schema / introspection ----------------------------------------------------
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def lane_operators(self) -> list[Operator]:
+        """The lane subtree roots (for tests and broker-invariant checks)."""
+        if self._lanes is None:
+            return []
+        return [lane.root for lane in self._lanes if lane.root is not None]
+
+    # -- producer side (called by ExchangeSource) ----------------------------------
+
+    def producer_done(self, input_index: int) -> bool:
+        return self._producers[input_index].done
+
+    def producer_peek(self, input_index: int) -> float | None:
+        return self._producers[input_index].root.peek_arrival()
+
+    def pump(self, input_index: int) -> None:
+        """Pull one batch from input ``input_index`` and route it to the lanes.
+
+        Every lane sees the same producer failure: the first pump to raise
+        stores the exception and every later pump of that input re-raises it,
+        so per-lane collectors take their fallback path consistently.
+        """
+        driver = self._producers[input_index]
+        if driver.error is not None:
+            raise driver.error
+        if driver.done:
+            return
+        root = driver.root
+        try:
+            batch = root.next_batch(DEFAULT_BATCH_SIZE)
+        except Exception as exc:
+            driver.error = exc
+            driver.done = True
+            raise
+        if not batch:
+            driver.done = True
+            return
+        clock = root.context.clock
+        clock.consume_cpu(len(batch) * self._route_cpu_ms)
+        available = clock.now
+        lanes = self._lanes
+        assert lanes is not None, "pump before open"
+        if self.lane_count == 1:
+            lanes[0].sources[input_index].enqueue(available, batch)
+            return
+        keys = batch.key_tuples(driver.binder.indices_in(batch.schema))
+        routed: list[list[int] | None] = [None] * self.lane_count
+        for position, key in enumerate(keys):
+            lane_index = bucket_of(key, self.lane_count)
+            positions = routed[lane_index]
+            if positions is None:
+                routed[lane_index] = [position]
+            else:
+                positions.append(position)
+        for lane_index, positions in enumerate(routed):
+            if positions is None:
+                continue
+            part = batch if len(positions) == len(keys) else batch.take(positions)
+            lanes[lane_index].sources[input_index].enqueue(available, part)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _do_open(self) -> None:
+        lanes: list[_Lane] = []
+        for index in range(self.lane_count):
+            lane = _Lane(index, self.context.derive_worker(f"{self.operator_id}.lane{index}"))
+            lane.sources = [
+                ExchangeSource(
+                    f"{self.operator_id}.in{input_index}.lane{index}",
+                    lane.context,
+                    self,
+                    input_index,
+                    driver.root.output_schema,
+                )
+                for input_index, driver in enumerate(self._producers)
+            ]
+            lane.root = self._build_lane(index, lane.context, lane.sources)
+            lanes.append(lane)
+        self._lanes = lanes
+        for lane in lanes:
+            lane.root.open()
+            lane.steps = self._lane_steps(lane)
+            lane.next_event_ms = lane.context.clock.now
+
+    def _lane_steps(self, lane: _Lane) -> Iterator[float]:
+        """Session-style step generator: one yield per wait or output batch.
+
+        Mirrors the server session's operator-tree drive: start with a small
+        batch (time-to-first-tuple), grow geometrically, and surface a wait
+        event (yielding the arrival time) before any pull that would block —
+        that is what the earliest-event-first merge loop schedules on.
+        """
+        root = lane.root
+        clock = lane.context.clock
+        size = 1
+        while True:
+            wait_until = _wait_hint(root, clock)
+            if wait_until is not None:
+                yield wait_until
+            batch = root.next_batch(size)
+            if not batch:
+                return
+            lane.output.append((clock.now, batch))
+            size = min(size * 4, DEFAULT_BATCH_SIZE)
+            yield clock.now
+
+    def _step_lane(self, lane: _Lane) -> None:
+        try:
+            lane.next_event_ms = next(lane.steps)
+        except StopIteration:
+            lane.finished = True
+            lane.next_event_ms = lane.context.clock.now
+
+    # -- merge side ----------------------------------------------------------------
+
+    def _run_lanes(self) -> None:
+        """Step lanes, earliest next event first, until every lane has output
+        buffered or is finished.  Ties break on the lane index, so the
+        interleaving is deterministic."""
+        lanes = self._lanes
+        while True:
+            needy = [lane for lane in lanes if not lane.finished and not lane.output]
+            if not needy:
+                return
+            self._step_lane(min(needy, key=lambda lane: (lane.next_event_ms, lane.index)))
+
+    def _worker_makespan(self) -> float:
+        clocks = [driver.root.context.clock.now for driver in self._producers]
+        clocks.extend(lane.context.clock.now for lane in self._lanes)
+        return max(clocks)
+
+    def _merge_batch(self, max_rows: int) -> Batch:
+        if self._drained:
+            return Batch.empty(self._schema)
+        self._run_lanes()
+        ready = [lane for lane in self._lanes if lane.output]
+        if not ready:
+            # All lanes done and drained: the exchange completes when its
+            # slowest worker does.
+            self._drained = True
+            self.context.clock.advance_to(self._worker_makespan())
+            return Batch.empty(self._schema)
+        lane = min(ready, key=lambda lane: (lane.output[0][1].arrivals[0], lane.index))
+        produced_at, batch = lane.output.popleft()
+        if len(batch) > max_rows:
+            lane.output.appendleft((produced_at, batch.slice(max_rows, len(batch))))
+            batch = batch.slice(0, max_rows)
+        self.context.clock.advance_to(produced_at)
+        return batch.with_schema(self._schema)
+
+    def _next_batch(self, max_rows: int) -> Batch:
+        cursor = self._cursor
+        if cursor is not None:
+            if cursor:
+                return cursor.take(max_rows)
+            self._cursor = None
+        return self._merge_batch(max_rows)
+
+    def _next(self) -> Row | None:
+        cursor = self._cursor
+        if cursor is None or not cursor:
+            batch = self._merge_batch(DEFAULT_BATCH_SIZE)
+            if not batch:
+                return None
+            cursor = self._cursor = BatchCursor(batch)
+        return cursor.next_row()
+
+    def peek_arrival(self) -> float | None:
+        if self.state in ("closed", "deactivated"):
+            return None
+        if self._cursor is not None and self._cursor:
+            return self.context.clock.now
+        if self._lanes is None:
+            return self.context.clock.now
+        best: float | None = None
+        for lane in self._lanes:
+            if lane.output:
+                candidate = lane.output[0][0]
+            elif not lane.finished:
+                candidate = lane.next_event_ms
+            else:
+                continue
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    def _do_close(self) -> None:
+        lanes = self._lanes or []
+        error: Exception | None = None
+        try:
+            for lane in lanes:
+                if lane.root is None:
+                    continue
+                try:
+                    lane.root.close()
+                except Exception as exc:  # keep closing the other lanes
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+        finally:
+            # Release every worker clock from the timeline — a stuck lane
+            # clock would pin the server frontier forever.
+            for clock in [d.root.context.clock for d in self._producers] + [
+                lane.context.clock for lane in lanes
+            ]:
+                server = getattr(clock, "server", None)
+                if server is not None:
+                    server.finish(clock.session_id)

@@ -44,11 +44,21 @@ class Union(Operator):
         return self._schema
 
     def peek_arrival(self) -> float | None:
+        """Earliest arrival across the *remaining* children.
+
+        The current child reporting end of stream must not read as the
+        union's end of stream while later children still hold data — the
+        scheduler's wait events would otherwise miss the true earliest
+        arrival across branches.  Side-effect free: the cursor only moves
+        when a pull actually drains the current child.
+        """
         if self.state in ("closed", "deactivated"):
             return None
-        if self._current >= len(self.children):
-            return None
-        return self.children[self._current].peek_arrival()
+        for child in self.children[self._current:]:
+            arrival = child.peek_arrival()
+            if arrival is not None:
+                return arrival
+        return None
 
     def _next(self) -> Row | None:
         schema = self.output_schema

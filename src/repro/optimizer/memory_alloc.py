@@ -43,6 +43,25 @@ class JoinMemoryRequest:
     estimated_build_bytes: int
 
 
+def split_allotment_across_lanes(total_bytes: int | None, lanes: int) -> list[int | None]:
+    """Divide one operator's memory allotment across its exchange lanes.
+
+    Each lane's budget becomes an *individual* broker lease, so the same
+    :data:`MIN_JOIN_ALLOTMENT_BYTES` floor applies per lane: a total below
+    ``lanes * floor`` is widened rather than starving every lane (lanes
+    multiply the floor, which is the honest cost of partitioning — each lane
+    keeps its own hash-table skeleton resident).  ``None`` (unbounded)
+    splits into unbounded lanes.
+    """
+    if lanes < 1:
+        raise OptimizationError(f"lane count must be >= 1, got {lanes}")
+    if total_bytes is None:
+        return [None] * lanes
+    if lanes == 1:
+        return [int(total_bytes)]
+    return [max(MIN_JOIN_ALLOTMENT_BYTES, int(total_bytes) // lanes)] * lanes
+
+
 def columnar_build_row_bytes(
     leaf_sources: Iterable[str], statistics, assumed_bytes: int
 ) -> int:

@@ -31,6 +31,7 @@ class OperatorType(str, Enum):
     COLLECTOR = "collector"
     CHOOSE = "choose"
     MATERIALIZE = "materialize"
+    EXCHANGE = "exchange"
 
 
 class JoinImplementation(str, Enum):
@@ -108,6 +109,7 @@ class OperatorSpec:
             OperatorType.COLLECTOR: (1, None),
             OperatorType.CHOOSE: (1, None),
             OperatorType.MATERIALIZE: (1, 1),
+            OperatorType.EXCHANGE: (1, 1),
         }[self.operator_type]
         low, high = arity
         count = len(self.children)
@@ -251,6 +253,28 @@ def collector(
         OperatorType.COLLECTOR,
         children=list(children),
         params={"policy": policy_name},
+    )
+
+
+def exchange(
+    child: OperatorSpec,
+    partition_keys: list[str],
+    lanes: int,
+    operator_id: str | None = None,
+) -> OperatorSpec:
+    """Hash-partition ``child``'s execution across ``lanes`` worker lanes.
+
+    ``partition_keys`` declare the routing key and must be produced by the
+    child (the plan validator rejects unbound keys); the builder partitions
+    the child's *inputs* on the corresponding join/dedup keys and merges the
+    lane outputs back into one arrival-ordered stream, so the exchange is
+    result-transparent: same schema, same row multiset, any lane count.
+    """
+    return OperatorSpec(
+        operator_id or next_operator_id("xchg"),
+        OperatorType.EXCHANGE,
+        children=[child],
+        params={"partition_keys": list(partition_keys), "lanes": int(lanes)},
     )
 
 

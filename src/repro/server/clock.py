@@ -71,6 +71,29 @@ class ServerClock:
         self._active.add(session_id)
         return clock
 
+    def lane_clock(self, owner_id: str, label: str, start_ms: float) -> SessionClock:
+        """Admit an intra-query worker lane at exactly ``start_ms``.
+
+        Exchange lanes and producer drivers are full timeline members — they
+        constrain the frontier until :meth:`finish` and count toward the
+        makespan — but unlike sessions they are *not* clamped to the
+        frontier: a lane starts at its owner's current time, which is
+        already at or past the frontier because the owner is itself an
+        unfinished timeline member.  Repeated ids (an operator tree rebuilt
+        inside one session, e.g. benchmark repetitions) get a ``~n`` suffix
+        rather than an error; lane identity never affects results.
+        """
+        lane_id = f"{owner_id}/{label}"
+        if lane_id in self._clocks:
+            n = 2
+            while f"{lane_id}~{n}" in self._clocks:
+                n += 1
+            lane_id = f"{lane_id}~{n}"
+        clock = SessionClock(self, lane_id, float(start_ms))
+        self._clocks[lane_id] = clock
+        self._active.add(lane_id)
+        return clock
+
     def finish(self, session_id: str) -> None:
         """Mark a session complete; its clock stops constraining the frontier."""
         self._active.discard(session_id)

@@ -1,0 +1,41 @@
+"""Fixture for rule ``lease-lifecycle`` check 2b: per-lane teardown where one
+lane's lease return raising skips the remaining lanes' returns.
+
+``teardown`` revokes each lane's grant in sequence with no ``finally``: if
+``lane0``'s revoke raises (a revocation callback failing mid-flush), the
+exception edge leaves the function before ``lane1``'s grant is ever
+returned — exactly the per-lane leak the flow-sensitive check reports.  The
+suppressed twin shows the pragma escape hatch; ``SafeTeardown`` shows the
+finally-protected shape the rule wants.  Never imported — parsed by the
+analyzer tests only.
+"""
+
+
+class LeakingTeardown:
+    def teardown(self, memory_pool) -> None:
+        memory_pool.revoke("join.lane0")  # VIOLATION: lane1's grant leaks if this raises
+        memory_pool.revoke("join.lane1")
+
+
+class SuppressedTeardown:
+    def teardown(self, memory_pool) -> None:
+        # repro: allow[lease-lifecycle] fixture twin, deliberately suppressed
+        memory_pool.revoke("join.lane0")
+        memory_pool.revoke("join.lane1")
+
+
+class SafeTeardown:
+    def teardown(self, memory_pool) -> None:
+        try:
+            memory_pool.revoke("join.lane0")
+        finally:
+            memory_pool.revoke("join.lane1")
+
+    def setup(self, memory_pool, lanes: int) -> None:
+        # The grant-collecting loop is *not* a leak: appending the handle to
+        # a container owned by self transfers ownership (the container's
+        # owner releases in its own teardown).
+        self.budgets = []
+        for index in range(lanes):
+            budget = memory_pool.grant(f"join.lane{index}", 1 << 16)
+            self.budgets.append(budget)

@@ -185,6 +185,59 @@ class TestLeaseLifecycleInline:
         assert "never revokes" in findings[0].message
 
 
+class TestLaneLeaseTeardown:
+    """Check 2b: per-lane budget handles across exchange lane teardown."""
+
+    FIXTURE = FIXTURES / "lane_lease_violation.py"
+
+    def test_skipped_sibling_return_is_reported_once(self):
+        # Two sequential revokes, no finally: lane0's revoke raising leaks
+        # lane1's grant.  The pragma'd twin is silenced; the finally-protected
+        # shape and the append-escaping grant loop in the same file are clean.
+        report = run_lint([self.FIXTURE], rules=(rule_by_id("lease-lifecycle"),))
+        (finding,) = report.findings
+        assert finding.line == violation_line(self.FIXTURE)
+        assert "per-lane teardown" in finding.message
+        assert report.suppressed == 1
+
+    def test_fixture_seeds_only_lease_lifecycle(self):
+        report = run_lint([self.FIXTURE])
+        assert {f.rule_id for f in report.findings} == {"lease-lifecycle"}
+
+    def test_loop_teardown_is_flagged(self):
+        # One revoke site, but a loop makes later iterations pending: a raise
+        # mid-loop leaks every lane not yet revoked.
+        module = ModuleSource(
+            "inline.py",
+            "class T:\n"
+            "    def close(self, pool, lane_names):\n"
+            "        for name in lane_names:\n"
+            "            pool.revoke(name)\n",
+        )
+        findings, _ = lint_module(module, [rule_by_id("lease-lifecycle")])
+        assert len(findings) == 1 and findings[0].line == 4
+
+    def test_per_lane_grant_loop_with_append_escape_is_clean(self):
+        # Collecting handles into a self-owned container transfers ownership;
+        # the setup loop must not read as N leaks.
+        module = ModuleSource(
+            "inline.py",
+            "class T:\n"
+            "    def setup(self, pool, lanes):\n"
+            "        self.budgets = []\n"
+            "        for index in range(lanes):\n"
+            "            budget = pool.grant(f'join.lane{index}', 64)\n"
+            "            self.budgets.append(budget)\n"
+            "    def close(self, pool):\n"
+            "        try:\n"
+            "            pool.revoke('join.lane0')\n"
+            "        finally:\n"
+            "            pool.revoke('join.lane1')\n",
+        )
+        findings, _ = lint_module(module, [rule_by_id("lease-lifecycle")])
+        assert not findings
+
+
 class TestPragmas:
     def test_pragma_on_previous_line(self):
         module = ModuleSource(

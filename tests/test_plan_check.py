@@ -21,6 +21,7 @@ from repro.plan.fragments import Fragment, QueryPlan
 from repro.plan.physical import (
     OperatorSpec,
     OperatorType,
+    exchange,
     join,
     project_,
     table_scan,
@@ -107,6 +108,37 @@ class TestTreeValidation:
         spec = join(
             wrapper_scan("ghost_source"), wrapper_scan("item"), ["x"], ["item.i_order"]
         )
+        assert validate_tree(spec, joinable_catalog) == []
+
+
+class TestExchangeValidation:
+    def test_well_formed_exchange_is_clean(self, joinable_catalog):
+        spec = exchange(good_join(), ["ord.o_id"], 2)
+        assert validate_tree(spec, joinable_catalog) == []
+
+    def test_unbound_partition_key_rejected(self, joinable_catalog):
+        spec = exchange(good_join(), ["ord.ghost"], 2)
+        findings = validate_tree(spec, joinable_catalog)
+        assert codes(findings) == {"unbound-key"}
+        assert "'ord.ghost'" in findings[0].message
+        assert "routed" in findings[0].message  # says why the key matters
+
+    def test_non_positive_lane_count_rejected(self, joinable_catalog):
+        findings = validate_tree(exchange(good_join(), ["ord.o_id"], 0), joinable_catalog)
+        assert codes(findings) == {"bad-lane-count"}
+        assert "0" in findings[0].message
+
+    def test_bool_lane_count_rejected(self, joinable_catalog):
+        # bool is an int subtype; the validator must not accept lanes=True.
+        spec = exchange(good_join(), ["ord.o_id"], 2)
+        spec.params["lanes"] = True
+        findings = validate_tree(spec, joinable_catalog)
+        assert codes(findings) == {"bad-lane-count"}
+
+    def test_schema_passes_through_unchanged(self, joinable_catalog):
+        # The exchange is transparent: a parent projecting the child schema
+        # still validates above it.
+        spec = project_(exchange(good_join(), ["ord.o_id"], 2), ["ord.o_id", "item.i_sku"])
         assert validate_tree(spec, joinable_catalog) == []
 
 
