@@ -15,6 +15,7 @@ from repro.analysis.rules.leases import LeaseLifecycleRule
 from repro.analysis.rules.memory import BudgetMutationRule
 from repro.analysis.rules.rows import HotPathRowRule
 from repro.analysis.rules.scheduler import StepEffectRule
+from repro.analysis.rules.wire import WireSafetyRule
 
 #: Every registered rule, in reporting order.  ``clock-taint`` subsumed the
 #: syntactic ``wall-clock`` rule and ``lease-lifecycle`` replaced the
@@ -28,6 +29,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ConftestImportRule(),
     BareExceptRule(),
     SwallowedExceptRule(),
+    WireSafetyRule(),
 )
 
 

@@ -1,0 +1,97 @@
+"""Rule ``wire-safe``: no live engine state in inter-process payloads.
+
+The process exchange backend ships batches and sync reports between the
+parent and lane workers.  What crosses the pipe must be *data*: pre-encoded
+wire tuples, counter dictionaries, plain values.  Live engine objects — a
+``SimClock`` (its identity anchors virtual-time accounting), a
+``MemoryPool``/``MemoryBudget`` (broker leases are parent-side state), an
+open file or connection (unpicklable, or worse: silently duplicated) — must
+never be pickled into a payload.  Shipping one either crashes at pickle
+time deep in ``multiprocessing`` or, for the picklable ones, forks the
+authoritative state into two diverging copies.
+
+The rule is syntactic, by receiver-name convention like ``budget-mutation``:
+any argument expression of a payload-bearing call (``send_msg(conn, ...)``,
+``<x>.send(...)``, ``<x>.send_bytes(...)``, ``<x>.post_msg(...)``) that
+mentions a name conventionally bound to live state (``clock``, ``pool``,
+``budget``, ``disk``, ``conn``, ``file``, ``context``, ...) is flagged.
+Compliant code derives a plain payload first (``sync = {...}``) and ships
+the derived name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import ModuleSource, Rule
+
+#: Names conventionally bound to live engine state that must not be shipped.
+UNSAFE_STATE_NAMES = frozenset(
+    {
+        "clock",
+        "pool",
+        "memory_pool",
+        "budget",
+        "budgets",
+        "disk",
+        "wrapper",
+        "conn",
+        "connection",
+        "file",
+        "sock",
+        "socket",
+        "context",
+    }
+)
+
+#: Method names whose arguments become inter-process payloads.
+SEND_METHOD_NAMES = frozenset({"send", "send_bytes", "post_msg"})
+
+
+def _payload_args(node: ast.Call) -> list[ast.expr]:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "send_msg":
+        # send_msg(conn, payload): the connection argument is plumbing.
+        return list(node.args[1:])
+    if isinstance(func, ast.Attribute) and func.attr in SEND_METHOD_NAMES:
+        return list(node.args)
+    return []
+
+
+def _unsafe_mention(payload: ast.expr) -> str | None:
+    """First live-state name mentioned anywhere inside ``payload``."""
+    for node in ast.walk(payload):
+        if isinstance(node, ast.Name):
+            candidate = node.id
+        elif isinstance(node, ast.Attribute):
+            candidate = node.attr
+        else:
+            continue
+        if candidate.lstrip("_") in UNSAFE_STATE_NAMES:
+            return candidate
+    return None
+
+
+class WireSafetyRule(Rule):
+    rule_id = "wire-safe"
+    summary = (
+        "inter-process payloads (send_msg/.send/.send_bytes/.post_msg args) "
+        "must not mention live engine state (clocks, pools, budgets, disks, "
+        "open files/connections); derive a plain payload and ship that"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for payload in _payload_args(node):
+                mention = _unsafe_mention(payload)
+                if mention is not None:
+                    yield (
+                        node.lineno,
+                        f"payload mentions live state name {mention!r}; shipping "
+                        "it across a process boundary forks authoritative engine "
+                        "state (or fails to pickle) — build a plain data payload "
+                        "first and send that",
+                    )

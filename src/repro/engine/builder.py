@@ -21,6 +21,7 @@ from repro.engine.operators import (
 from repro.engine.operators.exchange import Exchange
 from repro.errors import PlanError
 from repro.optimizer.memory_alloc import split_allotment_across_lanes
+from repro.parallel.spec import CollectorLaneSpec, JoinLaneSpec
 from repro.plan.physical import JoinImplementation, OperatorSpec, OperatorType
 from repro.storage.schema import merge_union_schema
 
@@ -66,7 +67,12 @@ def build_operator(
     # consumer's clock.
     if operator_type == OperatorType.EXCHANGE:
         lanes = spec.params.get("lanes", context.config.exchange_lanes)
-        return _build_partitioned(spec.children[0], context, _checked_lane_count(spec, lanes))
+        return _build_partitioned(
+            spec.children[0],
+            context,
+            _checked_lane_count(spec, lanes),
+            backend=_checked_backend(spec),
+        )
     implicit_lanes = context.config.exchange_lanes
     if implicit_lanes > 1 and _is_partitionable(spec):
         return _build_partitioned(spec, context, implicit_lanes)
@@ -194,6 +200,18 @@ def _checked_lane_count(spec: OperatorSpec, lanes) -> int:
     return lanes
 
 
+def _checked_backend(spec: OperatorSpec) -> str | None:
+    from repro.engine.context import EXCHANGE_BACKENDS
+
+    backend = spec.params.get("backend")
+    if backend is not None and backend not in EXCHANGE_BACKENDS:
+        raise PlanError(
+            f"exchange {spec.operator_id!r}: unknown backend {backend!r} "
+            f"(known: {', '.join(EXCHANGE_BACKENDS)})"
+        )
+    return backend
+
+
 def _is_partitionable(spec: OperatorSpec) -> bool:
     """Can ``EngineConfig(exchange_lanes=N)`` wrap this node in an exchange?
 
@@ -210,7 +228,9 @@ def _is_partitionable(spec: OperatorSpec) -> bool:
     return False
 
 
-def _build_partitioned(spec: OperatorSpec, context: ExecutionContext, lanes: int) -> Operator:
+def _build_partitioned(
+    spec: OperatorSpec, context: ExecutionContext, lanes: int, backend: str | None = None
+) -> Operator:
     """Wrap ``spec`` in an :class:`Exchange` running ``lanes`` copies of it.
 
     Each input subtree is built on its own worker clock (derived from the
@@ -232,44 +252,29 @@ def _build_partitioned(spec: OperatorSpec, context: ExecutionContext, lanes: int
     if spec.operator_type == OperatorType.JOIN:
         left_keys = list(_required(spec, "left_keys"))
         right_keys = list(_required(spec, "right_keys"))
-        implementation = spec.implementation or JoinImplementation.DOUBLE_PIPELINED.value
-        overflow_method = spec.params.get("overflow_method", "left_flush")
-        allotments = split_allotment_across_lanes(spec.memory_limit_bytes, lanes)
-
-        def build_join_lane(index: int, lane_context: ExecutionContext, sources) -> Operator:
-            lane_id = f"{spec.operator_id}.lane{index}"
-            if implementation == JoinImplementation.DOUBLE_PIPELINED.value:
-                return DoublePipelinedJoin(
-                    lane_id,
-                    lane_context,
-                    sources[0],
-                    sources[1],
-                    left_keys=left_keys,
-                    right_keys=right_keys,
-                    memory_limit_bytes=allotments[index],
-                    overflow_method=overflow_method,
-                    estimated_cardinality=lane_estimated,
-                )
-            return HybridHashJoin(
-                lane_id,
-                lane_context,
-                sources[0],
-                sources[1],
-                left_keys=left_keys,
-                right_keys=right_keys,
-                memory_limit_bytes=allotments[index],
-                estimated_cardinality=lane_estimated,
-            )
-
+        # The lane subtree is described declaratively (a picklable spec, not
+        # a closure) so the process exchange backend can rebuild it inside a
+        # worker; inline, the spec doubles as the build_lane callable.
+        lane_spec = JoinLaneSpec(
+            operator_id=spec.operator_id,
+            left_keys=left_keys,
+            right_keys=right_keys,
+            implementation=spec.implementation or JoinImplementation.DOUBLE_PIPELINED.value,
+            overflow_method=spec.params.get("overflow_method", "left_flush"),
+            allotments=split_allotment_across_lanes(spec.memory_limit_bytes, lanes),
+            lane_estimated=lane_estimated,
+        )
         return Exchange(
             spec.operator_id,
             context,
             producers,
             partition_keys=[left_keys, right_keys],
             lanes=lanes,
-            build_lane=build_join_lane,
+            build_lane=lane_spec,
             output_schema=producers[0].output_schema.join(producers[1].output_schema),
             estimated_cardinality=estimated,
+            lane_spec=lane_spec,
+            backend=backend,
         )
 
     # COLLECTOR with dedup_keys: partition every mirror by the dedup key so
@@ -285,27 +290,15 @@ def _build_partitioned(spec: OperatorSpec, context: ExecutionContext, lanes: int
             raise PlanError(
                 f"collector {spec.operator_id!r}: initially_active names unknown child"
             ) from exc
-    fallback = _as_bool(spec.params.get("fallback_on_failure", True))
     dedup_budget = spec.params.get("dedup_budget_bytes")
-    lane_budget = max(1, int(dedup_budget) // lanes) if dedup_budget else None
-
-    def build_collector_lane(index: int, lane_context: ExecutionContext, sources) -> Operator:
-        active = (
-            [sources[position].operator_id for position in active_positions]
-            if active_positions is not None
-            else None
-        )
-        return DynamicCollector(
-            f"{spec.operator_id}.lane{index}",
-            lane_context,
-            list(sources),
-            initially_active=active,
-            fallback_on_failure=fallback,
-            dedup_keys=dedup_keys,
-            estimated_cardinality=lane_estimated,
-            dedup_budget_bytes=lane_budget,
-        )
-
+    lane_spec = CollectorLaneSpec(
+        operator_id=spec.operator_id,
+        dedup_keys=dedup_keys,
+        active_positions=active_positions,
+        fallback=_as_bool(spec.params.get("fallback_on_failure", True)),
+        lane_budget=max(1, int(dedup_budget) // lanes) if dedup_budget else None,
+        lane_estimated=lane_estimated,
+    )
     schema = producers[0].output_schema
     for producer in producers[1:]:
         schema = merge_union_schema(schema, producer.output_schema)
@@ -315,9 +308,11 @@ def _build_partitioned(spec: OperatorSpec, context: ExecutionContext, lanes: int
         producers,
         partition_keys=[dedup_keys for _ in producers],
         lanes=lanes,
-        build_lane=build_collector_lane,
+        build_lane=lane_spec,
         output_schema=schema,
         estimated_cardinality=estimated,
+        lane_spec=lane_spec,
+        backend=backend,
     )
 
 

@@ -7,7 +7,20 @@ shared virtual timeline, exactly like a session: the exchange steps whichever
 lane has the earliest next event, so the interleaving — and with it every
 result and every virtual-time statistic — is fully deterministic.  Producer
 subtrees likewise run on their own worker clocks, so scan and network time is
-overlapped with lane CPU instead of serialized in front of it.
+overlapped with lane CPU instead of serialized in front of it on the virtual
+timeline.
+
+Producers drain *at open*: every input is pumped to completion and routed
+before the first lane steps.  Virtual time cannot tell the difference —
+producer clocks advance only through the fixed pump sequence, lane clocks
+only through serves and processing — but it makes each lane a pure function
+of its own routed queues (and makes ``ExchangeSource.peek_arrival``
+effect-free).  That purity is the foundation of the pluggable lane
+*backend* (``EngineConfig.exchange_backend``): the default ``inline``
+backend steps lanes in this process, while the ``process`` backend
+(:mod:`repro.parallel.backend`) runs each lane's subtree in its own OS
+process over a columnar wire format and must produce identical result
+multisets *and* identical virtual-time accounting.
 
 Data movement stays encoded end to end: the producer routes a batch by
 hashing the *canonical* key values (per-side dictionaries assign different
@@ -35,11 +48,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterator, Sequence
 
-from repro.engine.context import ExecutionContext
+from repro.engine.context import EXCHANGE_BACKENDS, ExecutionContext
 from repro.engine.iterators import DEFAULT_BATCH_SIZE, Operator
 from repro.errors import ExecutionError
 from repro.storage.batch import Batch, BatchCursor
-from repro.storage.hash_table import bucket_of
+from repro.storage.hash_table import stable_bucket_of
 from repro.storage.schema import Schema
 from repro.storage.tuples import KeyBinder, Row
 
@@ -67,23 +80,29 @@ def _wait_hint(root: Operator, clock) -> float | None:
 class ExchangeSource(Operator):
     """Lane-side leaf: serves the batches routed to one lane from one input.
 
-    Pull-driven like every other operator — when its queue is empty and the
-    producer still has data, serving a pull *pumps* the exchange's producer
-    driver (which routes the resulting batch to all lanes, not just this
-    one).  An empty queue with a finished producer is this lane's end of
-    stream for that input.
+    Producers are fully drained (and their batches routed) when the exchange
+    opens, so by the time a lane pulls, everything routed to it is already
+    queued: an empty queue with a finished producer is this lane's end of
+    stream for that input, and ``peek_arrival`` is a pure read of the queue
+    head — the effect-free peek contract the scheduler analysis enforces.
+
+    ``feed`` is the exchange itself for inline lanes; in a lane worker
+    process it is a stand-in satisfying the same three-method protocol
+    (``producer_done`` / ``producer_error`` / ``await_routed``) whose
+    ``await_routed`` blocks on the parent pipe until the in-flight routed
+    data becomes observable — a wall-clock wait, invisible to virtual time.
     """
 
     def __init__(
         self,
         operator_id: str,
         context: ExecutionContext,
-        exchange: "Exchange",
+        feed: "Exchange",
         input_index: int,
         schema: Schema,
     ) -> None:
         super().__init__(operator_id, context)
-        self._exchange = exchange
+        self._feed = feed
         self._input_index = input_index
         self._schema = schema
         #: queued (available_ms, batch) pairs; available_ms is monotone
@@ -100,21 +119,32 @@ class ExchangeSource(Operator):
     def peek_arrival(self) -> float | None:
         if self.state in ("closed", "deactivated"):
             return None
-        if self._queue:
-            return self._queue[0][0]
-        if self._exchange.producer_done(self._input_index):
-            return None
-        # Lower bound: the producer cannot route anything before its own next
-        # arrival.  Side-effect free — peeking never pumps.
-        return self._exchange.producer_peek(self._input_index)
+        while True:
+            if self._queue:
+                return self._queue[0][0]
+            if self._feed.producer_done(self._input_index):
+                if self._feed.producer_error(self._input_index) is not None:
+                    # A failed producer looks ready so the consumer pulls —
+                    # and the pull raises; errors never surface from a peek.
+                    return self.context.clock.now
+                return None
+            self._feed.await_routed(self._input_index)
 
     def _ensure_queued(self) -> bool:
-        """Pump the producer until this lane has data or the stream ends."""
-        exchange = self._exchange
+        """Wait until this lane has data queued or the stream has ended.
+
+        Every lane sees the same producer failure: a recorded pump error
+        re-raises on each lane's pull of that input, so per-lane collectors
+        take their fallback path consistently.
+        """
+        feed = self._feed
         while not self._queue:
-            if exchange.producer_done(self._input_index):
+            if feed.producer_done(self._input_index):
+                error = feed.producer_error(self._input_index)
+                if error is not None:
+                    raise error
                 return False
-            exchange.pump(self._input_index)
+            feed.await_routed(self._input_index)
         return True
 
     def _serve(self, max_rows: int) -> Batch:
@@ -214,6 +244,8 @@ class Exchange(Operator):
         build_lane: Callable[[int, ExecutionContext, list[ExchangeSource]], Operator],
         output_schema: Schema,
         estimated_cardinality: int | None = None,
+        lane_spec=None,
+        backend: str | None = None,
     ) -> None:
         if lanes < 1:
             raise ExecutionError(f"exchange {operator_id!r} needs at least one lane, got {lanes}")
@@ -222,19 +254,36 @@ class Exchange(Operator):
                 f"exchange {operator_id!r}: {len(producers)} inputs but "
                 f"{len(partition_keys)} partition key lists"
             )
+        # A per-plan backend choice overrides the engine-wide default.
+        backend = backend or context.config.exchange_backend
+        if backend not in EXCHANGE_BACKENDS:
+            raise ExecutionError(
+                f"exchange {operator_id!r}: unknown backend {backend!r} "
+                f"(known: {', '.join(EXCHANGE_BACKENDS)})"
+            )
         super().__init__(
             operator_id, context, children=producers, estimated_cardinality=estimated_cardinality
         )
         self.lane_count = lanes
+        #: A single lane is pure pass-through — no routing, nothing to
+        #: parallelize — so it always runs inline regardless of the backend.
+        self.backend_name = backend if lanes > 1 else "inline"
         self._build_lane = build_lane
+        #: Picklable description of the lane subtrees (what a worker process
+        #: rebuilds); required by the process backend, ignored inline.
+        self.lane_spec = lane_spec
         self._schema = output_schema
         self._producers = [
             _ProducerDriver(root, keys) for root, keys in zip(producers, partition_keys)
         ]
         self._route_cpu_ms = context.config.per_tuple_cpu_ms * ROUTE_CPU_FACTOR
         self._lanes: list[_Lane] | None = None
+        self._backend = None
         self._cursor: BatchCursor | None = None
         self._drained = False
+        #: Per-lane wire shipping counters, populated by the process backend
+        #: (``None`` inline); survives close for benchmark reporting.
+        self.wire_report: list[dict] | None = None
 
     # -- schema / introspection ----------------------------------------------------
 
@@ -254,15 +303,27 @@ class Exchange(Operator):
     def producer_done(self, input_index: int) -> bool:
         return self._producers[input_index].done
 
-    def producer_peek(self, input_index: int) -> float | None:
-        return self._producers[input_index].root.peek_arrival()
+    def producer_error(self, input_index: int) -> Exception | None:
+        """The recorded pump failure of input ``input_index`` (``None`` if clean)."""
+        return self._producers[input_index].error
+
+    def await_routed(self, input_index: int) -> None:
+        """Block until routed data for ``input_index`` is observable.
+
+        Inline this is unreachable: producers drain completely at open, so a
+        lane's empty queue always coincides with a finished producer.  The
+        worker-process feed overrides this with a pipe read (see
+        :class:`ExchangeSource`)."""
+        raise ExecutionError(
+            f"exchange {self.operator_id!r}: input {input_index} has no data in "
+            f"flight — producers drain at open"
+        )
 
     def pump(self, input_index: int) -> None:
         """Pull one batch from input ``input_index`` and route it to the lanes.
 
-        Every lane sees the same producer failure: the first pump to raise
-        stores the exception and every later pump of that input re-raises it,
-        so per-lane collectors take their fallback path consistently.
+        The first pump to raise stores the exception on the driver (and
+        re-raises); lanes re-raise it from every pull of that input.
         """
         driver = self._producers[input_index]
         if driver.error is not None:
@@ -290,7 +351,10 @@ class Exchange(Operator):
         keys = batch.key_tuples(driver.binder.indices_in(batch.schema))
         routed: list[list[int] | None] = [None] * self.lane_count
         for position, key in enumerate(keys):
-            lane_index = bucket_of(key, self.lane_count)
+            # Routing must agree between the parent and lane worker
+            # *processes*, so it uses the PYTHONHASHSEED-independent hash
+            # (builtin hash randomizes strings per process).
+            lane_index = stable_bucket_of(key, self.lane_count)
             positions = routed[lane_index]
             if positions is None:
                 routed[lane_index] = [position]
@@ -305,12 +369,21 @@ class Exchange(Operator):
     # -- lifecycle -----------------------------------------------------------------
 
     def _do_open(self) -> None:
-        lanes: list[_Lane] = []
-        for index in range(self.lane_count):
-            lane = _Lane(index, self.context.derive_worker(f"{self.operator_id}.lane{index}"))
+        lanes = [
+            _Lane(index, self.context.derive_worker(f"{self.operator_id}.lane{index}"))
+            for index in range(self.lane_count)
+        ]
+        self._lanes = lanes
+        if self.backend_name == "process":
+            from repro.parallel.backend import ProcessLanes
+
+            self._backend = ProcessLanes(self, lanes)
+            self._backend.open()
+            return
+        for lane in lanes:
             lane.sources = [
                 ExchangeSource(
-                    f"{self.operator_id}.in{input_index}.lane{index}",
+                    f"{self.operator_id}.in{input_index}.lane{lane.index}",
                     lane.context,
                     self,
                     input_index,
@@ -318,13 +391,34 @@ class Exchange(Operator):
                 )
                 for input_index, driver in enumerate(self._producers)
             ]
-            lane.root = self._build_lane(index, lane.context, lane.sources)
-            lanes.append(lane)
-        self._lanes = lanes
+            lane.root = self._build_lane(lane.index, lane.context, lane.sources)
         for lane in lanes:
             lane.root.open()
             lane.steps = self._lane_steps(lane)
             lane.next_event_ms = lane.context.clock.now
+        self._drain_producers()
+
+    def _drain_producers(self) -> None:
+        """Pump every producer to completion, routing everything up front.
+
+        Virtual time is indifferent to *when* pumps physically execute:
+        producer clocks advance only through pumps (a fixed sequence), lane
+        clocks only through serves and processing, and no information flows
+        from lanes back into producers.  Draining at open therefore yields
+        the same stamps as demand-driven pumping — while making every lane a
+        pure function of its own routed queues, which is what lets a lane
+        run unchanged inside a worker process and still match inline
+        bit for bit.  A pump failure is recorded on its driver and
+        swallowed here; it re-raises on every lane's pull of that input.
+        """
+        for input_index, driver in enumerate(self._producers):
+            while not driver.done:
+                try:
+                    self.pump(input_index)
+                except Exception:
+                    if driver.error is None:
+                        raise
+                    break
 
     def _lane_steps(self, lane: _Lane) -> Iterator[float]:
         """Session-style step generator: one yield per wait or output batch.
@@ -432,6 +526,9 @@ class Exchange(Operator):
         lanes = self._lanes or []
         error: Exception | None = None
         try:
+            if self._backend is not None:
+                self._backend.close()
+                return
             for lane in lanes:
                 if lane.root is None:
                     continue

@@ -1,0 +1,24 @@
+"""Multicore lane execution for the exchange operator.
+
+This package is the ``process`` exchange backend
+(``EngineConfig(exchange_backend="process")``): each exchange lane's operator
+subtree runs in its own OS process, fed routed batches over the columnar wire
+format (:mod:`repro.storage.wire`), and reports results plus per-lane virtual
+time back to the parent — with result multisets *and* virtual-time accounting
+identical to the default ``inline`` backend (the parity tests pin both).
+
+Layout:
+
+* :mod:`repro.parallel.spec` — picklable lane-subtree descriptions the
+  builder hands the exchange (what a worker process rebuilds);
+* :mod:`repro.parallel.transport` — framed pipe messaging and the parent's
+  shipper threads;
+* :mod:`repro.parallel.worker` — the lane worker process entry point;
+* :mod:`repro.parallel.backend` — the parent-side
+  :class:`~repro.parallel.backend.ProcessLanes` lifecycle (spawn, feed,
+  lockstep stepping, broker-lease mirroring, failure cleanup).
+"""
+
+from repro.parallel.spec import CollectorLaneSpec, JoinLaneSpec, LaneSpec
+
+__all__ = ["CollectorLaneSpec", "JoinLaneSpec", "LaneSpec"]

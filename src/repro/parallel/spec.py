@@ -1,0 +1,141 @@
+"""Picklable lane-subtree descriptions.
+
+The inline exchange backend builds lane subtrees with a closure; a closure
+cannot cross a process boundary.  A :class:`LaneSpec` is the declarative
+twin: plain data naming the operator a lane runs and its per-lane parameters,
+with a :meth:`~LaneSpec.build` method both backends call — inline directly
+(the spec doubles as the exchange's ``build_lane`` callable), the process
+backend after shipping the spec to the worker.  One code path, two execution
+sites.
+
+``limits`` lets the parent override the static per-lane memory allotment with
+what the broker *actually* granted: mirror leases are negotiated parent-side
+(where the broker lives), possibly shrunk under pressure, and the granted
+sizes ride the ``build`` command so the worker's real budgets match its
+parent's mirrors byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plan.physical import JoinImplementation
+
+
+@dataclass
+class LaneSpec:
+    """Base class: identity plus the budget names a lane will grant.
+
+    ``budget_requests(index)`` lists ``(budget_name, limit_bytes)`` pairs —
+    exactly the grants lane ``index``'s subtree performs in its constructor —
+    so the parent can pre-grant mirror leases under the same names, in the
+    same order, against the broker-backed session pool.
+    """
+
+    operator_id: str
+
+    def lane_id(self, index: int) -> str:
+        return f"{self.operator_id}.lane{index}"
+
+    def budget_requests(self, index: int) -> list[tuple[str, int | None]]:
+        raise NotImplementedError
+
+    def build(self, index: int, lane_context, sources, limits=None):
+        """Construct lane ``index``'s subtree over its source leaves.
+
+        ``limits`` maps budget name to granted bytes (``None`` entries mean
+        unbounded); omitted, the static per-lane allotment applies — the
+        inline path, where the operator's own grant negotiates with the
+        broker directly.
+        """
+        raise NotImplementedError
+
+    def __call__(self, index: int, lane_context, sources):
+        # The exchange's ``build_lane`` protocol.
+        return self.build(index, lane_context, sources)
+
+    def _limit(self, limits, name: str, default: int | None) -> int | None:
+        if limits is None:
+            return default
+        return limits.get(name, default)
+
+
+@dataclass
+class JoinLaneSpec(LaneSpec):
+    """One hash-join lane (double pipelined or hybrid hash)."""
+
+    left_keys: list[str] = field(default_factory=list)
+    right_keys: list[str] = field(default_factory=list)
+    implementation: str = JoinImplementation.DOUBLE_PIPELINED.value
+    overflow_method: str = "left_flush"
+    #: Per-lane memory allotments (the operator's limit split across lanes).
+    allotments: list[int | None] = field(default_factory=list)
+    lane_estimated: int | None = None
+
+    def budget_requests(self, index: int) -> list[tuple[str, int | None]]:
+        return [(self.lane_id(index), self.allotments[index])]
+
+    def build(self, index: int, lane_context, sources, limits=None):
+        from repro.engine.operators import DoublePipelinedJoin, HybridHashJoin
+
+        lane_id = self.lane_id(index)
+        limit = self._limit(limits, lane_id, self.allotments[index])
+        if self.implementation == JoinImplementation.DOUBLE_PIPELINED.value:
+            return DoublePipelinedJoin(
+                lane_id,
+                lane_context,
+                sources[0],
+                sources[1],
+                left_keys=self.left_keys,
+                right_keys=self.right_keys,
+                memory_limit_bytes=limit,
+                overflow_method=self.overflow_method,
+                estimated_cardinality=self.lane_estimated,
+            )
+        return HybridHashJoin(
+            lane_id,
+            lane_context,
+            sources[0],
+            sources[1],
+            left_keys=self.left_keys,
+            right_keys=self.right_keys,
+            memory_limit_bytes=limit,
+            estimated_cardinality=self.lane_estimated,
+        )
+
+
+@dataclass
+class CollectorLaneSpec(LaneSpec):
+    """One deduplicating-collector lane."""
+
+    dedup_keys: list[str] = field(default_factory=list)
+    #: Positions (into ``sources``) of the initially active mirrors.
+    active_positions: list[int] | None = None
+    fallback: bool = True
+    lane_budget: int | None = None
+    lane_estimated: int | None = None
+
+    def budget_requests(self, index: int) -> list[tuple[str, int | None]]:
+        # DynamicCollector grants its dedup budget under ``<id>-dedup``.
+        return [(f"{self.lane_id(index)}-dedup", self.lane_budget)]
+
+    def build(self, index: int, lane_context, sources, limits=None):
+        from repro.engine.operators import DynamicCollector
+
+        lane_id = self.lane_id(index)
+        limit = self._limit(limits, f"{lane_id}-dedup", self.lane_budget)
+        active = (
+            [sources[position].operator_id for position in self.active_positions]
+            if self.active_positions is not None
+            else None
+        )
+        return DynamicCollector(
+            lane_id,
+            lane_context,
+            list(sources),
+            initially_active=active,
+            fallback_on_failure=self.fallback,
+            dedup_keys=self.dedup_keys,
+            estimated_cardinality=self.lane_estimated,
+            dedup_budget_bytes=limit,
+        )

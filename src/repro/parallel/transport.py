@@ -1,0 +1,77 @@
+"""Framed pipe messaging between the exchange parent and its lane workers.
+
+Every message is one :func:`repro.storage.wire.pack` frame sent with a single
+``send_bytes`` call, so a message is atomic on the pipe and the receiver
+never sees a partial frame.  Batch payloads inside a message are already
+wire-encoded tuples (:class:`~repro.storage.wire.WireEncoder` output); pack's
+out-of-band buffer handling keeps their column bytes unboxed end to end.
+
+The parent ships routed input through a :class:`Shipper` — one daemon thread
+per worker that only performs the (GIL-releasing, possibly blocking) pipe
+writes, so a lane that is slow to drain stalls its own shipper, never the
+parent's pump loop.  Workers are always draining their pipe until the
+``collect`` barrier, which is what makes the blocking writes deadlock-free.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+from repro.storage.wire import pack, unpack
+
+
+def send_msg(conn, message: Any) -> None:
+    """Send one framed message on a ``multiprocessing`` connection."""
+    conn.send_bytes(pack(message))
+
+
+def recv_msg(conn) -> Any:
+    """Receive one framed message (raises ``EOFError`` on a dead peer)."""
+    return unpack(conn.recv_bytes())
+
+
+class Shipper:
+    """Background sender for one parent->worker pipe.
+
+    ``post`` enqueues a pre-packed frame and returns immediately; the thread
+    drains the queue in order.  After a send failure (worker died) the error
+    is kept and subsequent frames are dropped — the parent discovers the
+    death via :attr:`error` or the reply pipe's EOF, never by blocking.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._queue: queue.Queue[bytes | None] = queue.Queue()
+        self.error: Exception | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def post(self, blob: bytes) -> None:
+        self._queue.put(blob)
+
+    def post_msg(self, message: Any) -> None:
+        self._queue.put(pack(message))
+
+    def finish(self) -> None:
+        """Flush everything queued so far and stop the thread."""
+        self._queue.put(None)
+        self._thread.join()
+
+    def stop(self) -> None:
+        """Abandon unsent frames (failure cleanup); never blocks on the pipe."""
+        self.error = self.error or ConnectionError("shipper stopped")
+        self._queue.put(None)
+
+    def _run(self) -> None:
+        while True:
+            blob = self._queue.get()
+            if blob is None:
+                return
+            if self.error is not None:
+                continue  # drop: the peer is gone, keep draining the queue
+            try:
+                self._conn.send_bytes(blob)
+            except Exception as exc:  # noqa: BLE001 - any pipe failure ends shipping
+                self.error = exc

@@ -23,6 +23,7 @@ with the drive.
 from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
+from zlib import crc32
 
 from repro.errors import StorageError
 from repro.storage.batch import Batch
@@ -42,8 +43,53 @@ DEFAULT_BUCKET_COUNT = 64
 
 
 def bucket_of(key: tuple[Any, ...], bucket_count: int) -> int:
-    """Deterministic bucket assignment for a join key."""
+    """Deterministic bucket assignment for a join key.
+
+    Uses the builtin ``hash`` — fastest available, and perfectly fine for
+    *intra-process* buckets.  It is NOT stable across processes for strings
+    (``PYTHONHASHSEED`` randomization); anything that partitions across
+    process boundaries must use :func:`stable_bucket_of` instead.
+    """
     return hash(key) % bucket_count
+
+
+def _stable_key_bytes(key: tuple[Any, ...]) -> bytes:
+    """A canonical byte encoding of a join key, equal iff the keys route equal.
+
+    Each value is tagged with its type so ``1`` and ``"1"`` never collide,
+    except that floats with integral values encode as their int twin —
+    builtin ``hash(1.0) == hash(1)``, and mixed int/float key columns must
+    keep routing rows with equal keys to the same lane.
+    """
+    parts: list[bytes] = []
+    for value in key:
+        if isinstance(value, bool):
+            parts.append(b"b1" if value else b"b0")
+        elif isinstance(value, int):
+            parts.append(b"i" + str(value).encode("ascii"))
+        elif isinstance(value, float):
+            if value.is_integer():
+                parts.append(b"i" + str(int(value)).encode("ascii"))
+            else:
+                parts.append(b"f" + repr(value).encode("ascii"))
+        elif isinstance(value, str):
+            parts.append(b"s" + value.encode("utf-8", "surrogatepass"))
+        elif value is None:
+            parts.append(b"n")
+        else:
+            parts.append(b"o" + repr(value).encode("utf-8", "surrogatepass"))
+    return b"\x1f".join(parts)
+
+
+def stable_bucket_of(key: tuple[Any, ...], bucket_count: int) -> int:
+    """Process-stable bucket assignment (exchange lane routing).
+
+    ``zlib.crc32`` over a canonical byte encoding: identical across runs,
+    interpreters, and processes regardless of ``PYTHONHASHSEED``, so a
+    parent routing batches and a lane worker checking its share always
+    agree.
+    """
+    return crc32(_stable_key_bytes(key)) % bucket_count
 
 
 class Bucket:

@@ -1,0 +1,23 @@
+"""Fixture for rule ``wire-safe``: live engine state pickled into a payload.
+
+Never imported — parsed by the analyzer tests only.
+"""
+
+
+def leak_state(conn, clock):
+    conn.send_bytes((b"sync", clock))  # VIOLATION: ship derived data, not the clock
+
+
+def leak_state_suppressed(conn, clock):
+    conn.send_bytes((b"sync", clock))  # repro: allow[wire-safe] fixture twin
+
+
+def ship_derived_payload(conn, clock):
+    # Compliant shape: snapshot live state into plain data, ship the snapshot.
+    sync = {"now": clock.now}
+    conn.send_bytes(sync)
+
+
+def ship_framed_message(send_msg, conn, sync):
+    # The connection argument of send_msg is plumbing, not payload.
+    send_msg(conn, ("built", sync))

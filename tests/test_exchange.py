@@ -21,7 +21,7 @@ from repro.network.source import DataSource
 from repro.plan.physical import JoinImplementation, collector, join, wrapper_scan
 from repro.server import QueryServer, SessionStatus
 from repro.storage.batch import Batch
-from repro.storage.hash_table import bucket_of
+from repro.storage.hash_table import stable_bucket_of
 from repro.storage.schema import Schema
 from repro.storage.tuples import Row
 
@@ -260,7 +260,9 @@ def build_tie_exchange():
         build_lane=lambda index, lane_context, sources: sources[0],
         output_schema=schema,
     )
-    expected_lane = {value: bucket_of((value,), 2) for value in range(16)}
+    # Routing uses the process-stable hash (lane assignment must agree
+    # across parent and worker processes), not the builtin-hash bucket_of.
+    expected_lane = {value: stable_bucket_of((value,), 2) for value in range(16)}
     return xchg, expected_lane
 
 

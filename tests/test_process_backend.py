@@ -1,0 +1,252 @@
+"""The multicore (``process``) exchange backend: parity and graceful failure.
+
+The backend's contract is strict determinism equivalence with inline: for the
+same plan and catalog, process lanes must produce the *identical result
+multiset* and the *identical virtual-time accounting* (completion, time to
+first tuple, clock breakdown, broker interaction sequence).  Real wall-clock
+is the only thing allowed to differ — that's the point.
+
+Failure handling: a lane worker that dies (killed, raises, fails at import)
+must surface as :class:`QueryExecutionError` on the parent promptly — no
+hang — with every broker lease released and every worker process reaped.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.bench.harness import build_deployment, run_operator_tree
+from repro.engine.context import EngineConfig
+from repro.errors import ExecutionError, QueryExecutionError
+from repro.plan.physical import join, wrapper_scan
+from repro.server import QueryServer, SessionStatus
+
+from helpers import multiset
+from test_exchange import contended_catalog, contended_join
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="the process backend targets POSIX multiprocessing"
+)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return build_deployment(0.25, ["lineitem", "supplier", "orders"], seed=42)
+
+
+def fig3a_plan(memory=None):
+    # Explicit operator ids everywhere: auto-generated scan ids are a global
+    # counter, so two plan builds would disagree on operator-stat keys.
+    inner = join(
+        wrapper_scan("lineitem", operator_id="scan_li"),
+        wrapper_scan("supplier", operator_id="scan_su"),
+        ["lineitem.l_suppkey"],
+        ["supplier.s_suppkey"],
+        memory_limit_bytes=memory,
+        operator_id="inner",
+    )
+    return join(
+        inner,
+        wrapper_scan("orders", operator_id="scan_or"),
+        ["lineitem.l_orderkey"],
+        ["orders.o_orderkey"],
+        memory_limit_bytes=memory,
+        operator_id="outer",
+    )
+
+
+def run_fig3a(deployment, backend, lanes, memory=None):
+    return run_operator_tree(
+        fig3a_plan(memory),
+        deployment.catalog,
+        engine_config=EngineConfig(exchange_lanes=lanes, exchange_backend=backend),
+    )
+
+
+def clock_breakdown(result):
+    stats = result.context.clock.stats
+    return (stats.wait_ms, stats.cpu_ms, stats.io_ms)
+
+
+def assert_runs_identical(inline, process):
+    assert multiset(process.relation) == multiset(inline.relation)
+    assert process.completion_time_ms == inline.completion_time_ms
+    assert process.time_to_first_tuple_ms == inline.time_to_first_tuple_ms
+    assert clock_breakdown(process) == clock_breakdown(inline)
+    inline_ops = inline.context.stats.operator_stats
+    process_ops = process.context.stats.operator_stats
+    assert set(process_ops) == set(inline_ops)
+    for key, expected in inline_ops.items():
+        got = process_ops[key]
+        assert (got.tuples_produced, got.tuples_consumed, got.overflow_events) == (
+            expected.tuples_produced,
+            expected.tuples_consumed,
+            expected.overflow_events,
+        ), key
+
+
+class TestStandaloneParity:
+    """Free-running mode: real parallelism, virtual accounting unchanged."""
+
+    @pytest.mark.parametrize("lanes", [2, 4])
+    def test_fig3a_parity(self, deployment, lanes):
+        inline = run_fig3a(deployment, "inline", lanes)
+        process = run_fig3a(deployment, "process", lanes)
+        assert multiset(inline.relation)  # the workload actually joins
+        assert_runs_identical(inline, process)
+
+    def test_spill_workload_parity(self):
+        # Memory-starved joins overflow to disk inside the workers; the
+        # spills' virtual I/O must fold back onto the parent lane clocks.
+        def starved(backend):
+            return run_operator_tree(
+                contended_join("a", memory=128 * 1024),
+                contended_catalog(rows=3000),
+                engine_config=EngineConfig(
+                    exchange_lanes=2, exchange_backend=backend
+                ),
+            )
+
+        inline = starved("inline")
+        process = starved("process")
+        overflows = sum(
+            stats.overflow_events
+            for stats in inline.context.stats.operator_stats.values()
+        )
+        assert overflows > 0, "expected the starved workload to spill"
+        assert_runs_identical(inline, process)
+
+    def test_wire_report_bounded(self, deployment):
+        from repro.engine.operators import Exchange
+
+        process = run_fig3a(deployment, "process", 2)
+        exchanges = [
+            op
+            for op in process.context.operators.values()
+            if isinstance(op, Exchange)
+        ]
+        assert exchanges
+        for exchange in exchanges:
+            assert exchange.wire_report is not None
+            for lane_report in exchange.wire_report:
+                to_worker = lane_report["to_worker"]
+                assert to_worker["batches"] > 0
+                assert to_worker["payload_bytes"] > 0
+                # Dictionary deltas ride inside the payload frames.
+                assert to_worker["dict_bytes_shipped"] <= to_worker["payload_bytes"]
+
+    def test_spawn_start_method(self, deployment, monkeypatch):
+        # Everything shipped to a worker must survive pickling (spawn), not
+        # just inherit address space (fork).
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        inline = run_fig3a(deployment, "inline", 2)
+        process = run_fig3a(deployment, "process", 2)
+        assert_runs_identical(inline, process)
+
+    def test_hand_built_exchange_requires_lane_spec(self):
+        from test_exchange import build_tie_exchange
+
+        xchg, _ = build_tie_exchange()
+        xchg.backend_name = "process"
+        with pytest.raises(ExecutionError, match="picklable lane spec"):
+            xchg.open()
+        # The refusal happens before any worker spawns; inline cleanup applies.
+        xchg.close()
+
+
+class TestLockstepServerParity:
+    """Broker-backed mode: revocation-for-revocation identical to inline."""
+
+    def run_contended(self, backend):
+        server = QueryServer(
+            contended_catalog(),
+            engine_config=EngineConfig(exchange_lanes=2, exchange_backend=backend),
+            memory_capacity_bytes=96 * 1024,
+        )
+        server.broker.floor_bytes = 8 * 1024
+        victims = []
+        server.broker.on_revocation = lambda broker, record: victims.append(
+            (record.victim, record.requestor, record.new_limit_bytes)
+        )
+        a = server.submit(contended_join("a", memory=80 * 1024), "a")
+        b = server.submit(contended_join("b", memory=80 * 1024), "b", arrival_ms=400.0)
+        stats = server.run()
+        return server, a, b, victims, stats
+
+    def test_revocation_sequence_and_results_match_inline(self):
+        inline = self.run_contended("inline")
+        process = self.run_contended("process")
+        server_i, a_i, b_i, victims_i, stats_i = inline
+        server_p, a_p, b_p, victims_p, stats_p = process
+        assert a_p.status == b_p.status == SessionStatus.COMPLETED
+        # Mid-build revocations happened, and hit the same leases in the
+        # same order at the same resulting limits.
+        assert victims_i and victims_p == victims_i
+        assert multiset(a_p.result) == multiset(a_i.result)
+        assert multiset(b_p.result) == multiset(b_i.result)
+        assert stats_p.makespan_ms == stats_i.makespan_ms
+        # Quiescence: every mirror lease was returned on both paths.
+        assert server_i.broker.used_bytes == 0
+        assert server_p.broker.used_bytes == 0
+
+
+class TestWorkerFailure:
+    """A dead lane must fail the query cleanly: no hang, no leaked leases."""
+
+    @pytest.mark.parametrize("mode", ["raise", "exit", "import"])
+    def test_injected_crash_raises_query_execution_error(
+        self, deployment, monkeypatch, mode
+    ):
+        monkeypatch.setenv("REPRO_CRASH_LANE", "1")
+        monkeypatch.setenv("REPRO_CRASH_MODE", mode)
+        with pytest.raises(QueryExecutionError):
+            run_fig3a(deployment, "process", 2)
+
+    def test_killed_lane_raises_promptly(self, deployment, monkeypatch):
+        from repro.parallel import backend as backend_module
+
+        original_spawn = backend_module.ProcessLanes._spawn
+
+        def spawn_then_kill(self):
+            original_spawn(self)
+            os.kill(self.states[1].process.pid, signal.SIGKILL)
+
+        monkeypatch.setattr(backend_module.ProcessLanes, "_spawn", spawn_then_kill)
+        with pytest.raises(QueryExecutionError, match="worker died"):
+            run_fig3a(deployment, "process", 2)
+
+    def test_crashed_worker_processes_are_reaped(self, deployment, monkeypatch):
+        from repro.parallel import backend as backend_module
+
+        spawned = []
+        original_spawn = backend_module.ProcessLanes._spawn
+
+        def recording_spawn(self):
+            original_spawn(self)
+            spawned.extend(state.process for state in self.states)
+
+        monkeypatch.setattr(backend_module.ProcessLanes, "_spawn", recording_spawn)
+        monkeypatch.setenv("REPRO_CRASH_LANE", "0")
+        monkeypatch.setenv("REPRO_CRASH_MODE", "raise")
+        with pytest.raises(QueryExecutionError):
+            run_fig3a(deployment, "process", 2)
+        assert spawned
+        for process in spawned:
+            assert not process.is_alive()
+
+    def test_server_crash_releases_broker_leases(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRASH_LANE", "0")
+        monkeypatch.setenv("REPRO_CRASH_MODE", "raise")
+        server = QueryServer(
+            contended_catalog(rows=200),
+            engine_config=EngineConfig(exchange_lanes=2, exchange_backend="process"),
+            memory_capacity_bytes=96 * 1024,
+        )
+        session = server.submit(contended_join("a", memory=64 * 1024), "a")
+        server.run()  # a session's failure is contained, not propagated
+        assert session.status == SessionStatus.FAILED
+        assert session.error
+        assert server.broker.used_bytes == 0
