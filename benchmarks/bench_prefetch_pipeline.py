@@ -1,0 +1,350 @@
+"""Speculative source layer: partial-extent streaming + plan-aware prefetch.
+
+The workload the speculative layer exists for: eight query sessions over
+overlapping slow sources, the later ones arriving *mid-stream* — after the
+early sessions' scans started but before any extent completed.  Under
+completion-based admission (the ``speculative_sources=False`` baseline) a
+late session either queues for one of the source's bounded connection slots
+or waits for a completed cache entry; with the speculative layer it attaches
+to the in-progress extent as a follower — prefix at local CPU speed, live
+tail shared with the publisher — and the plan-aware prefetcher has usually
+started that extent before the first session even stepped.
+
+Four things are asserted:
+
+* **Time-to-first-tuple bar** — averaged over the late arrivals, the
+  speculative run's time from admission to first output tuple must be at
+  least 2x better than the completion-based baseline's.
+* **Correctness** — every session's result multiset is identical between
+  the two runs: speculation changes *when*, never *what*.
+* **Waste cap** — bytes the prefetcher fetched for sources that never
+  served a hit stay within :data:`WASTE_CAP_FRACTION` of everything it
+  fetched.
+* **Broker invariant + revocation order** — after every revocation,
+  ``broker.used_bytes`` equals the residency recomputed from live hash
+  tables *plus* the prefetcher's cached bytes, and no query lease is ever
+  revoked while the speculative lease still holds bytes (speculative leases
+  are victimized first).
+
+Each run appends a record to ``BENCH_prefetch.json`` at the repo root (the
+accumulating perf-history artifact, uploaded by CI).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench.harness import build_deployment, run_operator_tree
+from repro.bench.reporting import format_table
+from repro.engine.context import EngineConfig
+from repro.network.profiles import wide_area
+from repro.plan.physical import join, wrapper_scan
+from repro.server import QueryServer
+
+from bench_support import run_once, scale_mb
+
+N_SESSIONS = 8
+
+#: Simultaneous streams one source serves; extra connections queue on the
+#: shared timeline.
+SOURCE_MAX_CONCURRENT = 2
+
+#: Broker capacity as a multiple of one session's join-memory request: room
+#: for the two head sessions plus the speculative lease, but low enough that
+#: the mid-stream arrivals revoke — and must drain the speculative lease
+#: before touching any query lease.
+CAPACITY_SESSIONS = 3.5
+
+#: Virtual acceptance bar: late-session time-to-first-tuple at least this
+#: much better than completion-based admission.
+TTFT_BAR = 2.0
+
+#: At most this fraction of prefetched bytes may go unused.
+WASTE_CAP_FRACTION = 0.25
+
+TABLES = ["part", "partsupp", "supplier"]
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_prefetch.json"
+
+
+def make_deployment():
+    """Fresh deployment per mode: connection-slot state must not leak."""
+    deployment = build_deployment(scale_mb(1.0), TABLES, profile=wide_area(), seed=42)
+    for source in deployment.sources.values():
+        source.max_concurrent = SOURCE_MAX_CONCURRENT
+    return deployment
+
+
+def session_spec(index: int, memory_bytes: int):
+    """Session ``index``'s plan: a DPJ join sharing ``partsupp`` with everyone."""
+    prefix = f"s{index}"
+    if index % 2 == 0:
+        left, right, lkey, rkey = "part", "partsupp", "part.p_partkey", "partsupp.ps_partkey"
+    else:
+        left, right, lkey, rkey = "supplier", "partsupp", "supplier.s_suppkey", "partsupp.ps_suppkey"
+    return join(
+        wrapper_scan(left, operator_id=f"{prefix}_scan_{left}"),
+        wrapper_scan(right, operator_id=f"{prefix}_scan_{right}"),
+        [lkey],
+        [rkey],
+        operator_id=f"{prefix}_join",
+        memory_limit_bytes=memory_bytes,
+    )
+
+
+def join_memory_request(deployment) -> int:
+    """One session's memory request: its whole join state fits single-tenant."""
+    total = 0
+    for name in TABLES:
+        source = deployment.sources[name]
+        total += source.cardinality * source.exported_schema.encoded_row_size
+    return max(32 * 1024, int(total * 0.9))
+
+
+def result_multiset(relation) -> dict:
+    counts: dict = {}
+    for row in relation.rows:
+        key = row.values
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def calibrate_stagger() -> float:
+    """Mid-stream arrival offset: a fraction of one isolated session's run."""
+    deployment = make_deployment()
+    memory_bytes = join_memory_request(deployment)
+    result = run_operator_tree(
+        session_spec(0, memory_bytes),
+        deployment.catalog,
+        result_name="calibrate",
+        engine_config=EngineConfig(),
+    )
+    return result.completion_time_ms * 0.3
+
+
+def run_mode(config: EngineConfig, memory_bytes: int, stagger_ms: float):
+    """One server run: eight sessions, the late six arriving mid-stream."""
+    deployment = make_deployment()
+    server = QueryServer(
+        deployment.catalog,
+        engine_config=config,
+        memory_capacity_bytes=int(memory_bytes * CAPACITY_SESSIONS),
+    )
+    server.broker.floor_bytes = max(16 * 1024, memory_bytes // 8)
+    invariant_failures = []
+    order_failures = []
+    revocations = []
+
+    def check_invariant(broker, record):
+        resident = 0
+        for session in server.sessions.values():
+            for operator in session.context.operators.values():
+                for table in getattr(operator, "_tables", None) or ():
+                    resident += table.resident_bytes
+                inner = getattr(operator, "_inner_table", None)
+                if inner is not None:
+                    resident += inner.resident_bytes
+        prefetch_resident = (
+            server.prefetcher.resident_bytes if server.prefetcher is not None else 0
+        )
+        resident += prefetch_resident
+        revocations.append(record)
+        if broker.used_bytes != resident:
+            invariant_failures.append(
+                f"after revoking {record.taken_bytes}B from {record.victim}: "
+                f"broker.used={broker.used_bytes} resident={resident} "
+                f"(prefetch {prefetch_resident})"
+            )
+        if not record.speculative and prefetch_resident > 0:
+            order_failures.append(
+                f"query lease {record.victim} revoked while the speculative "
+                f"lease still held {prefetch_resident}B"
+            )
+
+    server.broker.on_revocation = check_invariant
+    sessions = []
+    for index in range(N_SESSIONS):
+        # The first two arrive together and start the streams; the rest
+        # trickle in mid-stream — after publishing started, before any
+        # extent completed.
+        arrival = 0.0 if index < 2 else (index - 1) * stagger_ms
+        sessions.append(
+            server.submit(session_spec(index, memory_bytes), f"s{index}", arrival_ms=arrival)
+        )
+    stats = server.run()
+    ttft = {}
+    for session in sessions:
+        first = session.timeline.time_to_first
+        ttft[session.session_id] = (
+            None if first is None else first - session.summary.submitted_at_ms
+        )
+    return {
+        "server": server,
+        "stats": stats,
+        "sessions": sessions,
+        "ttft": ttft,
+        "invariant_failures": invariant_failures,
+        "order_failures": order_failures,
+        "revocations": revocations,
+    }
+
+
+def run_workload():
+    deployment = make_deployment()
+    memory_bytes = join_memory_request(deployment)
+    stagger = calibrate_stagger()
+    baseline = run_mode(EngineConfig(), memory_bytes, stagger)
+    speculative = run_mode(
+        EngineConfig(
+            speculative_sources=True,
+            prefetch_budget_bytes=memory_bytes,
+        ),
+        memory_bytes,
+        stagger,
+    )
+    return {
+        "memory_bytes": memory_bytes,
+        "stagger_ms": stagger,
+        "baseline": baseline,
+        "speculative": speculative,
+    }
+
+
+def late_ids(data) -> list[str]:
+    """Sessions that arrived mid-stream (everyone staggered past zero)."""
+    return [
+        session.session_id
+        for session in data["baseline"]["sessions"]
+        if session.summary.submitted_at_ms > 0.0
+    ]
+
+
+def mean_ttft(mode, ids) -> float:
+    values = [mode["ttft"][sid] for sid in ids if mode["ttft"][sid] is not None]
+    return sum(values) / len(values)
+
+
+def print_report(data) -> None:
+    base, spec = data["baseline"], data["speculative"]
+    rows = []
+    for lhs, rhs in zip(spec["sessions"], base["sessions"]):
+        rows.append(
+            [
+                lhs.session_id,
+                round(lhs.summary.submitted_at_ms, 1),
+                round(base["ttft"][lhs.session_id] or 0.0, 1),
+                round(spec["ttft"][lhs.session_id] or 0.0, 1),
+                round(rhs.summary.completed_at_ms, 1),
+                round(lhs.summary.completed_at_ms, 1),
+            ]
+        )
+    print()
+    print(
+        f"Speculative source layer: {N_SESSIONS} sessions, per-source streams "
+        f"<= {SOURCE_MAX_CONCURRENT}, stagger {data['stagger_ms']:.1f} virtual ms"
+    )
+    print(
+        format_table(
+            [
+                "session", "admitted", "ttft base", "ttft spec",
+                "done base", "done spec",
+            ],
+            rows,
+        )
+    )
+    ids = late_ids(data)
+    ratio = mean_ttft(base, ids) / mean_ttft(spec, ids)
+    prefetch = spec["stats"].prefetch
+    print(
+        f"late-session mean time-to-first-tuple {mean_ttft(base, ids):.1f} -> "
+        f"{mean_ttft(spec, ids):.1f} virtual ms ({ratio:.2f}x, bar {TTFT_BAR}x)"
+    )
+    print(
+        f"prefetch: {prefetch.sources_warmed} warmed, "
+        f"{prefetch.bytes_fetched}B fetched, {prefetch.bytes_wasted}B wasted, "
+        f"{prefetch.revocations} lease revocations; broker revocations "
+        f"base {len(base['revocations'])} / spec {len(spec['revocations'])}"
+    )
+
+
+def append_trajectory(data, ratio: float) -> None:
+    """Append one record to ``BENCH_prefetch.json`` (perf history artifact)."""
+    base, spec = data["baseline"], data["speculative"]
+    prefetch = spec["stats"].prefetch
+    record = {
+        "benchmark": "bench_prefetch_pipeline",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale_mb": scale_mb(1.0),
+        "sessions": N_SESSIONS,
+        "ttft_speedup_late_sessions": round(ratio, 4),
+        "ttft_base_mean_ms": round(mean_ttft(base, late_ids(data)), 3),
+        "ttft_spec_mean_ms": round(mean_ttft(spec, late_ids(data)), 3),
+        "makespan_base_ms": round(base["stats"].makespan_ms, 3),
+        "makespan_spec_ms": round(spec["stats"].makespan_ms, 3),
+        "partial_extent_hits": spec["stats"].partial_extent_hits,
+        "prefetch_sources_warmed": prefetch.sources_warmed,
+        "prefetch_bytes_fetched": prefetch.bytes_fetched,
+        "prefetch_bytes_wasted": prefetch.bytes_wasted,
+        "speculative_revocations": spec["stats"].speculative_revocations,
+    }
+    history = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_prefetch_pipeline(benchmark):
+    data = run_once(benchmark, run_workload)
+    print_report(data)
+    base, spec = data["baseline"], data["speculative"]
+
+    # Speculation changes *when*, never *what*: every session completed in
+    # both modes, with identical result multisets.
+    for lhs, rhs in zip(spec["sessions"], base["sessions"]):
+        assert lhs.status.value == "completed", (
+            f"{lhs.session_id}: {lhs.status} ({lhs.error})"
+        )
+        assert rhs.status.value == "completed", (
+            f"{rhs.session_id}: {rhs.status} ({rhs.error})"
+        )
+        assert result_multiset(lhs.result) == result_multiset(rhs.result), (
+            f"{lhs.session_id}: speculative result differs from baseline"
+        )
+
+    # The layer was actually exercised: the prefetcher warmed something and
+    # mid-stream arrivals attached to partial extents.
+    prefetch = spec["stats"].prefetch
+    assert prefetch is not None and prefetch.sources_warmed >= 1
+    assert spec["stats"].partial_extent_hits >= 1
+    assert prefetch.bytes_fetched > 0
+    assert prefetch.bytes_wasted <= prefetch.bytes_fetched * WASTE_CAP_FRACTION, (
+        f"wasted {prefetch.bytes_wasted}B of {prefetch.bytes_fetched}B fetched "
+        f"(cap {WASTE_CAP_FRACTION:.0%})"
+    )
+
+    # Memory pressure was real, the server-wide budget invariant (including
+    # the prefetcher's residency) held at every revocation point, and the
+    # speculative lease was always drained before any query lease.
+    assert len(spec["revocations"]) >= 1, "workload was meant to force revocations"
+    assert not spec["invariant_failures"], spec["invariant_failures"]
+    assert not spec["order_failures"], spec["order_failures"]
+    assert not base["invariant_failures"], base["invariant_failures"]
+
+    # The headline bar: mid-stream arrivals reach their first output tuple
+    # at least TTFT_BAR times sooner than under completion-based admission.
+    ids = late_ids(data)
+    ratio = mean_ttft(base, ids) / mean_ttft(spec, ids)
+    append_trajectory(data, ratio)
+    assert ratio >= TTFT_BAR, (
+        f"late-session ttft only {ratio:.2f}x better "
+        f"(base {mean_ttft(base, ids):.1f}ms, spec {mean_ttft(spec, ids):.1f}ms, "
+        f"need >= {TTFT_BAR}x)"
+    )

@@ -8,9 +8,11 @@ connection, the timeline silently diverges between drive modes — the
 static race-detector analog for the deterministic DES scheduler, and
 the property the planned exchange operators will lean on.
 
-The rule finds every *entry* (any ``peek_arrival`` definition, plus every
-function whose result feeds a ``StepEvent("wait", …)`` construction,
-resolved through local def-use chains), walks the project call graph
+The rule finds every *entry* (any definition of a probe-root name —
+``peek_arrival``, or the prefetcher's ``prefetch_decision`` hook, which the
+server consults on every scheduling quantum — plus every function whose
+result feeds a ``StepEvent("wait", …)`` construction, resolved through
+local def-use chains), walks the project call graph
 from those entries — pruned by the bottom-up effect summaries, so clean
 subtrees cost nothing — and reports each *direct* effect reachable from
 a probe, at the effect's own line, with the call chain that reaches it.
@@ -31,6 +33,10 @@ def _call_name(func: ast.expr) -> str | None:
         return func.attr
     return None
 
+
+#: Function names whose definitions are scheduler probes: called outside any
+#: session's virtual-time slice, so everything they reach must be effect-free.
+PROBE_ROOT_NAMES = frozenset({"peek_arrival", "prefetch_decision"})
 
 #: Builtins treated as pass-throughs when collecting feeders: the names
 #: *inside* ``min(hint, deadline)`` still feed the event.
@@ -114,9 +120,10 @@ def _wait_event_feeders(info, graph) -> list[str]:
 class StepEffectRule(ProjectRule):
     rule_id = "step-effect"
     summary = (
-        "functions reachable from peek_arrival probes and StepEvent('wait') "
-        "construction must be effect-free: no clock consume_*/advance, no "
-        "budget mutation, no cache fills, no source connection opens"
+        "functions reachable from peek_arrival/prefetch_decision probes and "
+        "StepEvent('wait') construction must be effect-free: no clock "
+        "consume_*/advance, no budget mutation, no cache fills, no source "
+        "connection opens"
     )
 
     def check_project(self, project) -> Iterator[tuple[ModuleSource, int, str]]:
@@ -126,7 +133,7 @@ class StepEffectRule(ProjectRule):
 
         entries: dict[str, str] = {}  # qualname -> entry description
         for qualname, info in graph.functions.items():
-            if info.name == "peek_arrival":
+            if info.name in PROBE_ROOT_NAMES:
                 entries.setdefault(qualname, f"probe {qualname}")
         for qualname, info in graph.functions.items():
             for target in _wait_event_feeders(info, graph):

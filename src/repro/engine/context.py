@@ -94,6 +94,20 @@ class EngineConfig:
         step generator on the shared timeline), and the merge side
         re-interleaves lane outputs deterministically.  ``1`` (the
         default) executes every operator serially, exactly as before.
+    speculative_sources:
+        When true, the source layer is speculative (the other half of the
+        paper's Section 8 extension): a scan's first reader publishes its
+        in-progress extent block-by-block into the shared cache, and later
+        scans of the same source stream the cached prefix at local CPU
+        speed, falling in behind the live connection for the tail instead
+        of queueing for a connection slot.  ``False`` (the default) keeps
+        completion-based admission — behavior and virtual-time accounting
+        bit-identical to the non-speculative engine.
+    prefetch_budget_bytes:
+        Memory allowance for the server's plan-aware prefetcher, charged to
+        a speculative broker lease that revocation victimizes first.  ``0``
+        (the default) disables prefetching; only meaningful under the
+        multi-query server with ``speculative_sources`` enabled.
     exchange_backend:
         How exchange lanes execute (see :data:`EXCHANGE_BACKENDS`).
         ``"inline"`` (the default) steps every lane inside this process —
@@ -118,6 +132,8 @@ class EngineConfig:
     encoded_columns: bool = True
     enable_source_caching: bool = False
     source_cache_max_age_ms: float | None = None
+    speculative_sources: bool = False
+    prefetch_budget_bytes: int = 0
     validate_plans: bool = True
     exchange_lanes: int = 1
     exchange_backend: str = "inline"

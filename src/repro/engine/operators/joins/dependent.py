@@ -73,6 +73,12 @@ class DependentJoin(Operator):
         self._match_columns: dict[tuple[Any, ...], tuple[list, list[float]]] = {}
         self._cache_dictionaries = None
         self._cached_extent = False
+        #: Speculative source layer: keep checking for the extent to appear
+        #: mid-run (another session's stream completing upgrades the
+        #: remaining probes to local serving).
+        self._speculative = (
+            context.config.speculative_sources and context.source_cache is not None
+        )
         self.probes = 0
         self.cache_hits = 0
 
@@ -93,18 +99,39 @@ class DependentJoin(Operator):
                 self.source_name, self.context.clock.now, session=self.context.session_id
             )
             if entry is not None and len(entry.schema) == len(self._right_schema):
-                # The full extent was read to completion earlier: build the
-                # probe index from the cached copy and serve probes locally.
-                index: dict[tuple[Any, ...], list[Row]] = {}
-                binder = KeyBinder(self.right_keys)
-                make = Row.make
-                for row in entry.rows:
-                    # Re-stamp to arrival 0 so join outputs carry the left
-                    # row's arrival, exactly as with source-side lookups.
-                    local = make(row.schema, row.values, 0.0)
-                    index.setdefault(binder.key(local), []).append(local)
-                self._index = index
-                self._cached_extent = True
+                self._adopt_entry(entry)
+
+    def _adopt_entry(self, entry) -> None:
+        """Build the probe index from a cached full extent; serve locally."""
+        index: dict[tuple[Any, ...], list[Row]] = {}
+        binder = KeyBinder(self.right_keys)
+        make = Row.make
+        for row in entry.rows:
+            # Re-stamp to arrival 0 so join outputs carry the left
+            # row's arrival, exactly as with source-side lookups.
+            local = make(row.schema, row.values, 0.0)
+            index.setdefault(binder.key(local), []).append(local)
+        self._index = index
+        self._cached_extent = True
+
+    def _try_adopt_cached_extent(self) -> None:
+        """Mid-run upgrade: adopt the extent if it became visible since open.
+
+        Under the speculative source layer another session's stream can
+        complete while this join is mid-probe; from that (virtual) moment the
+        remaining probes are in-memory lookups.  Probing a *partial* extent
+        is deliberately not attempted — a probe must return all matches, and
+        a prefix cannot prove completeness for any key.
+        """
+        cache = self.context.source_cache
+        now = self.context.clock.now
+        entry = cache.peek(self.source_name, now, self.context.session_id)
+        if entry is None or len(entry.schema) != len(self._right_schema):
+            return
+        # One real lookup so hit accounting matches the open-time path.
+        entry = cache.lookup(self.source_name, now, session=self.context.session_id)
+        if entry is not None:
+            self._adopt_entry(entry)
 
     def _build_index(self) -> None:
         """Index the source contents by the bound key (kept at the source side)."""
@@ -115,6 +142,8 @@ class DependentJoin(Operator):
 
     def _probe_source(self, key: tuple[Any, ...]) -> list[Row]:
         """One parameterized fetch; memoized so duplicate keys pay latency once."""
+        if self._speculative and not self._cached_extent:
+            self._try_adopt_cached_extent()
         if self._index is None:
             self._build_index()
         memo = self._memo

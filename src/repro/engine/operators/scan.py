@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.engine.context import ExecutionContext
 from repro.engine.iterators import Operator
 from repro.errors import SourceTimeoutError, SourceUnavailableError
+from repro.network.cache import NEED_TAIL, STARVED
 from repro.plan.rules import EventType
 from repro.storage.batch import Batch
 from repro.storage.columns import (
@@ -46,31 +47,58 @@ class WrapperScan(Operator):
         self._rows_seen: list[Row] = []
         self._deferred_error: Exception | None = None
         self.served_from_cache = False
+        #: Speculative streaming state: the partial extent this scan is
+        #: publishing (it is the source's first reader), the follower feed it
+        #: is consuming (another reader published/is publishing), and whether
+        #: it ended up streaming a private tail that must never be deposited
+        #: as a complete extent.
+        self._extent = None
+        self._follower = None
+        self._tail_only = False
 
     @property
     def output_schema(self) -> Schema:
         return self.wrapper.schema
 
     def _do_open(self) -> None:
-        cache = self.context.source_cache
+        context = self.context
+        cache = context.source_cache
         if cache is not None:
             entry = cache.lookup(
-                self.source_name, self.context.clock.now, session=self.context.session_id
+                self.source_name, context.clock.now, session=context.session_id
             )
             if entry is not None:
                 from repro.network.cache import CachingScanFeed
 
-                self._cache_feed = CachingScanFeed(entry, self.context.clock)
+                self._cache_feed = CachingScanFeed(entry, context.clock)
                 self.served_from_cache = True
                 return
+            if context.config.speculative_sources:
+                follower = cache.attach_follower(
+                    self.source_name, context.clock, context.session_id
+                )
+                if follower is not None:
+                    self._follower = follower
+                    return
         if not self.wrapper.is_open:
             self.wrapper.open()
+        if cache is not None and context.config.speculative_sources:
+            self._extent = cache.begin_stream(
+                self.source_name,
+                self.output_schema,
+                context.clock.now,
+                context.session_id,
+                context.clock,
+                self.wrapper.peek_next_arrival,
+            )
 
     def peek_arrival(self) -> float | None:
         if self.state in ("closed", "deactivated"):
             return None
         if self._cache_feed is not None:
             return self._cache_feed.next_arrival()
+        if self._follower is not None:
+            return self._follower.next_arrival()
         if not self.wrapper.is_open:
             return self.context.clock.now
         if self.wrapper.exhausted:
@@ -81,6 +109,14 @@ class WrapperScan(Operator):
         cache = self.context.source_cache
         if cache is None or self.served_from_cache:
             return
+        if self._follower is not None or self._tail_only:
+            return
+        if self._extent is not None:
+            if self.wrapper.exhausted and not self._extent.complete:
+                cache.complete_stream(
+                    self._extent, self.context.clock.now, self.context.session_id
+                )
+            return
         if self.wrapper.exhausted and self.source_name not in cache:
             cache.fill(
                 self.source_name,
@@ -90,26 +126,96 @@ class WrapperScan(Operator):
                 session=self.context.session_id,
             )
 
+    @property
+    def _collects_for_cache(self) -> bool:
+        """Whether fetched rows are buffered for a completion-time fill."""
+        return (
+            self._cache_feed is None
+            and self._follower is None
+            and self._extent is None
+            and not self._tail_only
+            and self.context.source_cache is not None
+        )
+
+    def _begin_tail(self) -> None:
+        """Open a real connection for the unread tail of a followed extent.
+
+        Called when the follower drained the prefix of a detached extent, or
+        starved on a live one with nothing buffered to deliver (rare — the
+        follower's wait hint lands strictly after the publisher's next
+        event).  If the extent is detached and still registered, this scan
+        takes over publishing it; otherwise the tail stays private.
+        """
+        follower = self._follower
+        self._follower = None
+        extent = follower.extent
+        self.wrapper.open(start_row=follower.cursor)
+        cache = self.context.source_cache
+        if (
+            cache is not None
+            and not extent.complete
+            and cache.adopt_stream(
+                extent,
+                self.context.session_id,
+                self.context.clock,
+                self.wrapper.peek_next_arrival,
+            )
+        ):
+            self._extent = extent
+        else:
+            self._tail_only = True
+
+    def _pull_row(self, starve_ok: bool = False):
+        """One tuple from whichever stream serves this scan.
+
+        Dispatches across the cache feed, a follower feed (handling tail
+        takeover transparently), and the live wrapper (publishing fetched
+        rows when this scan is the extent's publisher).  With ``starve_ok``
+        a live-but-starved follower returns :data:`STARVED` instead of
+        defecting, so batch loops can deliver what they already have.
+        """
+        if self._cache_feed is not None:
+            return self._cache_feed.fetch()
+        if self._follower is not None:
+            row = self._follower.fetch()
+            if row is STARVED and starve_ok:
+                return STARVED
+            if row is not NEED_TAIL and row is not STARVED:
+                return row
+            self._begin_tail()
+        row = self.wrapper.fetch()
+        if row is not None and self._extent is not None:
+            self._extent.publish(
+                (row,), self.context.clock.now, self.context.session_id
+            )
+        return row
+
+    def _pull_batched_row(self):
+        return self._pull_row(starve_ok=True)
+
+    def _stream_next_arrival(self) -> float | None:
+        """Next-tuple arrival for the live or followed stream (effect-free)."""
+        if self._follower is not None:
+            return self._follower.next_arrival()
+        return self.wrapper.next_arrival()
+
     def _next(self) -> Row | None:
         if self.context.is_deactivated(self.operator_id):
             return None
-        if self._cache_feed is not None:
-            row = self._cache_feed.fetch()
-        else:
-            try:
-                row = self.wrapper.fetch()
-            except SourceTimeoutError:
-                self.context.emit_event(EventType.TIMEOUT, self.source_name)
-                self.context.emit_event(EventType.TIMEOUT, self.operator_id)
-                raise
-            except SourceUnavailableError as exc:
-                self.context.emit_event(EventType.ERROR, self.source_name, value=str(exc))
-                self.context.emit_event(EventType.ERROR, self.operator_id, value=str(exc))
-                raise
+        try:
+            row = self._pull_row()
+        except SourceTimeoutError:
+            self.context.emit_event(EventType.TIMEOUT, self.source_name)
+            self.context.emit_event(EventType.TIMEOUT, self.operator_id)
+            raise
+        except SourceUnavailableError as exc:
+            self.context.emit_event(EventType.ERROR, self.source_name, value=str(exc))
+            self.context.emit_event(EventType.ERROR, self.operator_id, value=str(exc))
+            raise
         if row is None:
             self._fill_cache_if_complete()
             return None
-        if self._cache_feed is None and self.context.source_cache is not None:
+        if self._collects_for_cache:
             self._rows_seen.append(row)
         self._threshold_counter += 1
         self.context.emit_event(
@@ -148,16 +254,16 @@ class WrapperScan(Operator):
             return Batch.empty(self.output_schema)
         batch: list[Row] = []
         cache_feed = self._cache_feed
-        collect_for_cache = cache_feed is None and context.source_cache is not None
+        collect_for_cache = self._collects_for_cache
         watched = context.event_watched(EventType.THRESHOLD, self.operator_id)
         if cache_feed is not None:
             fetch = cache_feed.fetch
             next_arrival = cache_feed.next_arrival
         else:
-            fetch = self.wrapper.fetch
-            next_arrival = self.wrapper.next_arrival
-        use_block = cache_feed is None and not watched
-        if use_block and not collect_for_cache and context.columnar:
+            fetch = self._pull_batched_row
+            next_arrival = self._stream_next_arrival
+        use_block = cache_feed is None and self._follower is None and not watched
+        if use_block and not collect_for_cache and self._extent is None and context.columnar:
             return self._batched_fetch_columnar(max_rows, arrival_bound)
         while len(batch) < max_rows:
             if use_block:
@@ -166,6 +272,8 @@ class WrapperScan(Operator):
                     self._threshold_counter += len(rows)
                     if collect_for_cache:
                         self._rows_seen.extend(rows)
+                    if self._extent is not None:
+                        self._extent.publish(rows, context.clock.now, context.session_id)
                     batch.extend(rows)
                     continue
                 # Empty block: end of stream, bound reached, or a tuple that
@@ -177,6 +285,12 @@ class WrapperScan(Operator):
                     break
             try:
                 row = fetch()
+                if row is STARVED:
+                    # Live extent, nothing published yet: deliver the partial
+                    # batch; with nothing buffered, defect to a private tail.
+                    if batch:
+                        break
+                    row = self._pull_row()
             except SourceTimeoutError as exc:
                 context.emit_event(EventType.TIMEOUT, self.source_name)
                 context.emit_event(EventType.TIMEOUT, self.operator_id)
@@ -273,6 +387,14 @@ class WrapperScan(Operator):
 
     def _do_close(self) -> None:
         self._fill_cache_if_complete()
+        if self._extent is not None and not self._extent.complete:
+            # Closed early (deactivation, abandoned stream): detach the
+            # partial extent *before* releasing the connection slot, so a
+            # queued reader admitted into the freed slot resumes from the
+            # cached prefix instead of re-fetching from row zero.
+            cache = self.context.source_cache
+            if cache is not None:
+                cache.detach_stream(self._extent)
         self.wrapper.close()
 
 

@@ -177,6 +177,39 @@ class SessionSummary:
 
 
 @dataclass
+class SourceLayerSummary:
+    """Per-source cache and queueing metrics for one server run."""
+
+    source_name: str
+    #: Completed-entry cache hits (any session) / by a session other than the filler.
+    cache_hits: int = 0
+    cross_session_hits: int = 0
+    #: Followers that attached to an in-progress or detached partial extent.
+    partial_hits: int = 0
+    #: Virtual time readers spent queued for one of this source's connection slots.
+    queued_ms: float = 0.0
+
+
+@dataclass
+class PrefetchSummary:
+    """What the speculative prefetcher did with its revocable lease."""
+
+    sources_warmed: int = 0
+    sources_completed: int = 0
+    sources_dropped: int = 0
+    blocks_published: int = 0
+    bytes_fetched: int = 0
+    #: Fetched bytes of sources that served at least one (partial or full) hit.
+    bytes_used: int = 0
+    bytes_wasted: int = 0
+    #: Current speculative lease size and live resident bytes charged to it.
+    lease_bytes: int = 0
+    resident_bytes: int = 0
+    #: Revocations applied to the speculative lease.
+    revocations: int = 0
+
+
+@dataclass
 class ServerStats:
     """Server-level metrics aggregated over all sessions.
 
@@ -193,8 +226,16 @@ class ServerStats:
     revocations: int = 0
     bytes_revoked: int = 0
     cross_session_cache_hits: int = 0
+    #: Follower attachments to in-progress partial extents, server-wide.
+    partial_extent_hits: int = 0
+    #: Revocations whose victim was the prefetcher's speculative lease.
+    speculative_revocations: int = 0
     source_queued_ms: float = 0.0
     makespan_ms: float = 0.0
+    #: Per-source cache/queueing breakdown (only sources that saw traffic).
+    per_source: dict[str, SourceLayerSummary] = field(default_factory=dict)
+    #: Speculative prefetcher summary (``None`` when the layer is disabled).
+    prefetch: PrefetchSummary | None = None
 
     @property
     def completed_sessions(self) -> int:

@@ -6,7 +6,16 @@ virtual-time model.  See ``DESIGN.md`` section 2 for the substitution
 rationale and section 6 for the timing model.
 """
 
-from repro.network.cache import CacheEntry, CacheStats, CachingScanFeed, SourceCache
+from repro.network.cache import (
+    NEED_TAIL,
+    STARVED,
+    CacheEntry,
+    CacheStats,
+    CachingScanFeed,
+    PartialExtent,
+    SourceCache,
+    StreamFollowerFeed,
+)
 from repro.network.profiles import (
     NetworkProfile,
     bursty,
@@ -25,11 +34,15 @@ __all__ = [
     "CachingScanFeed",
     "ClockStats",
     "DataSource",
-    "SourceCache",
+    "NEED_TAIL",
     "NetworkProfile",
+    "PartialExtent",
+    "STARVED",
     "SimClock",
+    "SourceCache",
     "SourceConnection",
     "SourceStats",
+    "StreamFollowerFeed",
     "Wrapper",
     "WrapperStats",
     "bursty",

@@ -126,17 +126,24 @@ class DataSource:
         """Swap the network profile (benchmarks vary link conditions this way)."""
         self.profile = profile
 
-    def open(self, at_ms: float = 0.0) -> "SourceConnection":
+    def open(self, at_ms: float = 0.0, start_row: int = 0) -> "SourceConnection":
         """Open a connection at virtual time ``at_ms``.
 
         On a concurrency-bounded source the stream may be queued: the
         connection object exists immediately, but its arrival timetable
         starts only when a slot frees (``queued_ms`` on the connection and
         the source stats records the delay).
+
+        ``start_row`` re-requests the stream from an offset (a follower of a
+        partial cached extent fetching just the tail): the timetable covers
+        only the remaining rows, laid out from the stream start as any fresh
+        request would be.
         """
         self.stats.connections_opened += 1
         start_ms, slot = self._claim_slot(at_ms)
-        connection = SourceConnection(self, start_ms, slot=slot, requested_at_ms=at_ms)
+        connection = SourceConnection(
+            self, start_ms, slot=slot, requested_at_ms=at_ms, start_row=start_row
+        )
         if slot is not None:
             # The slot stays busy until the last scheduled arrival (released
             # earlier if the reader closes before draining the stream).
@@ -176,6 +183,17 @@ class DataSource:
         if 0 <= slot < len(self._slots) and at_ms < self._slots[slot]:
             self._slots[slot] = at_ms
 
+    def free_slots(self, at_ms: float) -> int | None:
+        """Connection slots free at ``at_ms`` (``None`` = unbounded).
+
+        Side-effect free: the prefetcher's decision hook uses this to warm
+        sources within *spare* capacity only, without claiming anything.
+        """
+        if self.max_concurrent is None:
+            return None
+        busy = sum(1 for busy_until in self._slots if busy_until > at_ms)
+        return max(0, self.max_concurrent - busy)
+
     def reset_concurrency(self) -> None:
         """Forget slot occupancy (benchmark repetitions restart virtual time)."""
         self._slots = []
@@ -202,12 +220,15 @@ class SourceConnection:
         opened_at_ms: float,
         slot: int | None = None,
         requested_at_ms: float | None = None,
+        start_row: int = 0,
     ) -> None:
         self.source = source
         #: When the stream actually starts — past ``requested_at_ms`` when
         #: the connection queued for a slot on a concurrency-bounded source.
         self.opened_at_ms = opened_at_ms
         self.requested_at_ms = opened_at_ms if requested_at_ms is None else requested_at_ms
+        #: First row of the export this connection streams (tail re-requests).
+        self.base_row = start_row
         self._slot = slot
         self._cursor = 0
         self._closed = False
@@ -217,11 +238,16 @@ class SourceConnection:
             self._rows: list[Row] = []
         else:
             qualified = relation.qualified()
-            self._rows = qualified.rows
+            rows = qualified.rows
+            self._rows = rows[start_row:] if start_row else rows
             sizes = [row.size_bytes for row in self._rows]
             self._arrivals = source.profile.arrival_schedule(sizes, start_ms=opened_at_ms)
         limit = source.profile.drop_after_tuples
-        self._fail_at_index = limit if limit is not None else None
+        if limit is not None:
+            # The failure point is a property of the source's export, not of
+            # this connection: a tail re-request still dies at the same row.
+            limit = max(0, limit - start_row)
+        self._fail_at_index = limit
 
     # -- streaming interface -----------------------------------------------------
 

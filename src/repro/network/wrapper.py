@@ -85,9 +85,13 @@ class Wrapper:
     def is_open(self) -> bool:
         return self._connection is not None and not self._connection.closed
 
-    def open(self) -> None:
-        """Open the source connection at the current virtual time."""
-        self._connection = self.source.open(at_ms=self.clock.now)
+    def open(self, start_row: int = 0) -> None:
+        """Open the source connection at the current virtual time.
+
+        ``start_row`` re-requests the export from an offset — a reader that
+        consumed a cached prefix fetching only the tail.
+        """
+        self._connection = self.source.open(at_ms=self.clock.now, start_row=start_row)
 
     def close(self) -> None:
         """Close the connection; further fetches raise.
@@ -121,6 +125,16 @@ class Wrapper:
     def next_arrival(self) -> float | None:
         """Arrival time of the next tuple (``inf`` for dead sources, ``None`` at EOF)."""
         return self._require_connection().next_arrival()
+
+    def peek_next_arrival(self) -> float | None:
+        """Like :meth:`next_arrival` but ``None`` instead of raising when not open.
+
+        Side-effect free; partial-extent followers forward this through
+        ``peek_arrival`` so the scheduler sees the live stream's next block.
+        """
+        if self._connection is None or self._connection.closed:
+            return None
+        return self._connection.next_arrival()
 
     def would_timeout(self) -> bool:
         """True when waiting for the next tuple would exceed the timeout."""
@@ -237,7 +251,7 @@ class Wrapper:
             return None
         now = self.clock.now
         limit = now + self.timeout_ms if self.timeout_ms is not None else None
-        start = connection.delivered
+        start = connection.base_row + connection.delivered
         rows, arrivals = connection.fetch_block(
             max_rows, arrival_bound=arrival_bound, arrival_limit=limit
         )

@@ -22,6 +22,7 @@ from repro.server.broker import (
     RevocationRecord,
 )
 from repro.server.clock import ServerClock, SessionClock
+from repro.server.prefetch import PlanAwarePrefetcher
 from repro.server.scheduler import QueryServer
 from repro.server.session import QuerySession, SessionStatus
 
@@ -29,6 +30,7 @@ __all__ = [
     "BrokerStats",
     "DEFAULT_LEASE_FLOOR_BYTES",
     "MemoryBroker",
+    "PlanAwarePrefetcher",
     "QueryServer",
     "QuerySession",
     "RevocationRecord",

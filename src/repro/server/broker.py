@@ -41,6 +41,9 @@ class RevocationRecord:
     requestor: str
     taken_bytes: int
     new_limit_bytes: int
+    #: True when the victim was a speculative (prefetch) lease — always
+    #: revoked ahead of any query lease.
+    speculative: bool = False
 
 
 @dataclass
@@ -53,6 +56,9 @@ class BrokerStats:
     bytes_revoked: int = 0
     peak_used_bytes: int = 0
     peak_granted_bytes: int = 0
+    speculative_leases_granted: int = 0
+    speculative_revocations: int = 0
+    speculative_bytes_revoked: int = 0
 
 
 @dataclass
@@ -60,6 +66,10 @@ class _Lease:
     budget: MemoryBudget
     size: int
     floor: int
+    #: Speculative leases back prefetched cache data: granted only from free
+    #: capacity (never by revoking real work), floored at zero, and
+    #: victimized first under pressure.
+    speculative: bool = False
 
 
 class MemoryBroker:
@@ -139,27 +149,37 @@ class MemoryBroker:
 
     # -- leases -------------------------------------------------------------------------
 
-    def lease(self, budget: MemoryBudget, nbytes: int) -> int:
+    def lease(self, budget: MemoryBudget, nbytes: int, speculative: bool = False) -> int:
         """Lease up to ``nbytes`` for ``budget``; returns the granted size.
 
         Under pressure the broker first revokes what it can from other
         leases (largest first, down to their floors); whatever capacity that
         frees bounds the grant, but never below the floor.
+
+        A ``speculative`` lease (the prefetcher's) inverts every one of
+        those courtesies: it is granted only from capacity that is free
+        right now — revoking real work to make room for speculation is never
+        allowed — its floor is zero, and it is the first lease revocation
+        victimizes.  The grant may therefore be zero.
         """
         if nbytes <= 0:
             raise MemoryBudgetError(f"lease must be positive, got {nbytes}")
         granted = nbytes
-        floor = min(nbytes, self.floor_bytes)
+        floor = 0 if speculative else min(nbytes, self.floor_bytes)
         if self.capacity_bytes is not None:
             available = self.capacity_bytes - self._granted
-            if available < nbytes:
+            if speculative:
+                granted = max(0, min(nbytes, available))
+            elif available < nbytes:
                 available += self._revoke_for(nbytes - available, requestor=budget.name)
                 # Never grant more than was requested: the floor of a small
                 # request is the request itself, not the server-wide floor.
                 granted = max(floor, min(nbytes, available))
-        self._leases[id(budget)] = _Lease(budget, granted, floor)
+        self._leases[id(budget)] = _Lease(budget, granted, floor, speculative)
         self._granted += granted
         self.stats.leases_granted += 1
+        if speculative:
+            self.stats.speculative_leases_granted += 1
         if self._granted > self.stats.peak_granted_bytes:
             self.stats.peak_granted_bytes = self._granted
         return granted
@@ -229,19 +249,28 @@ class MemoryBroker:
         growth renegotiation (self-revocation would spill the requestor's
         buckets only to hand the bytes straight back).  Returns the bytes
         actually freed.
+
+        Speculative leases are victimized *first* — all of them, down to
+        zero, before any query lease loses a byte — so speculation can never
+        evict real work; among leases of the same class the largest headroom
+        goes first.
         """
         freed = 0
         while freed < needed_bytes:
             victim = None
-            headroom = 0
+            best_key = (False, 0)
             for lease in self._leases.values():
                 if exclude is not None and lease.budget is exclude:
                     continue
                 slack = lease.size - lease.floor
-                if slack > headroom:
-                    victim, headroom = lease, slack
+                if slack <= 0:
+                    continue
+                key = (lease.speculative, slack)
+                if victim is None or key > best_key:
+                    victim, best_key = lease, key
             if victim is None:
                 break
+            headroom = best_key[1]
             take = min(headroom, needed_bytes - freed)
             victim.size -= take
             self._granted -= take
@@ -252,6 +281,7 @@ class MemoryBroker:
                 requestor=requestor,
                 taken_bytes=take,
                 new_limit_bytes=victim.size,
+                speculative=victim.speculative,
             )
             # The shrink below may flush buckets / spill key sets in the
             # victim's context before control returns here.
@@ -259,6 +289,9 @@ class MemoryBroker:
             self.revocations.append(record)
             self.stats.revocations += 1
             self.stats.bytes_revoked += take
+            if victim.speculative:
+                self.stats.speculative_revocations += 1
+                self.stats.speculative_bytes_revoked += take
             if self.on_revocation is not None:
                 self.on_revocation(self, record)
         return freed

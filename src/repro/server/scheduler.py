@@ -23,7 +23,7 @@ from __future__ import annotations
 from repro.catalog.catalog import DataSourceCatalog
 from repro.engine.context import EngineConfig, ExecutionContext
 from repro.engine.iterators import DEFAULT_BATCH_SIZE
-from repro.engine.stats import ServerStats
+from repro.engine.stats import ServerStats, SourceLayerSummary
 from repro.network.cache import SourceCache
 from repro.plan.fragments import QueryPlan
 from repro.plan.physical import OperatorSpec
@@ -67,6 +67,14 @@ class QueryServer:
         self.sessions: dict[str, QuerySession] = {}
         self.scheduler_slices = 0
         self._counter = 0
+        #: Speculative source layer: plan-aware prefetching under a revocable
+        #: broker lease, enabled by config (off = PR 9 bit-identical).
+        self.prefetcher = None
+        config = self.engine_config
+        if config.speculative_sources and config.prefetch_budget_bytes > 0:
+            from repro.server.prefetch import PlanAwarePrefetcher
+
+            self.prefetcher = PlanAwarePrefetcher(self, config.prefetch_budget_bytes)
 
     # -- admission ----------------------------------------------------------------------
 
@@ -127,6 +135,8 @@ class QueryServer:
             batch_size=batch_size,
         )
         self.sessions[session_id] = session
+        if self.prefetcher is not None:
+            self.prefetcher.observe_spec(root_spec)
         return session
 
     def submit_plan(
@@ -171,6 +181,8 @@ class QueryServer:
             batch_size=batch_size,
         )
         self.sessions[session_id] = session
+        if self.prefetcher is not None:
+            self.prefetcher.observe_plan(plan)
         return session
 
     # -- the scheduler loop -------------------------------------------------------------
@@ -189,8 +201,15 @@ class QueryServer:
             if not runnable:
                 break
             session = min(runnable, key=lambda s: (s.next_event_ms, s.admission_index))
+            if self.prefetcher is not None:
+                # Everything the prefetch stream delivers before the chosen
+                # session's next observable moment is published first, so
+                # the session steps into an already-causal source layer.
+                self.prefetcher.advance(session.next_event_ms)
             session.step()
             self.scheduler_slices += 1
+        if self.prefetcher is not None:
+            self.prefetcher.quiesce()
         return self.stats()
 
     def run_serially(self) -> ServerStats:
@@ -225,10 +244,25 @@ class QueryServer:
         stats.revocations = self.broker.stats.revocations
         stats.bytes_revoked = self.broker.stats.bytes_revoked
         stats.cross_session_cache_hits = self.source_cache.stats.cross_session_hits
+        stats.partial_extent_hits = self.source_cache.stats.partial_hits
+        stats.speculative_revocations = self.broker.stats.speculative_revocations
         stats.source_queued_ms = sum(
             source.stats.queued_ms for source in self._sources()
         )
         stats.makespan_ms = self.clock.completion_ms
+        cache_counters = self.source_cache.per_source_counters
+        for source in self._sources():
+            counters = cache_counters.get(source.name)
+            if counters is None and source.stats.queued_ms == 0.0:
+                continue
+            summary = SourceLayerSummary(source.name, queued_ms=source.stats.queued_ms)
+            if counters is not None:
+                summary.cache_hits = counters.hits
+                summary.cross_session_hits = counters.cross_session_hits
+                summary.partial_hits = counters.partial_hits
+            stats.per_source[source.name] = summary
+        if self.prefetcher is not None:
+            stats.prefetch = self.prefetcher.summary()
         return stats
 
     def _sources(self):

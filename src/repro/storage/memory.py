@@ -172,8 +172,10 @@ class MemoryBudget:
         :attr:`on_revoke`, the handler runs immediately (flushing buckets,
         spilling key sets) so the reclaimed bytes are real, not promised.
         """
-        if new_limit_bytes <= 0:
-            raise MemoryBudgetError(f"memory limit must be positive, got {new_limit_bytes}")
+        if new_limit_bytes < 0:
+            raise MemoryBudgetError(f"memory limit must be >= 0, got {new_limit_bytes}")
+        # Zero is legal here (unlike resize): a speculative lease has no
+        # floor and revocation may strip it entirely.
         self.limit_bytes = new_limit_bytes
         self.revocations += 1
         if self.on_revoke is not None and self.stats.reserved > new_limit_bytes:
@@ -254,6 +256,7 @@ class MemoryPool:
         nbytes: int | None,
         on_overflow: Callable[[MemoryBudget], None] | None = None,
         budget_class: type[MemoryBudget] = MemoryBudget,
+        speculative: bool = False,
     ) -> MemoryBudget:
         """Carve a budget of ``nbytes`` (or unbounded) for ``operator_name``.
 
@@ -268,6 +271,10 @@ class MemoryPool:
         budgets — :class:`MemoryBudget` subclasses that relay revocations to
         the worker process holding the real allotment — while keeping every
         grant/lease/capacity rule identical to a plain grant.
+
+        ``speculative`` marks the lease as prefetch-backed: granted only
+        from free broker capacity (possibly zero bytes) and revoked ahead of
+        every query lease.
         """
         budget = budget_class(nbytes, name=operator_name, on_overflow=on_overflow, pool=self)
         if nbytes is not None:
@@ -276,7 +283,7 @@ class MemoryPool:
                 # unpaired raise path would need the broker to turn None right
                 # after a broker lease, which cannot happen.
                 # repro: allow[lease-lifecycle] infeasible branch-correlated path
-                granted = self.broker.lease(budget, nbytes)
+                granted = self.broker.lease(budget, nbytes, speculative=speculative)
                 budget.limit_bytes = granted
                 nbytes = granted
             if self.total_bytes is not None and self._granted + nbytes > self.total_bytes:

@@ -1,0 +1,43 @@
+"""Fixture for rule ``step-effect``: the prefetcher's decision hook as a
+probe root — a source connection opened two calls below ``prefetch_decision``.
+
+The scheduler consults ``prefetch_decision`` on every quantum, outside any
+session's virtual-time slice; warming a source from inside the decision
+would claim a connection slot the moment the server *considers* prefetching.
+Never imported — parsed by the analyzer tests only.
+"""
+
+
+class EagerDecision:
+    def __init__(self, catalog, clock):
+        self.catalog = catalog
+        self.clock = clock
+
+    def prefetch_decision(self, now_ms):
+        return self._best_candidate(now_ms)
+
+    def _best_candidate(self, now_ms):
+        return self._warm_and_score("parts", now_ms)
+
+    def _warm_and_score(self, name, now_ms):
+        source = self.catalog.source(name)
+        source.open(at_ms=now_ms)  # VIOLATION: decision claims a slot
+        return name
+
+
+class SuppressedDecision:
+    def __init__(self, catalog, clock):
+        self.catalog = catalog
+        self.clock = clock
+
+    def prefetch_decision(self, now_ms):
+        return self._quiet_candidate(now_ms)
+
+    def _quiet_candidate(self, now_ms):
+        return self._quiet_warm("parts", now_ms)
+
+    def _quiet_warm(self, name, now_ms):
+        source = self.catalog.source(name)
+        # repro: allow[step-effect] fixture twin, deliberately suppressed
+        source.open(at_ms=now_ms)
+        return name

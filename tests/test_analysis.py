@@ -126,6 +126,32 @@ class TestInterprocedural:
         assert "consume_cpu" in finding.message
 
 
+class TestPrefetchDecisionProbe:
+    """``prefetch_decision`` is a step-effect probe root like ``peek_arrival``."""
+
+    FIXTURE = FIXTURES / "prefetch_decision_violation.py"
+
+    def test_decision_hook_effect_is_reported_with_chain(self):
+        # The source open sits two calls below prefetch_decision; the
+        # bottom-up summaries reach it and the pragma'd twin is silenced.
+        report = run_lint([self.FIXTURE], rules=(rule_by_id("step-effect"),))
+        (finding,) = report.findings
+        assert finding.line == violation_line(self.FIXTURE)
+        assert "prefetch_decision -> _best_candidate -> _warm_and_score" in finding.message
+        assert report.suppressed == 1
+
+    def test_fixture_seeds_only_step_effect(self):
+        report = run_lint([self.FIXTURE])
+        assert {f.rule_id for f in report.findings} == {"step-effect"}
+
+    def test_shipped_prefetcher_decision_is_effect_free(self):
+        # The real hook (and everything it reaches: cache peeks, free-slot
+        # counts, catalog lookups) must stay clean under the rule.
+        prefetch = SOURCE_TREE / "server" / "prefetch.py"
+        report = run_lint([SOURCE_TREE], rules=(rule_by_id("step-effect"),))
+        assert not [f for f in report.findings if f.path == str(prefetch)]
+
+
 class TestLeaseLifecycleInline:
     """Path-sensitivity corners exercised on inline modules."""
 

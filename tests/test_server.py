@@ -21,7 +21,8 @@ from __future__ import annotations
 import pytest
 
 from repro.catalog.catalog import DataSourceCatalog
-from repro.network.cache import SourceCache
+from repro.engine.context import EngineConfig
+from repro.network.cache import CACHE_SERVE_CPU_MS, SourceCache
 from repro.network.profiles import NetworkProfile
 from repro.network.source import DataSource
 from repro.plan.fragments import Fragment, QueryPlan
@@ -522,3 +523,60 @@ class TestReviewRegressions:
         assert session.status == SessionStatus.FAILED
         assert "needs_reoptimization" in (session.error or "")
         assert server.stats().completed_sessions == 0
+
+
+class TestSpeculativeParity:
+    """``speculative_sources=False`` (the default) is bit-identical to the
+    pre-speculative engine: same virtual times, slices, and accounting."""
+
+    @staticmethod
+    def _staggered_run(config):
+        catalog = fresh_catalog(rows=80, max_concurrent=1)
+        server = QueryServer(
+            catalog, engine_config=config, memory_capacity_bytes=8 * 1024 * 1024
+        )
+        server.submit(join_spec("a", memory=256 * 1024), "a")
+        server.submit(scan_spec("l", "b"), "b", arrival_ms=120.0)
+        server.submit(join_spec("c", memory=256 * 1024), "c", arrival_ms=250.0)
+        stats = server.run()
+        return server, stats
+
+    def test_flag_off_matches_default_exactly(self):
+        default_server, default_stats = self._staggered_run(EngineConfig())
+        explicit_server, explicit_stats = self._staggered_run(
+            EngineConfig(speculative_sources=False, prefetch_budget_bytes=0)
+        )
+        assert default_server.prefetcher is None
+        assert explicit_server.prefetcher is None
+        for lhs, rhs in zip(default_stats.sessions, explicit_stats.sessions):
+            assert lhs.session_id == rhs.session_id
+            assert lhs.completed_at_ms == rhs.completed_at_ms
+            assert lhs.wait_ms == rhs.wait_ms
+            assert lhs.cpu_ms == rhs.cpu_ms
+            assert lhs.slices == rhs.slices
+        assert default_stats.scheduler_slices == explicit_stats.scheduler_slices
+        assert default_stats.makespan_ms == explicit_stats.makespan_ms
+        assert default_stats.source_queued_ms == explicit_stats.source_queued_ms
+        assert default_stats.partial_extent_hits == 0
+        assert explicit_stats.partial_extent_hits == 0
+
+    def test_speculative_layer_preserves_result_multisets(self):
+        _, base_stats = self._staggered_run(EngineConfig())
+        base_server, _ = self._staggered_run(EngineConfig())
+        spec_server, spec_stats = self._staggered_run(
+            EngineConfig(
+                speculative_sources=True, prefetch_budget_bytes=4 * 1024 * 1024
+            )
+        )
+        assert spec_server.prefetcher is not None
+        for name in ("a", "b", "c"):
+            assert multiset(spec_server.sessions[name].result) == multiset(
+                base_server.sessions[name].result
+            )
+        # The layer may only help, up to the cache-serve CPU epsilon: a
+        # session following a prefetch stream sees rows at live-link pace
+        # but pays CACHE_SERVE_CPU_MS per served row instead of fetching on
+        # a connection of its own.
+        slack = 80 * CACHE_SERVE_CPU_MS
+        for lhs, rhs in zip(spec_stats.sessions, base_stats.sessions):
+            assert lhs.completed_at_ms <= rhs.completed_at_ms + slack
